@@ -1,0 +1,391 @@
+// Package repro's benchmark harness regenerates every table and figure
+// of the paper (see DESIGN.md's per-experiment index) and measures the
+// substrate components. Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/canbus"
+	"repro/internal/candb"
+	"repro/internal/canoe"
+	"repro/internal/capl"
+	"repro/internal/csp"
+	"repro/internal/cspm"
+	"repro/internal/experiments"
+	"repro/internal/lts"
+	"repro/internal/ota"
+	"repro/internal/refine"
+	"repro/internal/translate"
+)
+
+// --- Paper tables ----------------------------------------------------------
+
+// BenchmarkTableI_CSPmRoundTrip regenerates Table I: every CSPm operator
+// parsed and round-tripped through the front-end.
+func BenchmarkTableI_CSPmRoundTrip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_MessageTypes regenerates Table II from the case-study
+// metadata.
+func BenchmarkTableII_MessageTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.TableII()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) != 4 {
+			b.Fatal("wrong table")
+		}
+	}
+}
+
+// BenchmarkTableIII_Requirements regenerates Table III: all five
+// requirements checked by refinement on both the correct and the flawed
+// system.
+func BenchmarkTableIII_Requirements(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Paper figures ------------------------------------------------------------
+
+// BenchmarkFigure1_Pipeline runs the complete Figure 1 workflow: CAPL
+// parse, model extraction, composition, evaluation, three assertions,
+// and the simulation cross-validation.
+func BenchmarkFigure1_Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CrossValidated {
+			b.Fatal("cross-validation failed")
+		}
+	}
+}
+
+// BenchmarkFigure2_SystemCheck checks the Figure 2 composed system for
+// the three implementation variants.
+func BenchmarkFigure2_SystemCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3_Translate regenerates the Figure 3 artefact (the
+// extracted ECU CSPm model).
+func BenchmarkFigure3_Translate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		text, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(text) == 0 {
+			b.Fatal("empty model")
+		}
+	}
+}
+
+// --- Scalability sweep (section VII) ---------------------------------------
+
+// BenchmarkScalability sweeps the refinement check over growing
+// application sizes (request/response pairs).
+func BenchmarkScalability(b *testing.B) {
+	for _, pairs := range []int{2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("pairs=%d", pairs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pt, err := experiments.ScalabilityRun(pairs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !pt.Holds {
+					b.Fatal("property failed")
+				}
+			}
+		})
+	}
+}
+
+// --- Attacker experiments ------------------------------------------------------
+
+// BenchmarkSecureVariants runs the R05 shared-key experiment: three
+// protections against the Dolev-Yao bus intruder.
+func BenchmarkSecureVariants(b *testing.B) {
+	for _, v := range []ota.SecureVariant{ota.Naive, ota.MACOnly, ota.MACNonce} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := ota.BuildSecure(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c := refine.NewChecker(m.Env, m.Ctx)
+				if _, err := c.RefinesTraces(m.AuthSpec, m.System); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.RefinesTraces(m.InjSpec, m.System); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAttackTree_Translate measures the attack-tree-to-CSP
+// translation plus the sequence-set equivalence check.
+func BenchmarkAttackTree_Translate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AttackTree()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Equivalent {
+			b.Fatal("translation not equivalent")
+		}
+	}
+}
+
+// BenchmarkNSPK_AttackSearch measures finding Lowe's attack on the
+// original Needham-Schroeder protocol.
+func BenchmarkNSPK_AttackSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := attack.BuildNSPK(attack.NSPKConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := refine.NewChecker(m.Env, m.Ctx)
+		res, err := c.RefinesTraces(m.AuthSpec, m.System)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Holds {
+			b.Fatal("attack not found")
+		}
+	}
+}
+
+// BenchmarkNSL_Verification measures verifying the fixed protocol
+// (exhaustive exploration, so costlier than finding the attack).
+func BenchmarkNSL_Verification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := attack.BuildNSPK(attack.NSPKConfig{Fixed: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := refine.NewChecker(m.Env, m.Ctx)
+		res, err := c.RefinesTraces(m.AuthSpec, m.System)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Holds {
+			b.Fatal("NSL rejected")
+		}
+	}
+}
+
+// --- Ablation: product-automaton vs naive trace enumeration --------------------
+
+// BenchmarkAblation_RefinementAlgorithm compares the FDR-style
+// normalised product check against naive bounded trace-set enumeration
+// on the same query — the design choice DESIGN.md calls out.
+func BenchmarkAblation_RefinementAlgorithm(b *testing.B) {
+	sys, err := ota.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := sys.Model.Asserts[ota.AssertR02].Spec
+	impl := sys.Model.Asserts[ota.AssertR02].Impl
+
+	b.Run("product-automaton", func(b *testing.B) {
+		c := refine.NewChecker(sys.Model.Env, sys.Model.Ctx)
+		for i := 0; i < b.N; i++ {
+			res, err := c.RefinesTraces(spec, impl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Holds {
+				b.Fatal("check failed")
+			}
+		}
+	})
+	b.Run("naive-trace-enumeration", func(b *testing.B) {
+		sem := csp.NewSemantics(sys.Model.Env, sys.Model.Ctx)
+		const bound = 8
+		for i := 0; i < b.N; i++ {
+			implTraces, err := csp.Traces(sem, impl, bound)
+			if err != nil {
+				b.Fatal(err)
+			}
+			specTraces, err := csp.Traces(sem, spec, bound)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok, _ := implTraces.SubsetOf(specTraces); !ok {
+				b.Fatal("check failed")
+			}
+		}
+	})
+}
+
+// --- Substrate microbenchmarks ----------------------------------------------
+
+// BenchmarkCAPLParse measures the CAPL front-end on the ECU program.
+func BenchmarkCAPLParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := capl.Parse(ota.ECUSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslateECU measures model extraction alone.
+func BenchmarkTranslateECU(b *testing.B) {
+	prog, err := capl.Parse(ota.ECUSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := translate.DefaultOptions("ECU")
+	opts.MessageRename = ota.MessageRename
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := translate.Translate(prog, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCSPMLoad measures parsing + evaluating the combined
+// case-study script.
+func BenchmarkCSPMLoad(b *testing.B) {
+	sys, err := ota.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cspm.Load(sys.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLTSExplore measures LTS construction for the composed system.
+func BenchmarkLTSExplore(b *testing.B) {
+	sys, err := ota.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sem := csp.NewSemantics(sys.Model.Env, sys.Model.Ctx)
+	system := csp.Call("SYSTEM")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lts.Explore(sem, system, lts.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNormalize measures the subset construction.
+func BenchmarkNormalize(b *testing.B) {
+	sys, err := ota.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sem := csp.NewSemantics(sys.Model.Env, sys.Model.Ctx)
+	l, err := lts.Explore(sem, csp.Call("SYSTEM"), lts.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := lts.Normalize(l); n.NumNodes() == 0 {
+			b.Fatal("empty normalisation")
+		}
+	}
+}
+
+// BenchmarkCANBusThroughput measures the bus simulator delivering
+// frames between two nodes.
+func BenchmarkCANBusThroughput(b *testing.B) {
+	bus := canbus.New(canbus.Config{})
+	tap := bus.Attach("tx", canbus.ReceiverFunc(func(canbus.Time, canbus.Frame) {}))
+	bus.Attach("rx", canbus.ReceiverFunc(func(canbus.Time, canbus.Frame) {}))
+	frame := canbus.Frame{ID: 0x123, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bus.Transmit(tap, frame); err != nil {
+			b.Fatal(err)
+		}
+		bus.RunAll(4)
+	}
+}
+
+// BenchmarkCanoeSimulation measures the CAPL runtime executing the
+// case-study measurement for 1 simulated millisecond.
+func BenchmarkCanoeSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := canoe.NewSimulation(canbus.Config{})
+		if _, err := sim.AddNode("ECU", ota.ECUSource); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.AddNode("VMG", ota.VMGSource); err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Run(canbus.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDBCParse measures the CAN database parser.
+func BenchmarkDBCParse(b *testing.B) {
+	src := otaDBC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := candb.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignalCodec measures signal encode/decode round trips.
+func BenchmarkSignalCodec(b *testing.B) {
+	s := &candb.Signal{Name: "S", StartBit: 4, Length: 12, LittleEndian: true, Factor: 1}
+	data := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.EncodeRaw(data, int64(i&0xFFF)); err != nil {
+			b.Fatal(err)
+		}
+		if s.DecodeRaw(data) != int64(i&0xFFF) {
+			b.Fatal("codec mismatch")
+		}
+	}
+}
+
+func otaDBC() string {
+	return `VERSION "1.0"
+BU_: VMG ECU
+BO_ 257 SwInventoryReq: 8 VMG
+ SG_ Counter : 0|8@1+ (1,0) [0|255] "" ECU
+BO_ 258 SwInventoryRpt: 8 ECU
+ SG_ Status : 0|4@1+ (1,0) [0|15] "" VMG
+`
+}

@@ -1,0 +1,85 @@
+// Command capl2cspm is the model extractor of the paper's Figure 1: it
+// translates a CAPL network-node program into a CSPm implementation
+// model for the fdrlite refinement checker.
+//
+// Usage:
+//
+//	capl2cspm -node ECU [-in send] [-out rec] [-rename a=b,c=d] [-o file.csp] node.can
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/capl"
+	"repro/internal/translate"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "capl2cspm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("capl2cspm", flag.ContinueOnError)
+	node := fs.String("node", "NODE", "name of the generated node process")
+	in := fs.String("in", "send", "channel carrying messages the node receives")
+	out := fs.String("out", "rec", "channel carrying messages the node emits")
+	rename := fs.String("rename", "", "comma-separated CAPLname=ctor message renames")
+	timers := fs.Bool("timers", true, "translate timer interactions into events")
+	timerProc := fs.Bool("timer-process", false, "also emit the TIMER(t) lifecycle process")
+	omitDecls := fs.Bool("omit-decls", false, "emit process definitions only (for composition)")
+	output := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one CAPL source file, got %d", fs.NArg())
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := capl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	opts := translate.Options{
+		NodeName:             *node,
+		InChannel:            *in,
+		OutChannel:           *out,
+		MessageRename:        parseRenames(*rename),
+		IncludeTimers:        *timers,
+		GenerateTimerProcess: *timerProc,
+		OmitDecls:            *omitDecls,
+	}
+	res, err := translate.Translate(prog, opts)
+	if err != nil {
+		return err
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "warning:", w)
+	}
+	if *output == "" {
+		_, err = stdout.WriteString(res.Text)
+		return err
+	}
+	return os.WriteFile(*output, []byte(res.Text), 0o644)
+}
+
+func parseRenames(spec string) map[string]string {
+	out := map[string]string{}
+	for _, pair := range strings.Split(spec, ",") {
+		if pair == "" {
+			continue
+		}
+		if eq := strings.IndexByte(pair, '='); eq > 0 {
+			out[pair[:eq]] = pair[eq+1:]
+		}
+	}
+	return out
+}

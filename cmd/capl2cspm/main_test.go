@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExtractsModel(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "ecu.csp")
+	err := run([]string{
+		"-node", "ECU",
+		"-rename", "swInventoryReq=reqSw,swInventoryRpt=rptSw,applyUpdateReq=reqApp,updateResultRpt=rptUpd",
+		"-o", outPath,
+		"../../testdata/ecu.can",
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"datatype Msgs = reqSw | rptSw | reqApp | rptUpd",
+		"send.reqSw -> rec!rptSw -> ECU",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	if err := run(nil, os.Stdout); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"/nonexistent.can"}, os.Stdout); err == nil {
+		t.Error("unreadable file accepted")
+	}
+}
+
+func TestParseRenames(t *testing.T) {
+	got := parseRenames("a=b,c=d,,bad")
+	if got["a"] != "b" || got["c"] != "d" || len(got) != 2 {
+		t.Errorf("renames = %v", got)
+	}
+}

@@ -1,0 +1,55 @@
+// Command dbc2cspm converts a CAN database (.dbc) into CSPm
+// declarations: the message set becomes a datatype, communication
+// channels are declared over it, and (optionally) signal ranges become
+// nametypes and value tables become datatypes — the CANdb model
+// generator of the paper's section VIII-A.
+//
+// Usage:
+//
+//	dbc2cspm [-signals] [-channels send,rec] network.dbc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/candb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbc2cspm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dbc2cspm", flag.ContinueOnError)
+	signals := fs.Bool("signals", false, "emit signal ranges and value tables too")
+	channels := fs.String("channels", "send,rec", "comma-separated channel names")
+	datatype := fs.String("datatype", "Msgs", "name of the message datatype")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one .dbc file, got %d", fs.NArg())
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	db, err := candb.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	out := candb.GenerateCSPm(db, candb.CSPmOptions{
+		MsgDatatype:    *datatype,
+		Channels:       strings.Split(*channels, ","),
+		IncludeSignals: *signals,
+	})
+	_, err = io.WriteString(stdout, out)
+	return err
+}

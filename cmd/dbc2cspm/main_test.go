@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunGeneratesDeclarations(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"../../testdata/ota.dbc"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"datatype Msgs = swInventoryReq | swInventoryRpt | applyUpdateReq | updateResultRpt",
+		"channel send, rec : Msgs",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunWithSignals(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-signals", "../../testdata/ota.dbc"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "nametype SwInventoryReq_Counter") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing argument accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunOnCaseStudyScript(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"../../testdata/ota.csp"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "4 assertion(s), 0 failed") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunReportsFailures(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.csp")
+	src := `
+channel a, b
+SPEC = a -> SPEC
+IMPL = a -> b -> IMPL
+assert SPEC [T= IMPL
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code, err := run([]string{path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAILED") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run(nil, &out); err == nil || code != 2 {
+		t.Errorf("missing file accepted: code=%d err=%v", code, err)
+	}
+	if code, err := run([]string{"/nonexistent.csp"}, &out); err == nil || code != 2 {
+		t.Errorf("unreadable file accepted: code=%d err=%v", code, err)
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	dir := t.TempDir()
+	dot := filepath.Join(dir, "sys.dot")
+	var out bytes.Buffer
+	code, err := run([]string{"-dot", dot, "-graph", "SYSTEM", "../../testdata/ota.csp"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out.String())
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph \"SYSTEM\"") {
+		t.Errorf("dot output:\n%s", data)
+	}
+	if _, err := run([]string{"-dot", dot, "../../testdata/ota.csp"}, &out); err == nil {
+		t.Error("-dot without -graph accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFullReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sizes", "2,4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III",
+		"Figure 1", "Figure 2", "Figure 3",
+		"Needham-Schroeder", "Scalability",
+		"shared-key", "violated",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	sizes, err := parseSizes("2, 8,16")
+	if err != nil || len(sizes) != 3 || sizes[2] != 16 {
+		t.Errorf("sizes = %v, err = %v", sizes, err)
+	}
+	if _, err := parseSizes("0"); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := parseSizes("x"); err == nil {
+		t.Error("garbage size accepted")
+	}
+}

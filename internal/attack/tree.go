@@ -1,0 +1,239 @@
+// Package attack implements the attacker-modelling techniques of
+// section IV-E of the paper: attack trees translated into semantically
+// equivalent CSP processes (after Cheah et al., WISTP 2017), and a
+// Dolev-Yao-style intruder process generator for broadcast-bus (CAN)
+// networks, for composition with ECU implementation models.
+package attack
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/csp"
+)
+
+// Tree is a node of an attack tree, interpreted as a series-parallel
+// (SP) graph whose sequence-set semantics is defined in the paper:
+//
+//	(a)         = { <a> }
+//	(G1 || G2)  = { s ∈ s1 ||| s2 }          (parallel / AND-concurrent)
+//	(G1 · G2)   = { s1 ^ s2 }                (sequential AND)
+//	({G1..Gn})  = ∪ (Gi)                     (OR: alternative attacks)
+type Tree interface {
+	isTree()
+	// Label returns a short description for display.
+	Label() string
+}
+
+// Leaf is a single attack action.
+type Leaf struct {
+	Action string
+}
+
+func (Leaf) isTree() {}
+
+// Label returns the action name.
+func (l Leaf) Label() string { return l.Action }
+
+// Seq is sequential conjunction: every child must be completed in
+// order (the G1 · G2 composition).
+type Seq struct {
+	Children []Tree
+}
+
+func (Seq) isTree() {}
+
+// Label renders the children joined by "·".
+func (s Seq) Label() string { return joinLabels(s.Children, " · ") }
+
+// Par is parallel conjunction: all children must be completed, in any
+// interleaving (the G1 || G2 composition).
+type Par struct {
+	Children []Tree
+}
+
+func (Par) isTree() {}
+
+// Label renders the children joined by "||".
+func (p Par) Label() string { return joinLabels(p.Children, " || ") }
+
+// Or is disjunction: any one child completes the attack (the set-of-
+// graphs generalisation).
+type Or struct {
+	Children []Tree
+}
+
+func (Or) isTree() {}
+
+// Label renders the children joined by "|".
+func (o Or) Label() string { return joinLabels(o.Children, " | ") }
+
+func joinLabels(children []Tree, sep string) string {
+	parts := make([]string, len(children))
+	for i, c := range children {
+		parts[i] = "(" + c.Label() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Actions returns the sorted set of leaf actions in the tree.
+func Actions(t Tree) []string {
+	set := map[string]bool{}
+	var walk func(Tree)
+	walk = func(n Tree) {
+		switch x := n.(type) {
+		case Leaf:
+			set[x.Action] = true
+		case Seq:
+			for _, c := range x.Children {
+				walk(c)
+			}
+		case Par:
+			for _, c := range x.Children {
+				walk(c)
+			}
+		case Or:
+			for _, c := range x.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(t)
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sequences computes the SP-graph sequence-set semantics of the tree:
+// the set of action sequences that complete the attack. This is the
+// reference against which the CSP translation is property-tested.
+func Sequences(t Tree) [][]string {
+	switch x := t.(type) {
+	case Leaf:
+		return [][]string{{x.Action}}
+	case Seq:
+		out := [][]string{{}}
+		for _, c := range x.Children {
+			var next [][]string
+			for _, prefix := range out {
+				for _, suffix := range Sequences(c) {
+					seq := make([]string, 0, len(prefix)+len(suffix))
+					seq = append(seq, prefix...)
+					seq = append(seq, suffix...)
+					next = append(next, seq)
+				}
+			}
+			out = next
+		}
+		return dedupeSeqs(out)
+	case Par:
+		out := [][]string{{}}
+		for _, c := range x.Children {
+			var next [][]string
+			for _, left := range out {
+				for _, right := range Sequences(c) {
+					next = append(next, interleavings(left, right)...)
+				}
+			}
+			out = next
+		}
+		return dedupeSeqs(out)
+	case Or:
+		var out [][]string
+		for _, c := range x.Children {
+			out = append(out, Sequences(c)...)
+		}
+		return dedupeSeqs(out)
+	}
+	return nil
+}
+
+// interleavings enumerates all merges of a and b preserving each side's
+// order (the trace-interleaving operator ||| of section IV-A).
+func interleavings(a, b []string) [][]string {
+	if len(a) == 0 {
+		return [][]string{append([]string(nil), b...)}
+	}
+	if len(b) == 0 {
+		return [][]string{append([]string(nil), a...)}
+	}
+	var out [][]string
+	for _, rest := range interleavings(a[1:], b) {
+		seq := append([]string{a[0]}, rest...)
+		out = append(out, seq)
+	}
+	for _, rest := range interleavings(a, b[1:]) {
+		seq := append([]string{b[0]}, rest...)
+		out = append(out, seq)
+	}
+	return out
+}
+
+func dedupeSeqs(in [][]string) [][]string {
+	seen := map[string]bool{}
+	var out [][]string
+	for _, s := range in {
+		k := strings.Join(s, "\x00")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], "\x00") < strings.Join(out[j], "\x00")
+	})
+	return out
+}
+
+// ToCSP translates the attack tree into a CSP process over the given
+// action channel, following the equivalence of Cheah et al.: leaves
+// become event prefixes, sequential composition becomes ;, parallel
+// composition becomes |||, and alternatives become external choice. The
+// resulting process performs exactly the sequence set of the tree and
+// then terminates (SKIP).
+//
+// The channel must be declared with one field whose type contains every
+// action symbol; DeclareActions does this.
+func ToCSP(t Tree, actionChan string) csp.Process {
+	switch x := t.(type) {
+	case Leaf:
+		return csp.Send(actionChan, csp.Skip(), csp.Sym(x.Action))
+	case Seq:
+		parts := make([]csp.Process, len(x.Children))
+		for i, c := range x.Children {
+			parts[i] = ToCSP(c, actionChan)
+		}
+		return csp.Seq(parts...)
+	case Par:
+		parts := make([]csp.Process, len(x.Children))
+		for i, c := range x.Children {
+			parts[i] = ToCSP(c, actionChan)
+		}
+		return csp.Interleave(parts...)
+	case Or:
+		parts := make([]csp.Process, len(x.Children))
+		for i, c := range x.Children {
+			parts[i] = ToCSP(c, actionChan)
+		}
+		return csp.ExtChoice(parts...)
+	}
+	return csp.Stop()
+}
+
+// DeclareActions declares the action channel for a tree in the context,
+// typed by an enumeration of the tree's actions.
+func DeclareActions(ctx *csp.Context, actionChan string, t Tree) error {
+	syms := make([]csp.Sym, 0)
+	for _, a := range Actions(t) {
+		syms = append(syms, csp.Sym(a))
+	}
+	ty := csp.EnumType("Actions_"+actionChan, syms...)
+	if err := ctx.DeclareType(ty.TypeName, ty); err != nil {
+		return fmt.Errorf("declare action type: %w", err)
+	}
+	return ctx.DeclareChannel(actionChan, ty)
+}

@@ -1,0 +1,338 @@
+// Package canbus is a deterministic discrete-event simulator of a CAN
+// bus: the substrate standing in for the physical network of the
+// paper's CANoe environment (section IV-B). It models broadcast
+// delivery, identifier-priority arbitration, transmission timing from
+// the configured bit rate, and hook-based fault injection, all under a
+// virtual clock so simulations are exactly reproducible.
+package canbus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Time is simulated time in microseconds.
+type Time int64
+
+// Millisecond and friends convert to simulated time.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxDataLen is the classic CAN payload limit.
+const MaxDataLen = 8
+
+// Frame is a classic CAN data frame.
+type Frame struct {
+	// ID is the 11-bit (or 29-bit extended) identifier; lower wins
+	// arbitration.
+	ID uint32
+	// Data is the payload, at most 8 bytes.
+	Data []byte
+	// Extended marks a 29-bit identifier frame.
+	Extended bool
+}
+
+// Clone returns a deep copy of the frame.
+func (f Frame) Clone() Frame {
+	data := make([]byte, len(f.Data))
+	copy(data, f.Data)
+	return Frame{ID: f.ID, Data: data, Extended: f.Extended}
+}
+
+// String renders the frame like a candump line.
+func (f Frame) String() string {
+	return fmt.Sprintf("%03X#% X", f.ID, f.Data)
+}
+
+// bits returns the nominal frame size on the wire (standard frame
+// overhead plus payload; stuffing is approximated at the worst case of
+// one stuff bit per four payload bits).
+func (f Frame) bits() int {
+	overhead := 47
+	if f.Extended {
+		overhead = 67
+	}
+	payload := 8 * len(f.Data)
+	return overhead + payload + payload/4
+}
+
+// Receiver consumes frames delivered by the bus.
+type Receiver interface {
+	// OnFrame is called for every frame another node transmitted.
+	OnFrame(t Time, f Frame)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(t Time, f Frame)
+
+// OnFrame calls the function.
+func (fn ReceiverFunc) OnFrame(t Time, f Frame) { fn(t, f) }
+
+// Injector mutates or drops frames in flight, for failure-injection
+// experiments. Both hooks may be nil.
+type Injector struct {
+	// Drop returns true to lose the frame entirely.
+	Drop func(t Time, f Frame) bool
+	// Corrupt may return a modified frame (e.g. flipped payload bits).
+	Corrupt func(t Time, f Frame) Frame
+}
+
+// Config configures a bus.
+type Config struct {
+	// BitRate in bits/second; default 500 kbit/s, the common automotive
+	// high-speed CAN rate.
+	BitRate int
+	// Injector optionally injects faults.
+	Injector *Injector
+}
+
+// Stats accumulates bus counters.
+type Stats struct {
+	FramesRequested int
+	FramesDelivered int
+	FramesDropped   int
+	FramesCorrupted int
+	BusBusy         Time
+}
+
+// Errors returned by bus operations.
+var (
+	ErrTooLong    = errors.New("canbus: frame payload exceeds 8 bytes")
+	ErrDetached   = errors.New("canbus: tap does not belong to this bus")
+	ErrTimeTravel = errors.New("canbus: cannot schedule in the past")
+)
+
+// Tap is one node's attachment point to the bus.
+type Tap struct {
+	name string
+	bus  *Bus
+	recv Receiver
+	// TxCount and RxCount are per-node frame counters.
+	TxCount int
+	RxCount int
+}
+
+// Name returns the node name given at Attach time.
+func (t *Tap) Name() string { return t.name }
+
+// Bus is a simulated CAN segment.
+type Bus struct {
+	cfg   Config
+	now   Time
+	taps  []*Tap
+	stats Stats
+
+	// events is the time-ordered queue of pending simulation actions.
+	events eventQueue
+	seq    int64
+
+	// pending holds frames queued for transmission, competing in
+	// arbitration whenever the bus goes idle.
+	pending []pendingFrame
+	// busyUntil is when the current transmission completes.
+	busyUntil Time
+}
+
+type pendingFrame struct {
+	from  *Tap
+	frame Frame
+	seq   int64 // FIFO tie-break among equal IDs
+}
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// New creates a bus.
+func New(cfg Config) *Bus {
+	if cfg.BitRate <= 0 {
+		cfg.BitRate = 500_000
+	}
+	return &Bus{cfg: cfg}
+}
+
+// Now returns the current simulated time.
+func (b *Bus) Now() Time { return b.now }
+
+// Stats returns a copy of the counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Attach registers a receiver and returns its tap.
+func (b *Bus) Attach(name string, r Receiver) *Tap {
+	tap := &Tap{name: name, bus: b, recv: r}
+	b.taps = append(b.taps, tap)
+	return tap
+}
+
+// Schedule runs fn at the given absolute simulated time. It underpins
+// CAPL timers.
+func (b *Bus) Schedule(at Time, fn func()) error {
+	if at < b.now {
+		return fmt.Errorf("%w: at=%d now=%d", ErrTimeTravel, at, b.now)
+	}
+	b.push(at, fn)
+	return nil
+}
+
+func (b *Bus) push(at Time, fn func()) {
+	b.seq++
+	b.events = append(b.events, event{at: at, seq: b.seq, fn: fn})
+	// Keep the queue sorted; a heap would be asymptotically better but
+	// simulations here are small and sorted-insert keeps replay order
+	// obvious.
+	sort.Sort(b.events)
+}
+
+// Transmit queues a frame for transmission from the given tap. The
+// frame enters arbitration; delivery happens when it wins and its
+// transmission time elapses.
+func (b *Bus) Transmit(tap *Tap, f Frame) error {
+	if tap == nil || tap.bus != b {
+		return ErrDetached
+	}
+	if len(f.Data) > MaxDataLen {
+		return ErrTooLong
+	}
+	b.stats.FramesRequested++
+	b.seq++
+	b.pending = append(b.pending, pendingFrame{from: tap, frame: f.Clone(), seq: b.seq})
+	b.tryArbitrate()
+	return nil
+}
+
+// tryArbitrate starts the highest-priority pending frame if the bus is
+// idle.
+func (b *Bus) tryArbitrate() {
+	if len(b.pending) == 0 || b.busyUntil > b.now {
+		return
+	}
+	// Lowest identifier wins; FIFO among equal identifiers.
+	best := 0
+	for i := 1; i < len(b.pending); i++ {
+		p, q := b.pending[i], b.pending[best]
+		if p.frame.ID < q.frame.ID || (p.frame.ID == q.frame.ID && p.seq < q.seq) {
+			best = i
+		}
+	}
+	winner := b.pending[best]
+	b.pending = append(b.pending[:best], b.pending[best+1:]...)
+
+	duration := Time(int64(winner.frame.bits()) * int64(Second) / int64(b.cfg.BitRate))
+	if duration <= 0 {
+		duration = 1
+	}
+	done := b.now + duration
+	b.busyUntil = done
+	b.stats.BusBusy += duration
+	b.push(done, func() { b.completeTransmission(winner) })
+}
+
+func (b *Bus) completeTransmission(p pendingFrame) {
+	f := p.frame
+	dropped := false
+	if inj := b.cfg.Injector; inj != nil {
+		if inj.Drop != nil && inj.Drop(b.now, f) {
+			dropped = true
+			b.stats.FramesDropped++
+		} else if inj.Corrupt != nil {
+			mutated := inj.Corrupt(b.now, f.Clone())
+			if !framesEqual(mutated, f) {
+				b.stats.FramesCorrupted++
+			}
+			f = mutated
+		}
+	}
+	if !dropped {
+		p.from.TxCount++
+		for _, tap := range b.taps {
+			if tap == p.from {
+				continue
+			}
+			tap.RxCount++
+			b.stats.FramesDelivered++
+			tap.recv.OnFrame(b.now, f.Clone())
+		}
+	}
+	// Bus is idle again: next arbitration round.
+	b.tryArbitrate()
+}
+
+func framesEqual(a, b Frame) bool {
+	if a.ID != b.ID || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Step processes the next queued event, advancing the clock to it.
+// It reports whether an event was processed.
+func (b *Bus) Step() bool {
+	if len(b.events) == 0 {
+		return false
+	}
+	ev := b.events[0]
+	b.events = b.events[1:]
+	b.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run processes events until the queue drains or the clock passes
+// `until`. It returns the number of events processed.
+func (b *Bus) Run(until Time) int {
+	n := 0
+	for len(b.events) > 0 && b.events[0].at <= until {
+		b.Step()
+		n++
+	}
+	if b.now < until {
+		b.now = until
+	}
+	return n
+}
+
+// RunAll drains the event queue completely (with a safety cap) and
+// returns the number of events processed.
+func (b *Bus) RunAll(maxEvents int) int {
+	n := 0
+	for n < maxEvents && b.Step() {
+		n++
+	}
+	return n
+}
+
+// Load returns the fraction of elapsed time the bus spent transmitting.
+// Committed transmissions extending past the current clock count in
+// full, so the elapsed basis includes them.
+func (b *Bus) Load() float64 {
+	elapsed := b.now
+	if b.busyUntil > elapsed {
+		elapsed = b.busyUntil
+	}
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(b.stats.BusBusy) / float64(elapsed)
+}

@@ -1,0 +1,497 @@
+// Package candb parses CAN database files in the de facto standard
+// textual .dbc format (section IV-B2 of the paper) and generates CSPm
+// declarations from them — the "second parser and model generator" the
+// paper's future-work section VIII-A calls for: message formats become
+// CSPm datatype, nametype and channel declarations with data ranges.
+// It also provides signal encode/decode against raw frame payloads, so
+// the simulated network and the CAPL runtime can use real message
+// layouts.
+package candb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Database is a parsed .dbc file.
+type Database struct {
+	Version  string
+	Nodes    []string
+	Messages []*Message
+}
+
+// Message is one BO_ entry.
+type Message struct {
+	ID      uint32
+	Name    string
+	DLC     int
+	Sender  string
+	Signals []*Signal
+	Comment string
+}
+
+// Signal is one SG_ entry.
+type Signal struct {
+	Name         string
+	StartBit     int
+	Length       int
+	LittleEndian bool // @1 Intel; @0 Motorola
+	Signed       bool // '-' signed, '+' unsigned
+	Factor       float64
+	Offset       float64
+	Min, Max     float64
+	Unit         string
+	Receivers    []string
+	Comment      string
+	// Values is the VAL_ table: raw value -> symbolic name.
+	Values map[int64]string
+}
+
+// MessageByName finds a message by its symbolic name.
+func (db *Database) MessageByName(name string) (*Message, bool) {
+	for _, m := range db.Messages {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// MessageByID finds a message by CAN identifier.
+func (db *Database) MessageByID(id uint32) (*Message, bool) {
+	for _, m := range db.Messages {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Signal finds a signal within the message.
+func (m *Message) Signal(name string) (*Signal, bool) {
+	for _, s := range m.Signals {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// ParseError is a .dbc syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dbc:%d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a .dbc database.
+func Parse(src string) (*Database, error) {
+	db := &Database{}
+	var current *Message
+	byID := map[uint32]*Message{}
+
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			current = nilIfBare(line, current)
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return &ParseError{Line: lineNo, Msg: fmt.Sprintf(format, args...)}
+		}
+		switch {
+		case strings.HasPrefix(line, "VERSION"):
+			db.Version = strings.Trim(strings.TrimSpace(strings.TrimPrefix(line, "VERSION")), `"`)
+
+		case strings.HasPrefix(line, "BU_:"):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "BU_:"))
+			if rest != "" {
+				db.Nodes = strings.Fields(rest)
+			}
+
+		case strings.HasPrefix(line, "BO_ "):
+			m, err := parseMessageLine(line)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if _, dup := byID[m.ID]; dup {
+				return nil, errf("duplicate message id %d", m.ID)
+			}
+			byID[m.ID] = m
+			db.Messages = append(db.Messages, m)
+			current = m
+
+		case strings.HasPrefix(line, "SG_ "):
+			if current == nil {
+				return nil, errf("signal outside a message definition")
+			}
+			s, err := parseSignalLine(line)
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			current.Signals = append(current.Signals, s)
+
+		case strings.HasPrefix(line, "CM_ "):
+			if err := parseComment(line, db); err != nil {
+				return nil, errf("%v", err)
+			}
+
+		case strings.HasPrefix(line, "VAL_ "):
+			if err := parseValTable(line, db); err != nil {
+				return nil, errf("%v", err)
+			}
+
+		default:
+			// NS_, BS_, attribute definitions etc. are tolerated and
+			// skipped, as real-world .dbc files carry many sections.
+		}
+	}
+	return db, nil
+}
+
+func nilIfBare(line string, cur *Message) *Message {
+	if line == "" {
+		return nil // blank line ends a message's signal block
+	}
+	return cur
+}
+
+// parseMessageLine parses: BO_ 257 SwInventoryReq: 8 VMG
+func parseMessageLine(line string) (*Message, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 5 {
+		return nil, fmt.Errorf("malformed BO_ line %q", line)
+	}
+	id, err := strconv.ParseUint(fields[1], 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("bad message id %q", fields[1])
+	}
+	name := strings.TrimSuffix(fields[2], ":")
+	dlc, err := strconv.Atoi(fields[3])
+	if err != nil || dlc < 0 || dlc > 8 {
+		return nil, fmt.Errorf("bad DLC %q", fields[3])
+	}
+	return &Message{ID: uint32(id), Name: name, DLC: dlc, Sender: fields[4]}, nil
+}
+
+// parseSignalLine parses:
+// SG_ Counter : 0|8@1+ (1,0) [0|255] "" ECU,GW
+func parseSignalLine(line string) (*Signal, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "SG_"))
+	colon := strings.Index(rest, ":")
+	if colon < 0 {
+		return nil, fmt.Errorf("malformed SG_ line %q", line)
+	}
+	name := strings.TrimSpace(rest[:colon])
+	// Multiplexer indicators ("m0", "M") after the name are dropped.
+	if sp := strings.IndexByte(name, ' '); sp >= 0 {
+		name = name[:sp]
+	}
+	spec := strings.TrimSpace(rest[colon+1:])
+	fields := strings.Fields(spec)
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("malformed signal spec %q", spec)
+	}
+	s := &Signal{Name: name, Factor: 1}
+
+	// 0|8@1+
+	bitSpec := fields[0]
+	at := strings.IndexByte(bitSpec, '@')
+	pipe := strings.IndexByte(bitSpec, '|')
+	if at < 0 || pipe < 0 || at < pipe {
+		return nil, fmt.Errorf("malformed bit spec %q", bitSpec)
+	}
+	start, err := strconv.Atoi(bitSpec[:pipe])
+	if err != nil {
+		return nil, fmt.Errorf("bad start bit in %q", bitSpec)
+	}
+	length, err := strconv.Atoi(bitSpec[pipe+1 : at])
+	if err != nil || length <= 0 || length > 64 {
+		return nil, fmt.Errorf("bad length in %q", bitSpec)
+	}
+	order := bitSpec[at+1:]
+	if len(order) != 2 {
+		return nil, fmt.Errorf("bad byte order/sign in %q", bitSpec)
+	}
+	s.StartBit, s.Length = start, length
+	s.LittleEndian = order[0] == '1'
+	s.Signed = order[1] == '-'
+
+	// (factor,offset)
+	fo := strings.Trim(fields[1], "()")
+	parts := strings.Split(fo, ",")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("malformed factor/offset %q", fields[1])
+	}
+	if s.Factor, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return nil, fmt.Errorf("bad factor %q", parts[0])
+	}
+	if s.Offset, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return nil, fmt.Errorf("bad offset %q", parts[1])
+	}
+
+	// [min|max]
+	mm := strings.Trim(fields[2], "[]")
+	parts = strings.Split(mm, "|")
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("malformed range %q", fields[2])
+	}
+	if s.Min, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return nil, fmt.Errorf("bad min %q", parts[0])
+	}
+	if s.Max, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return nil, fmt.Errorf("bad max %q", parts[1])
+	}
+
+	// "unit" receivers
+	s.Unit = strings.Trim(fields[3], `"`)
+	if len(fields) >= 5 {
+		s.Receivers = strings.Split(fields[4], ",")
+	}
+	return s, nil
+}
+
+// parseComment parses CM_ BO_ <id> "text"; and CM_ SG_ <id> <sig> "text";
+func parseComment(line string, db *Database) error {
+	body := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "CM_")), ";")
+	fields := strings.SplitN(body, " ", 4)
+	if len(fields) < 3 {
+		return nil // global comment; ignore
+	}
+	switch fields[0] {
+	case "BO_":
+		id, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad comment id %q", fields[1])
+		}
+		text := strings.Trim(strings.TrimSpace(strings.Join(fields[2:], " ")), `"`)
+		if m, ok := db.MessageByID(uint32(id)); ok {
+			m.Comment = text
+		}
+	case "SG_":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed signal comment")
+		}
+		id, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("bad comment id %q", fields[1])
+		}
+		m, ok := db.MessageByID(uint32(id))
+		if !ok {
+			return nil
+		}
+		if s, ok := m.Signal(fields[2]); ok {
+			s.Comment = strings.Trim(strings.TrimSpace(fields[3]), `"`)
+		}
+	}
+	return nil
+}
+
+// parseValTable parses VAL_ <id> <signal> 0 "idle" 1 "active";
+func parseValTable(line string, db *Database) error {
+	body := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "VAL_")), ";")
+	fields := strings.Fields(body)
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed VAL_ line")
+	}
+	id, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad VAL_ id %q", fields[0])
+	}
+	m, ok := db.MessageByID(uint32(id))
+	if !ok {
+		return nil
+	}
+	s, ok := m.Signal(fields[1])
+	if !ok {
+		return nil
+	}
+	s.Values = map[int64]string{}
+	rest := strings.TrimSpace(body[len(fields[0])+1+len(fields[1]):])
+	for rest != "" {
+		rest = strings.TrimSpace(rest)
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			break
+		}
+		raw, err := strconv.ParseInt(rest[:sp], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad VAL_ raw value %q", rest[:sp])
+		}
+		rest = strings.TrimSpace(rest[sp:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("VAL_ name must be quoted")
+		}
+		end := strings.IndexByte(rest[1:], '"')
+		if end < 0 {
+			return fmt.Errorf("unterminated VAL_ name")
+		}
+		s.Values[raw] = rest[1 : 1+end]
+		rest = rest[end+2:]
+	}
+	return nil
+}
+
+// --- Signal codec -----------------------------------------------------------
+
+// Decode extracts the signal's physical value from a payload.
+func (s *Signal) Decode(data []byte) float64 {
+	raw := s.DecodeRaw(data)
+	return float64(raw)*s.Factor + s.Offset
+}
+
+// DecodeRaw extracts the raw (unscaled) signal value.
+func (s *Signal) DecodeRaw(data []byte) int64 {
+	var raw uint64
+	if s.LittleEndian {
+		for i := 0; i < s.Length; i++ {
+			bit := s.StartBit + i
+			byteIdx, bitIdx := bit/8, bit%8
+			if byteIdx >= len(data) {
+				break
+			}
+			if data[byteIdx]&(1<<uint(bitIdx)) != 0 {
+				raw |= 1 << uint(i)
+			}
+		}
+	} else {
+		// Motorola: start bit is the MSB; walk down within each byte.
+		bit := s.StartBit
+		for i := 0; i < s.Length; i++ {
+			byteIdx, bitIdx := bit/8, bit%8
+			if byteIdx < len(data) && data[byteIdx]&(1<<uint(bitIdx)) != 0 {
+				raw |= 1 << uint(s.Length-1-i)
+			}
+			if bitIdx == 0 {
+				bit += 15 // next byte, MSB
+			} else {
+				bit--
+			}
+		}
+	}
+	if s.Signed && s.Length < 64 && raw&(1<<uint(s.Length-1)) != 0 {
+		return int64(raw) - (1 << uint(s.Length))
+	}
+	return int64(raw)
+}
+
+// EncodeRaw writes the raw signal value into the payload.
+func (s *Signal) EncodeRaw(data []byte, raw int64) error {
+	uraw := uint64(raw)
+	if s.Length < 64 {
+		uraw &= (1 << uint(s.Length)) - 1
+	}
+	if s.LittleEndian {
+		for i := 0; i < s.Length; i++ {
+			bit := s.StartBit + i
+			byteIdx, bitIdx := bit/8, bit%8
+			if byteIdx >= len(data) {
+				return fmt.Errorf("signal %s exceeds payload length %d", s.Name, len(data))
+			}
+			if uraw&(1<<uint(i)) != 0 {
+				data[byteIdx] |= 1 << uint(bitIdx)
+			} else {
+				data[byteIdx] &^= 1 << uint(bitIdx)
+			}
+		}
+		return nil
+	}
+	bit := s.StartBit
+	for i := 0; i < s.Length; i++ {
+		byteIdx, bitIdx := bit/8, bit%8
+		if byteIdx >= len(data) {
+			return fmt.Errorf("signal %s exceeds payload length %d", s.Name, len(data))
+		}
+		if uraw&(1<<uint(s.Length-1-i)) != 0 {
+			data[byteIdx] |= 1 << uint(bitIdx)
+		} else {
+			data[byteIdx] &^= 1 << uint(bitIdx)
+		}
+		if bitIdx == 0 {
+			bit += 15
+		} else {
+			bit--
+		}
+	}
+	return nil
+}
+
+// Encode writes the physical value into the payload (rounded to the
+// nearest raw step).
+func (s *Signal) Encode(data []byte, physical float64) error {
+	if s.Factor == 0 {
+		return fmt.Errorf("signal %s has zero factor", s.Name)
+	}
+	raw := int64((physical-s.Offset)/s.Factor + 0.5)
+	return s.EncodeRaw(data, raw)
+}
+
+// --- CSPm generation ---------------------------------------------------------
+
+// CSPmOptions configures declaration generation.
+type CSPmOptions struct {
+	// MsgDatatype names the generated message datatype (default "Msgs").
+	MsgDatatype string
+	// Channels lists channel names to declare over the datatype
+	// (default send, rec as in the paper's case study).
+	Channels []string
+	// IncludeSignals also emits a nametype with the raw range of every
+	// signal and a datatype for every VAL_ table.
+	IncludeSignals bool
+}
+
+// GenerateCSPm renders CSPm declarations for the database: the message
+// set as a datatype, the communication channels, and (optionally)
+// signal ranges as nametypes and value tables as datatypes.
+func GenerateCSPm(db *Database, opts CSPmOptions) string {
+	if opts.MsgDatatype == "" {
+		opts.MsgDatatype = "Msgs"
+	}
+	if len(opts.Channels) == 0 {
+		opts.Channels = []string{"send", "rec"}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- CSPm declarations generated from CAN database (version %q)\n", db.Version)
+	if len(db.Nodes) > 0 {
+		fmt.Fprintf(&sb, "-- Network nodes: %s\n", strings.Join(db.Nodes, ", "))
+	}
+	names := make([]string, 0, len(db.Messages))
+	for _, m := range db.Messages {
+		names = append(names, lowerFirst(m.Name))
+	}
+	fmt.Fprintf(&sb, "datatype %s = %s\n", opts.MsgDatatype, strings.Join(names, " | "))
+	fmt.Fprintf(&sb, "channel %s : %s\n", strings.Join(opts.Channels, ", "), opts.MsgDatatype)
+	if opts.IncludeSignals {
+		for _, m := range db.Messages {
+			for _, s := range m.Signals {
+				if len(s.Values) > 0 {
+					vals := make([]string, 0, len(s.Values))
+					for raw := range s.Values {
+						vals = append(vals, s.Values[raw])
+					}
+					sort.Strings(vals)
+					fmt.Fprintf(&sb, "datatype %s_%s_Values = %s\n",
+						m.Name, s.Name, strings.Join(vals, " | "))
+					continue
+				}
+				hi := int64(1)<<uint(min(s.Length, 30)) - 1
+				fmt.Fprintf(&sb, "nametype %s_%s = {0..%d}\n", m.Name, s.Name, hi)
+			}
+		}
+	}
+	return sb.String()
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}

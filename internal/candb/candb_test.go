@@ -1,0 +1,215 @@
+package candb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cspm"
+)
+
+// otaDBC is the CAN database of the case-study network (Table II plus
+// signal layouts).
+const otaDBC = `VERSION "1.0"
+
+NS_ :
+
+BS_:
+
+BU_: VMG ECU
+
+BO_ 257 SwInventoryReq: 8 VMG
+ SG_ Counter : 0|8@1+ (1,0) [0|255] "" ECU
+ SG_ SessionId : 8|16@1+ (1,0) [0|65535] "" ECU
+
+BO_ 258 SwInventoryRpt: 8 ECU
+ SG_ Status : 0|4@1+ (1,0) [0|15] "" VMG
+ SG_ SwVersion : 8|16@1+ (0.1,0) [0|6553] "" VMG
+
+BO_ 259 ApplyUpdateReq: 8 VMG
+ SG_ PackageId : 0|8@1+ (1,0) [0|255] "" ECU
+
+BO_ 260 UpdateResultRpt: 8 ECU
+ SG_ Result : 0|2@1+ (1,0) [0|3] "" VMG
+
+CM_ BO_ 257 "Request diagnose software status";
+CM_ SG_ 258 Status "Diagnosis outcome";
+VAL_ 260 Result 0 "ok" 1 "failed" 2 "deferred";
+`
+
+func parseOTA(t *testing.T) *Database {
+	t.Helper()
+	db, err := Parse(otaDBC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParseStructure(t *testing.T) {
+	db := parseOTA(t)
+	if db.Version != "1.0" {
+		t.Errorf("version = %q", db.Version)
+	}
+	if len(db.Nodes) != 2 || db.Nodes[0] != "VMG" || db.Nodes[1] != "ECU" {
+		t.Errorf("nodes = %v", db.Nodes)
+	}
+	if len(db.Messages) != 4 {
+		t.Fatalf("messages = %d, want 4", len(db.Messages))
+	}
+	req, ok := db.MessageByName("SwInventoryReq")
+	if !ok {
+		t.Fatal("SwInventoryReq missing")
+	}
+	if req.ID != 257 || req.DLC != 8 || req.Sender != "VMG" {
+		t.Errorf("message = %+v", req)
+	}
+	if len(req.Signals) != 2 {
+		t.Fatalf("signals = %d, want 2", len(req.Signals))
+	}
+	if req.Comment != "Request diagnose software status" {
+		t.Errorf("comment = %q", req.Comment)
+	}
+}
+
+func TestSignalAttributes(t *testing.T) {
+	db := parseOTA(t)
+	rpt, _ := db.MessageByName("SwInventoryRpt")
+	ver, ok := rpt.Signal("SwVersion")
+	if !ok {
+		t.Fatal("SwVersion missing")
+	}
+	if ver.StartBit != 8 || ver.Length != 16 || !ver.LittleEndian || ver.Signed {
+		t.Errorf("signal layout = %+v", ver)
+	}
+	if ver.Factor != 0.1 || ver.Offset != 0 || ver.Max != 6553 {
+		t.Errorf("scaling = %+v", ver)
+	}
+	status, _ := rpt.Signal("Status")
+	if status.Comment != "Diagnosis outcome" {
+		t.Errorf("signal comment = %q", status.Comment)
+	}
+	res, _ := db.MessageByID(260)
+	result, _ := res.Signal("Result")
+	if len(result.Values) != 3 || result.Values[1] != "failed" {
+		t.Errorf("value table = %v", result.Values)
+	}
+}
+
+func TestSignalRoundTripLittleEndian(t *testing.T) {
+	s := &Signal{Name: "S", StartBit: 4, Length: 12, LittleEndian: true, Factor: 1}
+	prop := func(raw uint16) bool {
+		v := int64(raw & 0xFFF)
+		data := make([]byte, 8)
+		if err := s.EncodeRaw(data, v); err != nil {
+			return false
+		}
+		return s.DecodeRaw(data) == v
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignalRoundTripMotorola(t *testing.T) {
+	// Classic Motorola layout: start bit 7, 16 bits spanning two bytes.
+	s := &Signal{Name: "S", StartBit: 7, Length: 16, LittleEndian: false, Factor: 1}
+	prop := func(raw uint16) bool {
+		data := make([]byte, 8)
+		if err := s.EncodeRaw(data, int64(raw)); err != nil {
+			return false
+		}
+		return s.DecodeRaw(data) == int64(raw)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignedSignalDecoding(t *testing.T) {
+	s := &Signal{Name: "S", StartBit: 0, Length: 8, LittleEndian: true, Signed: true, Factor: 1}
+	data := make([]byte, 8)
+	if err := s.EncodeRaw(data, -5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DecodeRaw(data); got != -5 {
+		t.Errorf("decoded %d, want -5", got)
+	}
+}
+
+func TestPhysicalScaling(t *testing.T) {
+	db := parseOTA(t)
+	rpt, _ := db.MessageByName("SwInventoryRpt")
+	ver, _ := rpt.Signal("SwVersion")
+	data := make([]byte, 8)
+	if err := ver.Encode(data, 12.3); err != nil {
+		t.Fatal(err)
+	}
+	got := ver.Decode(data)
+	if got < 12.25 || got > 12.35 {
+		t.Errorf("physical round-trip = %v, want ~12.3", got)
+	}
+}
+
+func TestSignalBeyondPayloadRejected(t *testing.T) {
+	s := &Signal{Name: "S", StartBit: 60, Length: 8, LittleEndian: true, Factor: 1}
+	if err := s.EncodeRaw(make([]byte, 8), 1); err == nil {
+		t.Error("encoding past the payload accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bad message", "BO_ x Name: 8 N\n", "bad message id"},
+		{"bad dlc", "BO_ 1 Name: 99 N\n", "bad DLC"},
+		{"orphan signal", " SG_ S : 0|8@1+ (1,0) [0|1] \"\" N\n", "signal outside"},
+		{"dup id", "BO_ 5 A: 8 N\n\nBO_ 5 B: 8 N\n", "duplicate message id"},
+		{"bad bitspec", "BO_ 1 A: 8 N\n SG_ S : zz (1,0) [0|1] \"\" N\n", "malformed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestGenerateCSPm(t *testing.T) {
+	db := parseOTA(t)
+	out := GenerateCSPm(db, CSPmOptions{})
+	for _, want := range []string{
+		"datatype Msgs = swInventoryReq | swInventoryRpt | applyUpdateReq | updateResultRpt",
+		"channel send, rec : Msgs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated CSPm missing %q:\n%s", want, out)
+		}
+	}
+	// The generated declarations must evaluate as CSPm.
+	if _, err := cspm.Load(out); err != nil {
+		t.Fatalf("generated declarations do not evaluate: %v\n%s", err, out)
+	}
+}
+
+func TestGenerateCSPmWithSignals(t *testing.T) {
+	db := parseOTA(t)
+	out := GenerateCSPm(db, CSPmOptions{IncludeSignals: true})
+	for _, want := range []string{
+		"nametype SwInventoryReq_Counter = {0..255}",
+		"datatype UpdateResultRpt_Result_Values = deferred | failed | ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated CSPm missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := cspm.Load(out); err != nil {
+		t.Fatalf("signal declarations do not evaluate: %v\n%s", err, out)
+	}
+}

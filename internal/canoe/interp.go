@@ -1,0 +1,864 @@
+package canoe
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/capl"
+)
+
+// scope is a lexical frame chained to its parent.
+type scope struct {
+	vars   map[string]*cell
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{vars: map[string]*cell{}, parent: parent}
+}
+
+func (s *scope) lookup(name string) (*cell, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if c, ok := cur.vars[name]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// flow is the statement-level control result.
+type flow int
+
+const (
+	flowNormal flow = iota
+	flowBreak
+	flowContinue
+	flowReturn
+)
+
+// interp executes CAPL statements for one event-procedure activation.
+type interp struct {
+	node  *Node
+	this  *MsgVal
+	steps int
+	limit int
+	ret   any
+}
+
+func (in *interp) step() error {
+	in.steps++
+	if in.limit > 0 && in.steps > in.limit {
+		return fmt.Errorf("execution exceeded %d steps (runaway loop?)", in.limit)
+	}
+	return nil
+}
+
+func (in *interp) resolve(name string, sc *scope) (*cell, bool) {
+	if sc != nil {
+		if c, ok := sc.lookup(name); ok {
+			return c, true
+		}
+	}
+	c, ok := in.node.globals[name]
+	return c, ok
+}
+
+// --- Statements -----------------------------------------------------------
+
+func (in *interp) execBlock(b *capl.BlockStmt, sc *scope) (flow, error) {
+	inner := newScope(sc)
+	for _, s := range b.Stmts {
+		fl, err := in.exec(s, inner)
+		if err != nil || fl != flowNormal {
+			return fl, err
+		}
+	}
+	return flowNormal, nil
+}
+
+func (in *interp) exec(s capl.Stmt, sc *scope) (flow, error) {
+	if err := in.step(); err != nil {
+		return flowNormal, err
+	}
+	switch x := s.(type) {
+	case *capl.BlockStmt:
+		return in.execBlock(x, sc)
+	case *capl.DeclStmt:
+		for _, d := range x.Decls {
+			v, err := in.node.initialValue(d)
+			if err != nil {
+				return flowNormal, err
+			}
+			// Local initialisers may reference locals; re-evaluate here.
+			if d.Init != nil && len(d.Type.ArrayDims) == 0 {
+				iv, err := in.eval(d.Init, sc)
+				if err != nil {
+					return flowNormal, err
+				}
+				v = iv
+			}
+			sc.vars[d.Name] = &cell{v: v}
+		}
+		return flowNormal, nil
+	case *capl.ExprStmt:
+		_, err := in.eval(x.X, sc)
+		return flowNormal, err
+	case *capl.IfStmt:
+		cond, err := in.evalBool(x.Cond, sc)
+		if err != nil {
+			return flowNormal, err
+		}
+		if cond {
+			return in.exec(x.Then, sc)
+		}
+		if x.Else != nil {
+			return in.exec(x.Else, sc)
+		}
+		return flowNormal, nil
+	case *capl.WhileStmt:
+		for {
+			cond, err := in.evalBool(x.Cond, sc)
+			if err != nil {
+				return flowNormal, err
+			}
+			if !cond {
+				return flowNormal, nil
+			}
+			fl, err := in.exec(x.Body, sc)
+			if err != nil {
+				return flowNormal, err
+			}
+			if fl == flowBreak {
+				return flowNormal, nil
+			}
+			if fl == flowReturn {
+				return fl, nil
+			}
+		}
+	case *capl.DoWhileStmt:
+		for {
+			fl, err := in.exec(x.Body, sc)
+			if err != nil {
+				return flowNormal, err
+			}
+			if fl == flowBreak {
+				return flowNormal, nil
+			}
+			if fl == flowReturn {
+				return fl, nil
+			}
+			cond, err := in.evalBool(x.Cond, sc)
+			if err != nil {
+				return flowNormal, err
+			}
+			if !cond {
+				return flowNormal, nil
+			}
+		}
+	case *capl.ForStmt:
+		inner := newScope(sc)
+		if x.Init != nil {
+			if fl, err := in.exec(x.Init, inner); err != nil || fl != flowNormal {
+				return fl, err
+			}
+		}
+		for {
+			if x.Cond != nil {
+				cond, err := in.evalBool(x.Cond, inner)
+				if err != nil {
+					return flowNormal, err
+				}
+				if !cond {
+					return flowNormal, nil
+				}
+			}
+			fl, err := in.exec(x.Body, inner)
+			if err != nil {
+				return flowNormal, err
+			}
+			if fl == flowBreak {
+				return flowNormal, nil
+			}
+			if fl == flowReturn {
+				return fl, nil
+			}
+			if x.Post != nil {
+				if _, err := in.eval(x.Post, inner); err != nil {
+					return flowNormal, err
+				}
+			}
+			if err := in.step(); err != nil {
+				return flowNormal, err
+			}
+		}
+	case *capl.SwitchStmt:
+		return in.execSwitch(x, sc)
+	case *capl.BreakStmt:
+		return flowBreak, nil
+	case *capl.ContinueStmt:
+		return flowContinue, nil
+	case *capl.ReturnStmt:
+		if x.X != nil {
+			v, err := in.eval(x.X, sc)
+			if err != nil {
+				return flowNormal, err
+			}
+			in.ret = v
+		}
+		return flowReturn, nil
+	}
+	return flowNormal, fmt.Errorf("unsupported statement %T", s)
+}
+
+func (in *interp) execSwitch(x *capl.SwitchStmt, sc *scope) (flow, error) {
+	tag, err := in.eval(x.Tag, sc)
+	if err != nil {
+		return flowNormal, err
+	}
+	tagInt, err := asInt(tag)
+	if err != nil {
+		return flowNormal, err
+	}
+	matched := -1
+	defaultIdx := -1
+	for i, c := range x.Cases {
+		if c.Value == nil {
+			defaultIdx = i
+			continue
+		}
+		v, err := in.eval(c.Value, sc)
+		if err != nil {
+			return flowNormal, err
+		}
+		vi, err := asInt(v)
+		if err != nil {
+			return flowNormal, err
+		}
+		if vi == tagInt {
+			matched = i
+			break
+		}
+	}
+	if matched < 0 {
+		matched = defaultIdx
+	}
+	if matched < 0 {
+		return flowNormal, nil
+	}
+	// Execute with C fallthrough until break.
+	for i := matched; i < len(x.Cases); i++ {
+		for _, s := range x.Cases[i].Stmts {
+			fl, err := in.exec(s, sc)
+			if err != nil {
+				return flowNormal, err
+			}
+			switch fl {
+			case flowBreak:
+				return flowNormal, nil
+			case flowReturn, flowContinue:
+				return fl, nil
+			}
+		}
+	}
+	return flowNormal, nil
+}
+
+// --- Expressions ------------------------------------------------------------
+
+func (in *interp) evalBool(e capl.Expr, sc *scope) (bool, error) {
+	v, err := in.eval(e, sc)
+	if err != nil {
+		return false, err
+	}
+	return truthy(v)
+}
+
+func (in *interp) eval(e capl.Expr, sc *scope) (any, error) {
+	if err := in.step(); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *capl.IntLit:
+		return x.Val, nil
+	case *capl.FloatLit:
+		return x.Val, nil
+	case *capl.StrLit:
+		return x.Val, nil
+	case *capl.Ident:
+		c, ok := in.resolve(x.Name, sc)
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined variable %q", x.Line, x.Name)
+		}
+		return c.v, nil
+	case *capl.ThisExpr:
+		if in.this == nil {
+			return nil, fmt.Errorf("line %d: `this` outside an on message handler", x.Line)
+		}
+		return in.this, nil
+	case *capl.UnaryExpr:
+		return in.evalUnary(x, sc)
+	case *capl.PostfixExpr:
+		lv, err := in.lvalue(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		old, err := asInt(lv.get())
+		if err != nil {
+			return nil, err
+		}
+		delta := int64(1)
+		if x.Op == capl.DEC {
+			delta = -1
+		}
+		if err := lv.set(old + delta); err != nil {
+			return nil, err
+		}
+		return old, nil
+	case *capl.BinaryExpr:
+		return in.evalBinary(x, sc)
+	case *capl.AssignExpr:
+		return in.evalAssign(x, sc)
+	case *capl.CondExpr:
+		cond, err := in.evalBool(x.Cond, sc)
+		if err != nil {
+			return nil, err
+		}
+		if cond {
+			return in.eval(x.Then, sc)
+		}
+		return in.eval(x.Else, sc)
+	case *capl.CallExpr:
+		return in.call(x, sc)
+	case *capl.MemberExpr:
+		lv, err := in.lvalue(x, sc)
+		if err != nil {
+			return nil, err
+		}
+		return lv.get(), nil
+	case *capl.IndexExpr:
+		lv, err := in.lvalue(x, sc)
+		if err != nil {
+			return nil, err
+		}
+		return lv.get(), nil
+	}
+	return nil, fmt.Errorf("unsupported expression %T", e)
+}
+
+func (in *interp) evalUnary(x *capl.UnaryExpr, sc *scope) (any, error) {
+	if x.Op == capl.INC || x.Op == capl.DEC {
+		lv, err := in.lvalue(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		old, err := asInt(lv.get())
+		if err != nil {
+			return nil, err
+		}
+		delta := int64(1)
+		if x.Op == capl.DEC {
+			delta = -1
+		}
+		if err := lv.set(old + delta); err != nil {
+			return nil, err
+		}
+		return old + delta, nil
+	}
+	v, err := in.eval(x.X, sc)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case capl.MINUS:
+		switch n := v.(type) {
+		case int64:
+			return -n, nil
+		case float64:
+			return -n, nil
+		}
+	case capl.BANG:
+		b, err := truthy(v)
+		if err != nil {
+			return nil, err
+		}
+		if b {
+			return int64(0), nil
+		}
+		return int64(1), nil
+	case capl.TILDE:
+		n, err := asInt(v)
+		if err != nil {
+			return nil, err
+		}
+		return ^n, nil
+	}
+	return nil, fmt.Errorf("line %d: bad unary operand %T", x.Line, v)
+}
+
+func (in *interp) evalBinary(x *capl.BinaryExpr, sc *scope) (any, error) {
+	// Short-circuit logical operators.
+	if x.Op == capl.ANDAND || x.Op == capl.OROR {
+		l, err := in.evalBool(x.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == capl.ANDAND && !l {
+			return int64(0), nil
+		}
+		if x.Op == capl.OROR && l {
+			return int64(1), nil
+		}
+		r, err := in.evalBool(x.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		if r {
+			return int64(1), nil
+		}
+		return int64(0), nil
+	}
+	lv, err := in.eval(x.L, sc)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := in.eval(x.R, sc)
+	if err != nil {
+		return nil, err
+	}
+	lf, lIsF := lv.(float64)
+	rf, rIsF := rv.(float64)
+	if lIsF || rIsF {
+		if !lIsF {
+			li, err := asInt(lv)
+			if err != nil {
+				return nil, err
+			}
+			lf = float64(li)
+		}
+		if !rIsF {
+			ri, err := asInt(rv)
+			if err != nil {
+				return nil, err
+			}
+			rf = float64(ri)
+		}
+		return floatBinary(x.Op, lf, rf, x.Line)
+	}
+	li, err := asInt(lv)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: %w", x.Line, err)
+	}
+	ri, err := asInt(rv)
+	if err != nil {
+		return nil, fmt.Errorf("line %d: %w", x.Line, err)
+	}
+	return intBinary(x.Op, li, ri, x.Line)
+}
+
+func intBinary(op capl.Kind, l, r int64, line int) (any, error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case capl.PLUS:
+		return l + r, nil
+	case capl.MINUS:
+		return l - r, nil
+	case capl.STAR:
+		return l * r, nil
+	case capl.SLASH:
+		if r == 0 {
+			return nil, fmt.Errorf("line %d: division by zero", line)
+		}
+		return l / r, nil
+	case capl.PERCENT:
+		if r == 0 {
+			return nil, fmt.Errorf("line %d: modulo by zero", line)
+		}
+		return l % r, nil
+	case capl.AMP:
+		return l & r, nil
+	case capl.PIPE:
+		return l | r, nil
+	case capl.CARET:
+		return l ^ r, nil
+	case capl.SHL:
+		return l << uint(r&63), nil
+	case capl.SHR:
+		return l >> uint(r&63), nil
+	case capl.EQ:
+		return b2i(l == r), nil
+	case capl.NE:
+		return b2i(l != r), nil
+	case capl.LT:
+		return b2i(l < r), nil
+	case capl.LE:
+		return b2i(l <= r), nil
+	case capl.GT:
+		return b2i(l > r), nil
+	case capl.GE:
+		return b2i(l >= r), nil
+	}
+	return nil, fmt.Errorf("line %d: unsupported integer operator %s", line, op)
+}
+
+func floatBinary(op capl.Kind, l, r float64, line int) (any, error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case capl.PLUS:
+		return l + r, nil
+	case capl.MINUS:
+		return l - r, nil
+	case capl.STAR:
+		return l * r, nil
+	case capl.SLASH:
+		if r == 0 {
+			return nil, fmt.Errorf("line %d: division by zero", line)
+		}
+		return l / r, nil
+	case capl.EQ:
+		return b2i(l == r), nil
+	case capl.NE:
+		return b2i(l != r), nil
+	case capl.LT:
+		return b2i(l < r), nil
+	case capl.LE:
+		return b2i(l <= r), nil
+	case capl.GT:
+		return b2i(l > r), nil
+	case capl.GE:
+		return b2i(l >= r), nil
+	}
+	return nil, fmt.Errorf("line %d: unsupported float operator %s", line, op)
+}
+
+var compoundOps = map[capl.Kind]capl.Kind{
+	capl.PLUSEQ: capl.PLUS, capl.MINUSEQ: capl.MINUS, capl.STAREQ: capl.STAR,
+	capl.SLASHEQ: capl.SLASH, capl.PERCENTEQ: capl.PERCENT,
+	capl.AMPEQ: capl.AMP, capl.PIPEEQ: capl.PIPE, capl.CARETEQ: capl.CARET,
+	capl.SHLEQ: capl.SHL, capl.SHREQ: capl.SHR,
+}
+
+func (in *interp) evalAssign(x *capl.AssignExpr, sc *scope) (any, error) {
+	lv, err := in.lvalue(x.L, sc)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := in.eval(x.R, sc)
+	if err != nil {
+		return nil, err
+	}
+	if x.Op != capl.ASSIGN {
+		base, ok := compoundOps[x.Op]
+		if !ok {
+			return nil, fmt.Errorf("line %d: unsupported assignment %s", x.Line, x.Op)
+		}
+		old, err := asInt(lv.get())
+		if err != nil {
+			return nil, err
+		}
+		ri, err := asInt(rv)
+		if err != nil {
+			return nil, err
+		}
+		combined, err := intBinary(base, old, ri, x.Line)
+		if err != nil {
+			return nil, err
+		}
+		rv = combined
+	}
+	if err := lv.set(rv); err != nil {
+		return nil, err
+	}
+	return rv, nil
+}
+
+// --- L-values ----------------------------------------------------------------
+
+type lvalue interface {
+	get() any
+	set(any) error
+}
+
+type cellLV struct{ c *cell }
+
+func (l cellLV) get() any { return l.c.v }
+func (l cellLV) set(v any) error {
+	// Preserve the numeric typing of the slot, as C assignment would.
+	switch l.c.v.(type) {
+	case float64:
+		switch x := v.(type) {
+		case int64:
+			l.c.v = float64(x)
+			return nil
+		case float64:
+			l.c.v = x
+			return nil
+		}
+	case int64:
+		switch x := v.(type) {
+		case int64:
+			l.c.v = x
+			return nil
+		case float64:
+			l.c.v = int64(x)
+			return nil
+		}
+	}
+	l.c.v = v
+	return nil
+}
+
+type arrayLV struct {
+	arr []int64
+	idx int
+}
+
+func (l arrayLV) get() any { return l.arr[l.idx] }
+func (l arrayLV) set(v any) error {
+	i, err := asInt(v)
+	if err != nil {
+		return err
+	}
+	l.arr[l.idx] = i
+	return nil
+}
+
+type msgFieldLV struct {
+	msg   *MsgVal
+	field string
+	idx   int
+}
+
+func (l msgFieldLV) get() any {
+	switch l.field {
+	case "ID", "id":
+		return int64(l.msg.ID)
+	case "DLC", "dlc":
+		return int64(l.msg.DLC)
+	case "byte":
+		return l.msg.Byte(l.idx)
+	case "word":
+		return l.msg.Word(l.idx)
+	}
+	return int64(0)
+}
+
+func (l msgFieldLV) set(v any) error {
+	i, err := asInt(v)
+	if err != nil {
+		return err
+	}
+	switch l.field {
+	case "ID", "id":
+		l.msg.ID = uint32(i)
+		return nil
+	case "DLC", "dlc":
+		l.msg.DLC = int(i)
+		return nil
+	case "byte":
+		return l.msg.SetByte(l.idx, i)
+	case "word":
+		return l.msg.SetWord(l.idx, i)
+	}
+	return fmt.Errorf("cannot assign message field %q", l.field)
+}
+
+func (in *interp) lvalue(e capl.Expr, sc *scope) (lvalue, error) {
+	switch x := e.(type) {
+	case *capl.Ident:
+		c, ok := in.resolve(x.Name, sc)
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined variable %q", x.Line, x.Name)
+		}
+		return cellLV{c: c}, nil
+	case *capl.IndexExpr:
+		base, err := in.eval(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		idxV, err := in.eval(x.Index, sc)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := asInt(idxV)
+		if err != nil {
+			return nil, err
+		}
+		switch b := base.(type) {
+		case []int64:
+			if idx < 0 || int(idx) >= len(b) {
+				return nil, fmt.Errorf("line %d: index %d out of range (len %d)", x.Line, idx, len(b))
+			}
+			return arrayLV{arr: b, idx: int(idx)}, nil
+		case *MsgVal:
+			// msg[i] addresses payload bytes, like msg.byte(i).
+			return msgFieldLV{msg: b, field: "byte", idx: int(idx)}, nil
+		}
+		return nil, fmt.Errorf("line %d: cannot index %T", x.Line, base)
+	case *capl.MemberExpr:
+		base, err := in.eval(x.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		mv, ok := base.(*MsgVal)
+		if !ok {
+			return nil, fmt.Errorf("line %d: member access on %T", x.Line, base)
+		}
+		idx := 0
+		if x.IsCall {
+			if len(x.Args) != 1 {
+				return nil, fmt.Errorf("line %d: %s() expects one index", x.Line, x.Field)
+			}
+			iv, err := in.eval(x.Args[0], sc)
+			if err != nil {
+				return nil, err
+			}
+			i, err := asInt(iv)
+			if err != nil {
+				return nil, err
+			}
+			idx = int(i)
+		}
+		switch x.Field {
+		case "ID", "id", "DLC", "dlc", "byte", "word":
+			return msgFieldLV{msg: mv, field: x.Field, idx: idx}, nil
+		}
+		return nil, fmt.Errorf("line %d: unknown message selector %q", x.Line, x.Field)
+	}
+	return nil, fmt.Errorf("invalid assignment target %T", e)
+}
+
+// --- Calls --------------------------------------------------------------------
+
+func (in *interp) call(x *capl.CallExpr, sc *scope) (any, error) {
+	switch x.Fun {
+	case "output":
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("line %d: output() expects one argument", x.Line)
+		}
+		v, err := in.eval(x.Args[0], sc)
+		if err != nil {
+			return nil, err
+		}
+		mv, ok := v.(*MsgVal)
+		if !ok {
+			return nil, fmt.Errorf("line %d: output() argument is not a message", x.Line)
+		}
+		return int64(0), in.node.output(mv)
+
+	case "setTimer":
+		if len(x.Args) != 2 {
+			return nil, fmt.Errorf("line %d: setTimer() expects (timer, ms)", x.Line)
+		}
+		name, err := timerArgName(x.Args[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", x.Line, err)
+		}
+		msV, err := in.eval(x.Args[1], sc)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := asInt(msV)
+		if err != nil {
+			return nil, err
+		}
+		return int64(0), in.node.setTimer(name, ms)
+
+	case "cancelTimer":
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("line %d: cancelTimer() expects (timer)", x.Line)
+		}
+		name, err := timerArgName(x.Args[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", x.Line, err)
+		}
+		return int64(0), in.node.cancelTimer(name)
+
+	case "write", "writeEx", "writeLineEx":
+		line, err := in.formatWrite(x.Args, sc)
+		if err != nil {
+			return nil, err
+		}
+		in.node.Log = append(in.node.Log, line)
+		return int64(0), nil
+	}
+
+	fn, ok := in.node.prog.Function(x.Fun)
+	if !ok {
+		return nil, fmt.Errorf("line %d: call to undefined function %q", x.Line, x.Fun)
+	}
+	if len(x.Args) != len(fn.Params) {
+		return nil, fmt.Errorf("line %d: %s() expects %d argument(s), got %d",
+			x.Line, x.Fun, len(fn.Params), len(x.Args))
+	}
+	callScope := newScope(nil)
+	for i, p := range fn.Params {
+		v, err := in.eval(x.Args[i], sc)
+		if err != nil {
+			return nil, err
+		}
+		// Arrays and messages pass by reference (sharing the backing
+		// store), scalars by value — matching CAPL.
+		callScope.vars[p.Name] = &cell{v: v}
+	}
+	sub := &interp{node: in.node, this: in.this, limit: in.limit, steps: in.steps}
+	fl, err := sub.execBlock(fn.Body, callScope)
+	in.steps = sub.steps
+	if err != nil {
+		return nil, err
+	}
+	if fl == flowReturn && sub.ret != nil {
+		return sub.ret, nil
+	}
+	return int64(0), nil
+}
+
+func timerArgName(e capl.Expr) (string, error) {
+	id, ok := e.(*capl.Ident)
+	if !ok {
+		return "", fmt.Errorf("timer argument must be a timer variable")
+	}
+	return id.Name, nil
+}
+
+// formatWrite implements CAPL's printf-style write().
+func (in *interp) formatWrite(args []capl.Expr, sc *scope) (string, error) {
+	if len(args) == 0 {
+		return "", nil
+	}
+	v, err := in.eval(args[0], sc)
+	if err != nil {
+		return "", err
+	}
+	format, ok := v.(string)
+	if !ok {
+		return fmt.Sprint(v), nil
+	}
+	rest := make([]any, 0, len(args)-1)
+	for _, a := range args[1:] {
+		av, err := in.eval(a, sc)
+		if err != nil {
+			return "", err
+		}
+		rest = append(rest, av)
+	}
+	if len(rest) == 0 {
+		return format, nil
+	}
+	// CAPL's format verbs are printf-compatible for %d/%x/%s/%f.
+	out := fmt.Sprintf(format, rest...)
+	// Tidy fmt's error annotations for mismatched verbs.
+	if strings.Contains(out, "%!") {
+		return out, nil
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package canoe
+
+import (
+	"fmt"
+
+	"repro/internal/canbus"
+)
+
+// TimedFrame is one bus frame with its delivery timestamp, as observed
+// by the simulation's monitoring tap (CANoe's trace window).
+type TimedFrame struct {
+	At    canbus.Time
+	Frame canbus.Frame
+}
+
+// Simulation is a CANoe-style measurement: a bus plus a set of CAPL
+// nodes and a monitoring tap recording all traffic.
+type Simulation struct {
+	Bus   *canbus.Bus
+	Nodes []*Node
+
+	trace []TimedFrame
+}
+
+// NewSimulation creates a simulation over a fresh bus.
+func NewSimulation(cfg canbus.Config) *Simulation {
+	sim := &Simulation{Bus: canbus.New(cfg)}
+	sim.Bus.Attach("__monitor__", canbus.ReceiverFunc(func(t canbus.Time, f canbus.Frame) {
+		sim.trace = append(sim.trace, TimedFrame{At: t, Frame: f})
+	}))
+	return sim
+}
+
+// AddNode parses the CAPL source and attaches the node to the bus.
+func (s *Simulation) AddNode(name, src string) (*Node, error) {
+	n, err := NewNodeFromSource(s.Bus, name, src)
+	if err != nil {
+		return nil, err
+	}
+	s.Nodes = append(s.Nodes, n)
+	return n, nil
+}
+
+// Start runs every node's `on start` procedures (measurement start).
+func (s *Simulation) Start() error {
+	for _, n := range s.Nodes {
+		if err := n.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run advances the measurement until the given time, then reports the
+// first node runtime error, if any.
+func (s *Simulation) Run(until canbus.Time) error {
+	s.Bus.Run(until)
+	return s.Err()
+}
+
+// RunAll drains all pending activity (bounded by maxEvents).
+func (s *Simulation) RunAll(maxEvents int) error {
+	s.Bus.RunAll(maxEvents)
+	return s.Err()
+}
+
+// Err returns the first error any node hit during callbacks.
+func (s *Simulation) Err() error {
+	for _, n := range s.Nodes {
+		if err := n.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trace returns the chronological bus trace.
+func (s *Simulation) Trace() []TimedFrame {
+	out := make([]TimedFrame, len(s.trace))
+	copy(out, s.trace)
+	return out
+}
+
+// TraceIDs returns just the frame identifiers, in bus order — the raw
+// material compared against the extracted CSP model's traces.
+func (s *Simulation) TraceIDs() []uint32 {
+	out := make([]uint32, len(s.trace))
+	for i, tf := range s.trace {
+		out[i] = tf.Frame.ID
+	}
+	return out
+}
+
+// Node returns the named node.
+func (s *Simulation) Node(name string) (*Node, error) {
+	for _, n := range s.Nodes {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("canoe: no node named %q", name)
+}
+
+// Stop ends the measurement: every node's `on stopMeasurement`
+// procedures run, then the first node error (if any) is reported.
+func (s *Simulation) Stop() error {
+	for _, n := range s.Nodes {
+		if err := n.StopMeasurement(); err != nil {
+			return err
+		}
+	}
+	return s.Err()
+}

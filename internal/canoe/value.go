@@ -1,0 +1,103 @@
+// Package canoe is a deterministic event-driven runtime for CAPL
+// programs over the simulated CAN bus — the stand-in for the CANoe
+// simulation environment of section IV-B. Nodes are built from parsed
+// CAPL programs; their `on start`, `on message` and `on timer` event
+// procedures execute against a virtual clock, with output(), setTimer(),
+// cancelTimer() and write() wired to the bus, the scheduler and a
+// per-node log. The runtime lets the repository both *execute* the
+// CANoe node programs and *verify* them via the extracted CSP models,
+// cross-validating simulation traces against the formal model.
+package canoe
+
+import (
+	"fmt"
+
+	"repro/internal/canbus"
+)
+
+// MsgVal is the runtime value of a CAPL message variable.
+type MsgVal struct {
+	ID   uint32
+	DLC  int
+	Data [canbus.MaxDataLen]byte
+}
+
+// Frame converts the message value to a CAN frame.
+func (m *MsgVal) Frame() canbus.Frame {
+	dlc := m.DLC
+	if dlc < 0 {
+		dlc = 0
+	}
+	if dlc > canbus.MaxDataLen {
+		dlc = canbus.MaxDataLen
+	}
+	data := make([]byte, dlc)
+	copy(data, m.Data[:dlc])
+	return canbus.Frame{ID: m.ID, Data: data}
+}
+
+// Byte returns payload byte i (0 if out of range).
+func (m *MsgVal) Byte(i int) int64 {
+	if i < 0 || i >= canbus.MaxDataLen {
+		return 0
+	}
+	return int64(m.Data[i])
+}
+
+// SetByte writes payload byte i.
+func (m *MsgVal) SetByte(i int, v int64) error {
+	if i < 0 || i >= canbus.MaxDataLen {
+		return fmt.Errorf("canoe: byte index %d out of range", i)
+	}
+	m.Data[i] = byte(v)
+	return nil
+}
+
+// Word returns the 16-bit little-endian word at byte offset i.
+func (m *MsgVal) Word(i int) int64 {
+	return m.Byte(i) | m.Byte(i+1)<<8
+}
+
+// SetWord writes the 16-bit little-endian word at byte offset i.
+func (m *MsgVal) SetWord(i int, v int64) error {
+	if err := m.SetByte(i, v&0xFF); err != nil {
+		return err
+	}
+	return m.SetByte(i+1, (v>>8)&0xFF)
+}
+
+// timerState tracks one CAPL timer.
+type timerState struct {
+	name  string
+	armed bool
+	gen   int // generation counter implementing cancelTimer
+}
+
+// cell is a mutable variable slot.
+type cell struct {
+	v any // int64, float64, string, []int64, *MsgVal, or *timerState
+}
+
+// truthy implements C truthiness for interpreter values.
+func truthy(v any) (bool, error) {
+	switch x := v.(type) {
+	case int64:
+		return x != 0, nil
+	case float64:
+		return x != 0, nil
+	case nil:
+		return false, nil
+	}
+	return false, fmt.Errorf("canoe: value %T cannot be used as a condition", v)
+}
+
+// asInt coerces a value to int64.
+func asInt(v any) (int64, error) {
+	switch x := v.(type) {
+	case int64:
+		return x, nil
+	case float64:
+		return int64(x), nil
+	}
+	return 0, fmt.Errorf("canoe: value %T is not numeric", v)
+}

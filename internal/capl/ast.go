@@ -1,0 +1,377 @@
+package capl
+
+import "strconv"
+
+// Program is a parsed CAPL source file: the four block types of a CAPL
+// program (section IV-B.1 of the paper) in source order.
+type Program struct {
+	// Includes lists the #include paths of the includes section.
+	Includes []string
+	// Variables holds the declarations of the variables section.
+	Variables []*VarDecl
+	// Handlers holds the event procedures (on start/message/timer/key).
+	Handlers []*Handler
+	// Functions holds user-defined functions.
+	Functions []*FuncDecl
+}
+
+// MessageDecls returns the message-variable declarations of the
+// variables section, in order — the declarations the model extractor
+// turns into CSPm channel/datatype declarations.
+func (p *Program) MessageDecls() []*VarDecl {
+	var out []*VarDecl
+	for _, v := range p.Variables {
+		if v.Type.Base == TypeMessage {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// HandlersOf returns the handlers of the given kind, in order.
+func (p *Program) HandlersOf(kind HandlerKind) []*Handler {
+	var out []*Handler
+	for _, h := range p.Handlers {
+		if h.Kind == kind {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Function looks up a user-defined function by name.
+func (p *Program) Function(name string) (*FuncDecl, bool) {
+	for _, f := range p.Functions {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// BaseType enumerates CAPL's primitive and special types.
+type BaseType int
+
+// CAPL base types.
+const (
+	TypeInt BaseType = iota + 1
+	TypeLong
+	TypeByte
+	TypeWord
+	TypeDword
+	TypeChar
+	TypeFloat
+	TypeDouble
+	TypeVoid
+	TypeMessage
+	TypeMsTimer
+	TypeTimer
+)
+
+var baseTypeNames = map[BaseType]string{
+	TypeInt: "int", TypeLong: "long", TypeByte: "byte", TypeWord: "word",
+	TypeDword: "dword", TypeChar: "char", TypeFloat: "float",
+	TypeDouble: "double", TypeVoid: "void", TypeMessage: "message",
+	TypeMsTimer: "msTimer", TypeTimer: "timer",
+}
+
+// String returns the CAPL spelling of the base type.
+func (b BaseType) String() string { return baseTypeNames[b] }
+
+// TypeSpec is a declared type: a base type plus optional array lengths.
+type TypeSpec struct {
+	Base BaseType
+	// ArrayDims holds the declared array dimensions; 0 means unsized [].
+	ArrayDims []int
+}
+
+// String renders the type in CAPL syntax.
+func (t TypeSpec) String() string {
+	out := t.Base.String()
+	for _, d := range t.ArrayDims {
+		if d == 0 {
+			out += "[]"
+		} else {
+			out += "[" + strconv.Itoa(d) + "]"
+		}
+	}
+	return out
+}
+
+// VarDecl is one declaration from the variables section or a local
+// declaration statement.
+type VarDecl struct {
+	Type TypeSpec
+	Name string
+	// Init is the optional initialiser expression.
+	Init Expr
+	// MsgID is the CAN identifier for message declarations written as
+	// `message 0x101 name;`. It is -1 when the message is declared by
+	// database name (`message EngineData name;`) or for non-messages.
+	MsgID int64
+	// MsgName is the database message name for by-name declarations.
+	MsgName string
+	Line    int
+}
+
+// HandlerKind enumerates CAPL event procedure kinds.
+type HandlerKind int
+
+// Event procedure kinds.
+const (
+	OnStart HandlerKind = iota + 1
+	OnMessage
+	OnTimer
+	OnKey
+	OnStopMeasurement
+)
+
+var handlerKindNames = map[HandlerKind]string{
+	OnStart: "start", OnMessage: "message", OnTimer: "timer",
+	OnKey: "key", OnStopMeasurement: "stopMeasurement",
+}
+
+// String returns the CAPL spelling of the handler kind.
+func (k HandlerKind) String() string { return handlerKindNames[k] }
+
+// Handler is an event procedure: `on <kind> <target> { body }`.
+type Handler struct {
+	Kind HandlerKind
+	// Target is the message variable/database name or timer name; "*"
+	// for `on message *`; the key character for `on key`; empty for
+	// `on start`.
+	Target string
+	// TargetID is the raw CAN identifier for `on message 0x123`; -1
+	// otherwise.
+	TargetID int64
+	Body     *BlockStmt
+	Line     int
+}
+
+// FuncDecl is a user-defined CAPL function.
+type FuncDecl struct {
+	Return TypeSpec
+	Name   string
+	Params []*VarDecl
+	Body   *BlockStmt
+	Line   int
+}
+
+// Stmt is a CAPL statement.
+type Stmt interface{ isStmt() }
+
+// BlockStmt is `{ stmts }`.
+type BlockStmt struct {
+	Stmts []Stmt
+	Line  int
+}
+
+func (*BlockStmt) isStmt() {}
+
+// DeclStmt is a local variable declaration line (possibly declaring
+// several names, as in `int i, total;`).
+type DeclStmt struct {
+	Decls []*VarDecl
+}
+
+func (*DeclStmt) isStmt() {}
+
+// ExprStmt is an expression evaluated for its side effects.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*ExprStmt) isStmt() {}
+
+// IfStmt is if (Cond) Then [else Else].
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Line int
+}
+
+func (*IfStmt) isStmt() {}
+
+// WhileStmt is while (Cond) Body.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Line int
+}
+
+func (*WhileStmt) isStmt() {}
+
+// DoWhileStmt is do Body while (Cond);.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+	Line int
+}
+
+func (*DoWhileStmt) isStmt() {}
+
+// ForStmt is for (Init; Cond; Post) Body.
+type ForStmt struct {
+	Init Stmt // DeclStmt or ExprStmt; may be nil
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+	Line int
+}
+
+func (*ForStmt) isStmt() {}
+
+// SwitchStmt is switch (Tag) { cases }.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []*CaseClause
+	Line  int
+}
+
+func (*SwitchStmt) isStmt() {}
+
+// CaseClause is one `case v:` (or `default:`) arm of a switch.
+type CaseClause struct {
+	// Value is nil for default.
+	Value Expr
+	Stmts []Stmt
+	Line  int
+}
+
+// BreakStmt is break;.
+type BreakStmt struct{ Line int }
+
+func (*BreakStmt) isStmt() {}
+
+// ContinueStmt is continue;.
+type ContinueStmt struct{ Line int }
+
+func (*ContinueStmt) isStmt() {}
+
+// ReturnStmt is return [expr];.
+type ReturnStmt struct {
+	X    Expr // may be nil
+	Line int
+}
+
+func (*ReturnStmt) isStmt() {}
+
+// Expr is a CAPL expression.
+type Expr interface{ isExpr() }
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	Val  int64
+	Text string
+	Line int
+}
+
+func (*IntLit) isExpr() {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Val  float64
+	Line int
+}
+
+func (*FloatLit) isExpr() {}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Val  string
+	Line int
+}
+
+func (*StrLit) isExpr() {}
+
+// Ident is a name reference.
+type Ident struct {
+	Name string
+	Line int
+}
+
+func (*Ident) isExpr() {}
+
+// ThisExpr is the `this` keyword: the message that triggered the
+// enclosing `on message` handler.
+type ThisExpr struct{ Line int }
+
+func (*ThisExpr) isExpr() {}
+
+// BinaryExpr is a binary operation; Op is the token kind of the
+// operator.
+type BinaryExpr struct {
+	Op   Kind
+	L, R Expr
+	Line int
+}
+
+func (*BinaryExpr) isExpr() {}
+
+// UnaryExpr is a prefix unary operation (!, ~, -, ++, --).
+type UnaryExpr struct {
+	Op   Kind
+	X    Expr
+	Line int
+}
+
+func (*UnaryExpr) isExpr() {}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	Op   Kind // INC or DEC
+	X    Expr
+	Line int
+}
+
+func (*PostfixExpr) isExpr() {}
+
+// AssignExpr is an assignment, possibly compound (+= etc.); Op is the
+// assignment token kind.
+type AssignExpr struct {
+	Op   Kind
+	L, R Expr
+	Line int
+}
+
+func (*AssignExpr) isExpr() {}
+
+// CondExpr is the ternary c ? t : f.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Line             int
+}
+
+func (*CondExpr) isExpr() {}
+
+// CallExpr is f(args): a user function or CAPL built-in such as
+// output(), setTimer(), cancelTimer() or write().
+type CallExpr struct {
+	Fun  string
+	Args []Expr
+	Line int
+}
+
+func (*CallExpr) isExpr() {}
+
+// MemberExpr is x.field (e.g. msg.ID) or x.fn(args) (e.g. this.byte(0)).
+type MemberExpr struct {
+	X     Expr
+	Field string
+	// Args is non-nil when the member is invoked as a method.
+	Args   []Expr
+	IsCall bool
+	Line   int
+}
+
+func (*MemberExpr) isExpr() {}
+
+// IndexExpr is x[i].
+type IndexExpr struct {
+	X, Index Expr
+	Line     int
+}
+
+func (*IndexExpr) isExpr() {}

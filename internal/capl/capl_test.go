@@ -1,0 +1,371 @@
+package capl
+
+import (
+	"strings"
+	"testing"
+)
+
+const ecuSource = `
+/*@!Encoding:1310*/
+includes
+{
+  #include "common.cin"
+}
+
+variables
+{
+  message 0x101 swInventoryReq;   // reqSw: VMG -> ECU
+  message 0x102 swInventoryRpt;   // rptSw: ECU -> VMG
+  message 0x103 applyUpdateReq;   // reqApp
+  message 0x104 updateResultRpt;  // rptUpd
+  msTimer rebootTimer;
+  int updatesApplied = 0;
+  byte fwBuffer[8];
+}
+
+on start
+{
+  write("ECU update module ready");
+}
+
+on message swInventoryReq
+{
+  output(swInventoryRpt);
+}
+
+on message applyUpdateReq
+{
+  if (checkPackage(this.byte(0)) == 1) {
+    applyUpdate();
+    output(updateResultRpt);
+  }
+}
+
+on timer rebootTimer
+{
+  write("rebooted");
+}
+
+int checkPackage(int first)
+{
+  int ok;
+  ok = 0;
+  if (first >= 0 && first < 16) {
+    ok = 1;
+  }
+  return ok;
+}
+
+void applyUpdate()
+{
+  updatesApplied = updatesApplied + 1;
+}
+`
+
+func TestParseECUProgram(t *testing.T) {
+	prog, err := Parse(ecuSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Includes) != 1 || prog.Includes[0] != "common.cin" {
+		t.Errorf("includes = %v", prog.Includes)
+	}
+	msgs := prog.MessageDecls()
+	if len(msgs) != 4 {
+		t.Fatalf("message declarations = %d, want 4", len(msgs))
+	}
+	if msgs[0].Name != "swInventoryReq" || msgs[0].MsgID != 0x101 {
+		t.Errorf("first message = %s/0x%x", msgs[0].Name, msgs[0].MsgID)
+	}
+	if len(prog.Handlers) != 4 {
+		t.Fatalf("handlers = %d, want 4", len(prog.Handlers))
+	}
+	if got := len(prog.HandlersOf(OnMessage)); got != 2 {
+		t.Errorf("on-message handlers = %d, want 2", got)
+	}
+	if got := len(prog.HandlersOf(OnStart)); got != 1 {
+		t.Errorf("on-start handlers = %d, want 1", got)
+	}
+	if got := len(prog.HandlersOf(OnTimer)); got != 1 {
+		t.Errorf("on-timer handlers = %d, want 1", got)
+	}
+	if len(prog.Functions) != 2 {
+		t.Fatalf("functions = %d, want 2", len(prog.Functions))
+	}
+	if _, ok := prog.Function("checkPackage"); !ok {
+		t.Error("checkPackage not found")
+	}
+}
+
+func TestVariablesSectionDetails(t *testing.T) {
+	prog, err := Parse(ecuSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*VarDecl{}
+	for _, v := range prog.Variables {
+		byName[v.Name] = v
+	}
+	if byName["rebootTimer"].Type.Base != TypeMsTimer {
+		t.Error("rebootTimer not an msTimer")
+	}
+	upd := byName["updatesApplied"]
+	if upd.Type.Base != TypeInt {
+		t.Error("updatesApplied not an int")
+	}
+	if lit, ok := upd.Init.(*IntLit); !ok || lit.Val != 0 {
+		t.Errorf("updatesApplied init = %#v, want 0", upd.Init)
+	}
+	buf := byName["fwBuffer"]
+	if buf.Type.Base != TypeByte || len(buf.Type.ArrayDims) != 1 || buf.Type.ArrayDims[0] != 8 {
+		t.Errorf("fwBuffer type = %s, want byte[8]", buf.Type)
+	}
+}
+
+func TestOnMessageBodyStructure(t *testing.T) {
+	prog, err := Parse(ecuSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apply *Handler
+	for _, h := range prog.HandlersOf(OnMessage) {
+		if h.Target == "applyUpdateReq" {
+			apply = h
+		}
+	}
+	if apply == nil {
+		t.Fatal("on message applyUpdateReq not found")
+	}
+	ifStmt, ok := apply.Body.Stmts[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("first stmt = %T, want IfStmt", apply.Body.Stmts[0])
+	}
+	cmp, ok := ifStmt.Cond.(*BinaryExpr)
+	if !ok || cmp.Op != EQ {
+		t.Fatalf("condition = %#v, want == comparison", ifStmt.Cond)
+	}
+	call, ok := cmp.L.(*CallExpr)
+	if !ok || call.Fun != "checkPackage" {
+		t.Fatalf("condition lhs = %#v, want checkPackage call", cmp.L)
+	}
+	member, ok := call.Args[0].(*MemberExpr)
+	if !ok || member.Field != "byte" || !member.IsCall {
+		t.Fatalf("argument = %#v, want this.byte(0)", call.Args[0])
+	}
+	if _, ok := member.X.(*ThisExpr); !ok {
+		t.Error("member receiver is not `this`")
+	}
+}
+
+func TestHandlerTargets(t *testing.T) {
+	src := `
+variables { message 0x200 m; }
+on message 0x123 { output(m); }
+on message * { write("any"); }
+on key 'a' { write("key"); }
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Handlers[0].TargetID != 0x123 {
+		t.Errorf("first handler id = %#x, want 0x123", prog.Handlers[0].TargetID)
+	}
+	if prog.Handlers[1].Target != "*" {
+		t.Errorf("second handler target = %q, want *", prog.Handlers[1].Target)
+	}
+	if prog.Handlers[2].Kind != OnKey || prog.Handlers[2].Target != "a" {
+		t.Errorf("third handler = %v %q", prog.Handlers[2].Kind, prog.Handlers[2].Target)
+	}
+}
+
+func TestControlFlowStatements(t *testing.T) {
+	src := `
+void loops()
+{
+  int i, total;
+  total = 0;
+  for (i = 0; i < 10; i++) {
+    total += i;
+  }
+  while (total > 0) {
+    total--;
+  }
+  do {
+    total++;
+  } while (total < 3);
+  switch (total) {
+    case 1:
+      total = 10;
+      break;
+    case 2:
+    case 3:
+      total = 20;
+      break;
+    default:
+      total = 0;
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Functions[0]
+	// int i, total; is one DeclStmt with two declarators.
+	if ds, ok := fn.Body.Stmts[0].(*DeclStmt); !ok || len(ds.Decls) != 2 {
+		t.Fatalf("first stmt = %#v, want DeclStmt with 2 declarators", fn.Body.Stmts[0])
+	}
+	kinds := make([]string, len(fn.Body.Stmts))
+	for i, s := range fn.Body.Stmts {
+		switch s.(type) {
+		case *DeclStmt:
+			kinds[i] = "block"
+		case *ExprStmt:
+			kinds[i] = "expr"
+		case *ForStmt:
+			kinds[i] = "for"
+		case *WhileStmt:
+			kinds[i] = "while"
+		case *DoWhileStmt:
+			kinds[i] = "do"
+		case *SwitchStmt:
+			kinds[i] = "switch"
+		default:
+			kinds[i] = "other"
+		}
+	}
+	want := []string{"block", "expr", "for", "while", "do", "switch"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("statement kinds = %v, want %v", kinds, want)
+	}
+	sw := fn.Body.Stmts[5].(*SwitchStmt)
+	if len(sw.Cases) != 4 {
+		t.Errorf("switch cases = %d, want 4", len(sw.Cases))
+	}
+	if sw.Cases[3].Value != nil {
+		t.Error("last case should be default")
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	src := "void f() { x = 1 + 2 * 3 == 7 && 4 < 5 || !0; }"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := prog.Functions[0].Body.Stmts[0].(*ExprStmt)
+	asg, ok := stmt.X.(*AssignExpr)
+	if !ok {
+		t.Fatalf("stmt = %T, want assignment", stmt.X)
+	}
+	or, ok := asg.R.(*BinaryExpr)
+	if !ok || or.Op != OROR {
+		t.Fatalf("top operator = %#v, want ||", asg.R)
+	}
+	and, ok := or.L.(*BinaryExpr)
+	if !ok || and.Op != ANDAND {
+		t.Fatalf("left of || = %#v, want &&", or.L)
+	}
+	eq, ok := and.L.(*BinaryExpr)
+	if !ok || eq.Op != EQ {
+		t.Fatalf("left of && = %#v, want ==", and.L)
+	}
+	add, ok := eq.L.(*BinaryExpr)
+	if !ok || add.Op != PLUS {
+		t.Fatalf("left of == = %#v, want +", eq.L)
+	}
+	if mul, ok := add.R.(*BinaryExpr); !ok || mul.Op != STAR {
+		t.Fatalf("right of + = %#v, want *", add.R)
+	}
+}
+
+func TestTernaryAndCompoundAssign(t *testing.T) {
+	src := "void f() { x += y > 0 ? 1 : 2; }"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := prog.Functions[0].Body.Stmts[0].(*ExprStmt)
+	asg := stmt.X.(*AssignExpr)
+	if asg.Op != PLUSEQ {
+		t.Errorf("op = %s, want +=", asg.Op)
+	}
+	if _, ok := asg.R.(*CondExpr); !ok {
+		t.Errorf("rhs = %T, want ternary", asg.R)
+	}
+}
+
+func TestHexAndCharLiterals(t *testing.T) {
+	src := "void f() { x = 0xFF; y = 'A'; }"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := prog.Functions[0].Body.Stmts[0].(*ExprStmt).X.(*AssignExpr)
+	if lit := s0.R.(*IntLit); lit.Val != 255 {
+		t.Errorf("hex literal = %d, want 255", lit.Val)
+	}
+	s1 := prog.Functions[0].Body.Stmts[1].(*ExprStmt).X.(*AssignExpr)
+	if lit := s1.R.(*IntLit); lit.Val != 65 {
+		t.Errorf("char literal = %d, want 65", lit.Val)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"bad top level", "output(x);", "expected includes"},
+		{"bad handler", "on frobnicate { }", "unknown event procedure"},
+		{"missing semi", "void f() { x = 1 }", "expected ;"},
+		{"bad assign target", "void f() { 1 = x; }", "invalid assignment target"},
+		{"unterminated comment", "/* oops", "unterminated block comment"},
+		{"unterminated string", `void f() { write("oops); }`, "unterminated string"},
+		{"bad directive", "includes { #import \"x\" }", "unknown directive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := Parse("void f() {\n  x = ;\n}")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+}
+
+func TestMessageByDatabaseName(t *testing.T) {
+	src := "variables { message EngineData engMsg; }"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := prog.Variables[0]
+	if d.MsgName != "EngineData" || d.Name != "engMsg" || d.MsgID != -1 {
+		t.Errorf("decl = %+v", d)
+	}
+}
+
+func TestTypeSpecString(t *testing.T) {
+	ts := TypeSpec{Base: TypeByte, ArrayDims: []int{8}}
+	if ts.String() != "byte[8]" {
+		t.Errorf("String() = %q, want byte[8]", ts.String())
+	}
+}

@@ -1,0 +1,810 @@
+package capl
+
+import "fmt"
+
+// Parse lexes and parses a CAPL source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) peekAt(n int) Token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k Kind) (Token, bool) {
+	if p.peek().Kind == k {
+		return p.advance(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if p.peek().Kind == k {
+		return p.advance(), nil
+	}
+	return Token{}, p.errf("expected %s, found %s", k, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.peek().Kind != EOF {
+		switch p.peek().Kind {
+		case KwIncludes:
+			if err := p.parseIncludes(prog); err != nil {
+				return nil, err
+			}
+		case KwVariables:
+			if err := p.parseVariables(prog); err != nil {
+				return nil, err
+			}
+		case KwOn:
+			h, err := p.parseHandler()
+			if err != nil {
+				return nil, err
+			}
+			prog.Handlers = append(prog.Handlers, h)
+		default:
+			if TypeKinds(p.peek().Kind) {
+				fn, err := p.parseFunc()
+				if err != nil {
+					return nil, err
+				}
+				prog.Functions = append(prog.Functions, fn)
+				continue
+			}
+			return nil, p.errf("expected includes, variables, event procedure or function, found %s", p.peek())
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseIncludes(prog *Program) error {
+	p.advance() // includes
+	if _, err := p.expect(LBRACE); err != nil {
+		return err
+	}
+	for p.peek().Kind != RBRACE {
+		if _, err := p.expect(KwHashInclude); err != nil {
+			return err
+		}
+		path, err := p.expect(STRING)
+		if err != nil {
+			return err
+		}
+		prog.Includes = append(prog.Includes, path.Text)
+	}
+	_, err := p.expect(RBRACE)
+	return err
+}
+
+func (p *parser) parseVariables(prog *Program) error {
+	p.advance() // variables
+	if _, err := p.expect(LBRACE); err != nil {
+		return err
+	}
+	for p.peek().Kind != RBRACE && p.peek().Kind != EOF {
+		decls, err := p.parseVarDecl()
+		if err != nil {
+			return err
+		}
+		prog.Variables = append(prog.Variables, decls...)
+	}
+	_, err := p.expect(RBRACE)
+	return err
+}
+
+// parseTypeSpec parses a base type keyword.
+func (p *parser) parseTypeSpec() (TypeSpec, error) {
+	t := p.peek()
+	if !TypeKinds(t.Kind) {
+		return TypeSpec{}, p.errf("expected type, found %s", t)
+	}
+	p.advance()
+	var base BaseType
+	switch t.Kind {
+	case KwInt:
+		base = TypeInt
+	case KwLong:
+		base = TypeLong
+	case KwByte:
+		base = TypeByte
+	case KwWord:
+		base = TypeWord
+	case KwDword:
+		base = TypeDword
+	case KwChar:
+		base = TypeChar
+	case KwFloat:
+		base = TypeFloat
+	case KwDouble:
+		base = TypeDouble
+	case KwVoid:
+		base = TypeVoid
+	case KwMessage:
+		base = TypeMessage
+	case KwMsTimer:
+		base = TypeMsTimer
+	case KwTimer:
+		base = TypeTimer
+	}
+	return TypeSpec{Base: base}, nil
+}
+
+// parseVarDecl parses one declaration line, which may declare several
+// names: `int a = 1, b;` or `message 0x101 req;`.
+func (p *parser) parseVarDecl() ([]*VarDecl, error) {
+	line := p.peek().Line
+	ts, err := p.parseTypeSpec()
+	if err != nil {
+		return nil, err
+	}
+	var msgID int64 = -1
+	msgName := ""
+	if ts.Base == TypeMessage {
+		// `message 0x101 name;` or `message DBName name;` or `message * name;`.
+		switch p.peek().Kind {
+		case INT:
+			msgID = p.advance().Int
+		case STAR:
+			p.advance()
+			msgName = "*"
+		case IDENT:
+			// Either `message DBName name` (two idents) or `message name`
+			// is invalid — peek one ahead.
+			if p.peekAt(1).Kind == IDENT {
+				msgName = p.advance().Text
+			}
+		}
+	}
+	var out []*VarDecl
+	for {
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Type: ts, Name: name.Text, MsgID: msgID, MsgName: msgName, Line: line}
+		for p.peek().Kind == LBRACKET {
+			p.advance()
+			dim := 0
+			if n, ok := p.accept(INT); ok {
+				dim = int(n.Int)
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			d.Type.ArrayDims = append(d.Type.ArrayDims, dim)
+		}
+		if _, ok := p.accept(ASSIGN); ok {
+			init, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		out = append(out, d)
+		if _, ok := p.accept(COMMA); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) parseHandler() (*Handler, error) {
+	line := p.peek().Line
+	p.advance() // on
+	h := &Handler{Line: line, TargetID: -1}
+	switch p.peek().Kind {
+	case KwMessage:
+		p.advance()
+		h.Kind = OnMessage
+		switch p.peek().Kind {
+		case STAR:
+			p.advance()
+			h.Target = "*"
+		case INT:
+			h.TargetID = p.advance().Int
+		case IDENT:
+			h.Target = p.advance().Text
+		default:
+			return nil, p.errf("expected message name, id or * after 'on message'")
+		}
+	case KwTimer, KwMsTimer:
+		p.advance()
+		h.Kind = OnTimer
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		h.Target = name.Text
+	case IDENT:
+		name := p.advance()
+		switch name.Text {
+		case "start", "preStart":
+			h.Kind = OnStart
+		case "stopMeasurement":
+			h.Kind = OnStopMeasurement
+		case "key":
+			h.Kind = OnKey
+			key, err := p.expect(CHAR)
+			if err != nil {
+				return nil, err
+			}
+			h.Target = key.Text
+		default:
+			return nil, p.errf("unknown event procedure 'on %s'", name.Text)
+		}
+	default:
+		return nil, p.errf("expected event kind after 'on', found %s", p.peek())
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	h.Body = body
+	return h, nil
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	line := p.peek().Line
+	ret, err := p.parseTypeSpec()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Return: ret, Name: name.Text, Line: line}
+	if p.peek().Kind != RPAREN {
+		for {
+			pts, err := p.parseTypeSpec()
+			if err != nil {
+				return nil, err
+			}
+			pname, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			pd := &VarDecl{Type: pts, Name: pname.Text, MsgID: -1, Line: pname.Line}
+			for p.peek().Kind == LBRACKET {
+				p.advance()
+				dim := 0
+				if n, ok := p.accept(INT); ok {
+					dim = int(n.Int)
+				}
+				if _, err := p.expect(RBRACKET); err != nil {
+					return nil, err
+				}
+				pd.Type.ArrayDims = append(pd.Type.ArrayDims, dim)
+			}
+			fn.Params = append(fn.Params, pd)
+			if _, ok := p.accept(COMMA); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// --- Statements ---------------------------------------------------------
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	line := p.peek().Line
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Line: line}
+	for p.peek().Kind != RBRACE && p.peek().Kind != EOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case LBRACE:
+		return p.parseBlock()
+	case KwIf:
+		return p.parseIf()
+	case KwWhile:
+		return p.parseWhile()
+	case KwDo:
+		return p.parseDoWhile()
+	case KwFor:
+		return p.parseFor()
+	case KwSwitch:
+		return p.parseSwitch()
+	case KwBreak:
+		p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.Line}, nil
+	case KwContinue:
+		p.advance()
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.Line}, nil
+	case KwReturn:
+		p.advance()
+		r := &ReturnStmt{Line: t.Line}
+		if p.peek().Kind != SEMI {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.X = x
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case SEMI:
+		p.advance()
+		return &BlockStmt{Line: t.Line}, nil
+	}
+	if TypeKinds(t.Kind) {
+		decls, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Decls: decls}, nil
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{X: x, Line: t.Line}, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	line := p.advance().Line // if
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: line}
+	if _, ok := p.accept(KwElse); ok {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	line := p.advance().Line // while
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+}
+
+func (p *parser) parseDoWhile() (Stmt, error) {
+	line := p.advance().Line // do
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return &DoWhileStmt{Body: body, Cond: cond, Line: line}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	line := p.advance().Line // for
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	s := &ForStmt{Line: line}
+	if p.peek().Kind != SEMI {
+		if TypeKinds(p.peek().Kind) {
+			decls, err := p.parseVarDecl() // consumes the semicolon
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &DeclStmt{Decls: decls}
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.Init = &ExprStmt{X: x, Line: line}
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.advance()
+	}
+	if p.peek().Kind != SEMI {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = cond
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != RPAREN {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	return s, nil
+}
+
+func (p *parser) parseSwitch() (Stmt, error) {
+	line := p.advance().Line // switch
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	s := &SwitchStmt{Tag: tag, Line: line}
+	for p.peek().Kind == KwCase || p.peek().Kind == KwDefault {
+		c := &CaseClause{Line: p.peek().Line}
+		if p.peek().Kind == KwCase {
+			p.advance()
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			c.Value = v
+		} else {
+			p.advance()
+		}
+		if _, err := p.expect(COLON); err != nil {
+			return nil, err
+		}
+		for p.peek().Kind != KwCase && p.peek().Kind != KwDefault &&
+			p.peek().Kind != RBRACE && p.peek().Kind != EOF {
+			st, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			c.Stmts = append(c.Stmts, st)
+		}
+		s.Cases = append(s.Cases, c)
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// --- Expressions ---------------------------------------------------------
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+var assignOps = map[Kind]bool{
+	ASSIGN: true, PLUSEQ: true, MINUSEQ: true, STAREQ: true,
+	SLASHEQ: true, PERCENTEQ: true, AMPEQ: true, PIPEEQ: true,
+	CARETEQ: true, SHLEQ: true, SHREQ: true,
+}
+
+func (p *parser) parseAssignExpr() (Expr, error) {
+	left, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if assignOps[p.peek().Kind] {
+		op := p.advance()
+		switch left.(type) {
+		case *Ident, *MemberExpr, *IndexExpr:
+		default:
+			return nil, p.errf("invalid assignment target")
+		}
+		right, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{Op: op.Kind, L: left, R: right, Line: op.Line}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseCond() (Expr, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != QUESTION {
+		return cond, nil
+	}
+	q := p.advance()
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(COLON); err != nil {
+		return nil, err
+	}
+	els, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els, Line: q.Line}, nil
+}
+
+// binLevels lists binary operators from loosest to tightest.
+var binLevels = [][]Kind{
+	{OROR},
+	{ANDAND},
+	{PIPE},
+	{CARET},
+	{AMP},
+	{EQ, NE},
+	{LT, GT, LE, GE},
+	{SHL, SHR},
+	{PLUS, MINUS},
+	{STAR, SLASH, PERCENT},
+}
+
+func (p *parser) parseBinary(level int) (Expr, error) {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBinary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		match := false
+		for _, k := range binLevels[level] {
+			if p.peek().Kind == k {
+				match = true
+				break
+			}
+		}
+		if !match {
+			return left, nil
+		}
+		op := p.advance()
+		right, err := p.parseBinary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op.Kind, L: left, R: right, Line: op.Line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case BANG, TILDE, MINUS, PLUS, INC, DEC:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == PLUS {
+			return x, nil
+		}
+		return &UnaryExpr{Op: t.Kind, X: x, Line: t.Line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case LBRACKET:
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{X: x, Index: idx, Line: t.Line}
+		case DOT:
+			p.advance()
+			var fieldName string
+			switch p.peek().Kind {
+			case IDENT:
+				fieldName = p.advance().Text
+			case KwByte, KwWord, KwDword, KwLong, KwInt, KwChar:
+				// Selectors like msg.byte(0) reuse type keywords.
+				fieldName = p.advance().Text
+			default:
+				return nil, p.errf("expected member name after '.', found %s", p.peek())
+			}
+			m := &MemberExpr{X: x, Field: fieldName, Line: t.Line}
+			if p.peek().Kind == LPAREN {
+				p.advance()
+				args, err := p.parseArgs()
+				if err != nil {
+					return nil, err
+				}
+				m.Args = args
+				m.IsCall = true
+			}
+			x = m
+		case INC, DEC:
+			p.advance()
+			x = &PostfixExpr{Op: t.Kind, X: x, Line: t.Line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	var args []Expr
+	if p.peek().Kind != RPAREN {
+		for {
+			a, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if _, ok := p.accept(COMMA); !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case INT:
+		p.advance()
+		return &IntLit{Val: t.Int, Text: t.Text, Line: t.Line}, nil
+	case CHAR:
+		p.advance()
+		return &IntLit{Val: t.Int, Text: "'" + t.Text + "'", Line: t.Line}, nil
+	case FLOAT:
+		p.advance()
+		return &FloatLit{Val: t.Flt, Line: t.Line}, nil
+	case STRING:
+		p.advance()
+		return &StrLit{Val: t.Text, Line: t.Line}, nil
+	case KwThis:
+		p.advance()
+		return &ThisExpr{Line: t.Line}, nil
+	case IDENT:
+		p.advance()
+		if p.peek().Kind == LPAREN {
+			p.advance()
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Fun: t.Text, Args: args, Line: t.Line}, nil
+		}
+		return &Ident{Name: t.Text, Line: t.Line}, nil
+	case LPAREN:
+		p.advance()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}

@@ -1,0 +1,184 @@
+// Package capl implements a front-end for Vector's Communication Access
+// Programming Language (CAPL), the C-based event-driven language used to
+// program simulated ECU nodes in the CANoe IDE (section IV-B of the
+// paper). The package provides a lexer, a recursive-descent parser and an
+// AST; the translate package walks the AST to extract CSP models, and the
+// canoe package interprets it against a simulated CAN bus.
+//
+// The subset covered corresponds to the constructs the paper's grammar
+// handles plus the §VIII-A future-work extensions: includes/variables
+// sections, message/timer/scalar/array declarations, `on start`,
+// `on message`, `on timer` and `on key` event procedures, user-defined
+// functions, the full C statement repertoire (if/while/do/for/switch)
+// and C expressions, and the built-ins output(), setTimer(),
+// cancelTimer() and write().
+package capl
+
+import "fmt"
+
+// Kind enumerates CAPL token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota + 1
+	IDENT
+	INT    // decimal or 0x hex
+	FLOAT  // floating literal
+	STRING // "..."
+	CHAR   // 'a'
+
+	// Punctuation and operators.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	SEMI      // ;
+	COMMA     // ,
+	DOT       // .
+	ASSIGN    // =
+	PLUS      // +
+	MINUS     // -
+	STAR      // *
+	SLASH     // /
+	PERCENT   // %
+	AMP       // &
+	PIPE      // |
+	CARET     // ^
+	TILDE     // ~
+	BANG      // !
+	LT        // <
+	GT        // >
+	LE        // <=
+	GE        // >=
+	EQ        // ==
+	NE        // !=
+	ANDAND    // &&
+	OROR      // ||
+	SHL       // <<
+	SHR       // >>
+	INC       // ++
+	DEC       // --
+	PLUSEQ    // +=
+	MINUSEQ   // -=
+	STAREQ    // *=
+	SLASHEQ   // /=
+	PERCENTEQ // %=
+	AMPEQ     // &=
+	PIPEEQ    // |=
+	CARETEQ   // ^=
+	SHLEQ     // <<=
+	SHREQ     // >>=
+	QUESTION  // ?
+	COLON     // :
+
+	// Keywords.
+	KwIncludes
+	KwVariables
+	KwOn
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+	KwThis
+	KwMessage
+	KwMsTimer
+	KwTimer
+	KwInt
+	KwLong
+	KwByte
+	KwWord
+	KwDword
+	KwChar
+	KwFloat
+	KwDouble
+	KwVoid
+	KwHashInclude // #include
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of file", IDENT: "identifier", INT: "integer",
+	FLOAT: "float", STRING: "string", CHAR: "char",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	LBRACKET: "[", RBRACKET: "]", SEMI: ";", COMMA: ",", DOT: ".",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	PERCENT: "%", AMP: "&", PIPE: "|", CARET: "^", TILDE: "~",
+	BANG: "!", LT: "<", GT: ">", LE: "<=", GE: ">=", EQ: "==",
+	NE: "!=", ANDAND: "&&", OROR: "||", SHL: "<<", SHR: ">>",
+	INC: "++", DEC: "--", PLUSEQ: "+=", MINUSEQ: "-=", STAREQ: "*=",
+	SLASHEQ: "/=", PERCENTEQ: "%=", AMPEQ: "&=", PIPEEQ: "|=",
+	CARETEQ: "^=", SHLEQ: "<<=", SHREQ: ">>=", QUESTION: "?", COLON: ":",
+	KwIncludes: "includes", KwVariables: "variables", KwOn: "on",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwDo: "do",
+	KwFor: "for", KwSwitch: "switch", KwCase: "case",
+	KwDefault: "default", KwBreak: "break", KwContinue: "continue",
+	KwReturn: "return", KwThis: "this", KwMessage: "message",
+	KwMsTimer: "msTimer", KwTimer: "timer", KwInt: "int", KwLong: "long",
+	KwByte: "byte", KwWord: "word", KwDword: "dword", KwChar: "char",
+	KwFloat: "float", KwDouble: "double", KwVoid: "void",
+	KwHashInclude: "#include",
+}
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"includes": KwIncludes, "variables": KwVariables, "on": KwOn,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "do": KwDo,
+	"for": KwFor, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "break": KwBreak, "continue": KwContinue,
+	"return": KwReturn, "this": KwThis, "message": KwMessage,
+	"msTimer": KwMsTimer, "timer": KwTimer, "int": KwInt, "long": KwLong,
+	"byte": KwByte, "word": KwWord, "dword": KwDword, "char": KwChar,
+	"float": KwFloat, "double": KwDouble, "void": KwVoid,
+}
+
+// Token is a lexical token with position information.
+type Token struct {
+	Kind Kind
+	Text string
+	Int  int64
+	Flt  float64
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT:
+		return fmt.Sprintf("integer %d", t.Int)
+	case FLOAT:
+		return fmt.Sprintf("float %g", t.Flt)
+	case STRING:
+		return fmt.Sprintf("string %q", t.Text)
+	case CHAR:
+		return fmt.Sprintf("char %q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// TypeKinds reports whether k begins a type specifier.
+func TypeKinds(k Kind) bool {
+	switch k {
+	case KwInt, KwLong, KwByte, KwWord, KwDword, KwChar, KwFloat,
+		KwDouble, KwVoid, KwMessage, KwMsTimer, KwTimer:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+package csp
+
+// Convenience constructors for building process terms in Go. These mirror
+// the CSPm operators summarised in Table I of the paper.
+
+// Prefix builds c<fields> -> cont.
+func Prefix(ch string, fields []CommField, cont Process) Process {
+	return PrefixProc{Chan: ch, Fields: fields, Cont: cont}
+}
+
+// Send builds the output prefix c!v1!v2... -> cont with literal values.
+func Send(ch string, cont Process, vals ...Value) Process {
+	fields := make([]CommField, len(vals))
+	for i, v := range vals {
+		fields[i] = OutVal(v)
+	}
+	return PrefixProc{Chan: ch, Fields: fields, Cont: cont}
+}
+
+// Recv builds the input prefix c?x1?x2... -> cont binding the named
+// variables.
+func Recv(ch string, cont Process, vars ...string) Process {
+	fields := make([]CommField, len(vars))
+	for i, v := range vars {
+		fields[i] = In(v)
+	}
+	return PrefixProc{Chan: ch, Fields: fields, Cont: cont}
+}
+
+// DoEvent builds the bare-event prefix c -> cont for a channel with no
+// fields.
+func DoEvent(ch string, cont Process) Process {
+	return PrefixProc{Chan: ch, Cont: cont}
+}
+
+// ExtChoice folds processes into a right-associated external choice.
+// ExtChoice() is STOP, the unit of [].
+func ExtChoice(ps ...Process) Process {
+	return foldChoice(ps, func(l, r Process) Process { return ExtChoiceProc{L: l, R: r} })
+}
+
+// IntChoice folds processes into a right-associated internal choice.
+// A single process is returned unchanged; IntChoice() is STOP.
+func IntChoice(ps ...Process) Process {
+	return foldChoice(ps, func(l, r Process) Process { return IntChoiceProc{L: l, R: r} })
+}
+
+func foldChoice(ps []Process, join func(l, r Process) Process) Process {
+	switch len(ps) {
+	case 0:
+		return StopProc{}
+	case 1:
+		return ps[0]
+	}
+	out := ps[len(ps)-1]
+	for i := len(ps) - 2; i >= 0; i-- {
+		out = join(ps[i], out)
+	}
+	return out
+}
+
+// Seq builds sequential composition p1 ; p2 ; ... ; pn. Seq() is SKIP,
+// the unit of ;.
+func Seq(ps ...Process) Process {
+	switch len(ps) {
+	case 0:
+		return SkipProc{}
+	case 1:
+		return ps[0]
+	}
+	out := ps[len(ps)-1]
+	for i := len(ps) - 2; i >= 0; i-- {
+		out = SeqProc{L: ps[i], R: out}
+	}
+	return out
+}
+
+// Par builds generalised parallel l [| sync |] r.
+func Par(l Process, sync *EventSet, r Process) Process {
+	return ParProc{L: l, R: r, Sync: sync}
+}
+
+// Interleave folds processes into an interleaving composition p1 ||| p2
+// ||| ... Interleave() is SKIP (unit of |||).
+func Interleave(ps ...Process) Process {
+	switch len(ps) {
+	case 0:
+		return SkipProc{}
+	case 1:
+		return ps[0]
+	}
+	out := ps[len(ps)-1]
+	empty := NewEventSet()
+	for i := len(ps) - 2; i >= 0; i-- {
+		out = ParProc{L: ps[i], R: out, Sync: empty}
+	}
+	return out
+}
+
+// Hide builds p \ set.
+func Hide(p Process, set *EventSet) Process {
+	return HideProc{P: p, Set: set}
+}
+
+// Rename builds channel renaming p[[mapping]].
+func Rename(p Process, mapping map[string]string) Process {
+	cp := make(map[string]string, len(mapping))
+	for k, v := range mapping {
+		cp[k] = v
+	}
+	return RenameProc{P: p, Mapping: cp}
+}
+
+// If builds the conditional process.
+func If(cond Expr, then, els Process) Process {
+	return IfProc{Cond: cond, Then: then, Else: els}
+}
+
+// Guard builds the guarded process b & P (STOP when the guard is false).
+func Guard(cond Expr, p Process) Process {
+	return IfProc{Cond: cond, Then: p, Else: StopProc{}}
+}
+
+// Call builds a reference to a named process definition.
+func Call(name string, args ...Expr) Process {
+	return CallProc{Name: name, Args: args}
+}

@@ -1,0 +1,478 @@
+package csp
+
+import (
+	"strings"
+	"testing"
+)
+
+// testContext declares a small alphabet used across the unit tests:
+// channels a, b, c with no fields and ch with one Msg field.
+func testContext(t *testing.T) *Context {
+	t.Helper()
+	ctx := NewContext()
+	msg := EnumType("Msg", "m1", "m2", "m3")
+	if err := ctx.DeclareType("Msg", msg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if err := ctx.DeclareChannel(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ctx.DeclareChannel("ch", msg); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+func newSem(t *testing.T, ctx *Context) *Semantics {
+	t.Helper()
+	return NewSemantics(NewEnv(), ctx)
+}
+
+func mustTransitions(t *testing.T, sem *Semantics, p Process) []Transition {
+	t.Helper()
+	trs, err := sem.Transitions(p)
+	if err != nil {
+		t.Fatalf("Transitions(%s): %v", p.Key(), err)
+	}
+	return trs
+}
+
+func TestStopHasNoTransitions(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	if trs := mustTransitions(t, sem, Stop()); len(trs) != 0 {
+		t.Errorf("STOP has %d transitions, want 0", len(trs))
+	}
+}
+
+func TestSkipTicks(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	trs := mustTransitions(t, sem, Skip())
+	if len(trs) != 1 || !trs[0].Ev.IsTick() {
+		t.Fatalf("SKIP transitions = %v, want single tick", trs)
+	}
+	if _, ok := trs[0].To.(OmegaProc); !ok {
+		t.Errorf("SKIP tick target = %T, want OmegaProc", trs[0].To)
+	}
+}
+
+func TestPrefixBareEvent(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := DoEvent("a", Stop())
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 1 {
+		t.Fatalf("got %d transitions, want 1", len(trs))
+	}
+	if trs[0].Ev.String() != "a" {
+		t.Errorf("event = %s, want a", trs[0].Ev)
+	}
+	if trs[0].To.Key() != "STOP" {
+		t.Errorf("continuation = %s, want STOP", trs[0].To.Key())
+	}
+}
+
+func TestPrefixOutput(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := Send("ch", Stop(), Sym("m2"))
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 1 || trs[0].Ev.String() != "ch.m2" {
+		t.Fatalf("transitions = %v, want single ch.m2", trs)
+	}
+}
+
+func TestPrefixOutputOutsideDomainFails(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := Send("ch", Stop(), Sym("bogus"))
+	if _, err := sem.Transitions(p); err == nil {
+		t.Fatal("expected domain error for ch!bogus")
+	}
+}
+
+func TestPrefixInputEnumeratesDomain(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := Recv("ch", Stop(), "x")
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 3 {
+		t.Fatalf("input prefix offers %d events, want 3", len(trs))
+	}
+	seen := map[string]bool{}
+	for _, tr := range trs {
+		seen[tr.Ev.String()] = true
+	}
+	for _, want := range []string{"ch.m1", "ch.m2", "ch.m3"} {
+		if !seen[want] {
+			t.Errorf("missing input event %s", want)
+		}
+	}
+}
+
+func TestPrefixInputBindsContinuation(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	// ch?x -> ch!x -> STOP: the echo process.
+	p := Recv("ch", Prefix("ch", []CommField{Out(V("x"))}, Stop()), "x")
+	trs := mustTransitions(t, sem, p)
+	for _, tr := range trs {
+		next := mustTransitions(t, sem, tr.To)
+		if len(next) != 1 {
+			t.Fatalf("echo continuation has %d transitions, want 1", len(next))
+		}
+		if !next[0].Ev.Equal(tr.Ev) {
+			t.Errorf("echoed %s after %s", next[0].Ev, tr.Ev)
+		}
+	}
+}
+
+func TestPrefixRestrictedInput(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	pred := Binary{Op: OpNe, L: V("x"), R: LitSym("m2")}
+	p := Prefix("ch", []CommField{InSuchThat("x", pred)}, Stop())
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 2 {
+		t.Fatalf("restricted input offers %d events, want 2", len(trs))
+	}
+	for _, tr := range trs {
+		if tr.Ev.String() == "ch.m2" {
+			t.Error("restricted input offered excluded value m2")
+		}
+	}
+}
+
+func TestExternalChoiceOffersBoth(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := ExtChoice(DoEvent("a", Stop()), DoEvent("b", Stop()))
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 2 {
+		t.Fatalf("choice offers %d events, want 2", len(trs))
+	}
+}
+
+func TestExternalChoiceTauDoesNotResolve(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	// (a->STOP |~| b->STOP) [] c->STOP: the internal choice contributes
+	// taus that must preserve the right branch.
+	p := ExtChoice(
+		IntChoice(DoEvent("a", Stop()), DoEvent("b", Stop())),
+		DoEvent("c", Stop()),
+	)
+	trs := mustTransitions(t, sem, p)
+	tauCount := 0
+	for _, tr := range trs {
+		if tr.Ev.IsTau() {
+			tauCount++
+			// After tau the c branch must still be available.
+			next := mustTransitions(t, sem, tr.To)
+			foundC := false
+			for _, n := range next {
+				if n.Ev.String() == "c" {
+					foundC = true
+				}
+			}
+			if !foundC {
+				t.Errorf("tau resolved external choice: %s lost branch c", tr.To.Key())
+			}
+		}
+	}
+	if tauCount != 2 {
+		t.Errorf("tau transitions = %d, want 2", tauCount)
+	}
+}
+
+func TestInternalChoiceIsTwoTaus(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := IntChoice(DoEvent("a", Stop()), DoEvent("b", Stop()))
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 2 || !trs[0].Ev.IsTau() || !trs[1].Ev.IsTau() {
+		t.Fatalf("internal choice transitions = %v, want two taus", trs)
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := Seq(DoEvent("a", Skip()), DoEvent("b", Skip()))
+	ts, err := Traces(sem, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Trace{Ev("a"), Ev("b"), Tick()}
+	if !ts.Contains(want) {
+		t.Errorf("traces of a->SKIP;b->SKIP missing %s; got %v", want, ts.Slice())
+	}
+	// The first component's tick must be internal: <a, tick, ...> never occurs.
+	bad := Trace{Ev("a"), Tick()}
+	if ts.Contains(bad) {
+		t.Errorf("sequential composition leaked intermediate termination %s", bad)
+	}
+}
+
+func TestParallelSynchronisation(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	// a->b->SKIP [| {a} |] a->c->SKIP: must sync on a then interleave b,c.
+	p := Par(
+		DoEvent("a", DoEvent("b", Skip())),
+		Events(Ev("a")),
+		DoEvent("a", DoEvent("c", Skip())),
+	)
+	ts, err := Traces(sem, p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []Trace{
+		{Ev("a"), Ev("b"), Ev("c"), Tick()},
+		{Ev("a"), Ev("c"), Ev("b"), Tick()},
+	} {
+		if !ts.Contains(want) {
+			t.Errorf("missing trace %s", want)
+		}
+	}
+	if ts.Contains(Trace{Ev("a"), Ev("a")}) {
+		t.Error("synchronised event a occurred twice")
+	}
+	if ts.Contains(Trace{Ev("b")}) {
+		t.Error("b occurred before synchronised a")
+	}
+}
+
+func TestParallelBlocksWithoutPartner(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	// a->STOP [| {a,b} |] b->STOP deadlocks immediately.
+	p := Par(DoEvent("a", Stop()), Events(Ev("a"), Ev("b")), DoEvent("b", Stop()))
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 0 {
+		t.Errorf("mismatched sync produced transitions %v, want deadlock", trs)
+	}
+}
+
+func TestInterleavingAllOrders(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := Interleave(DoEvent("a", Skip()), DoEvent("b", Skip()))
+	ts, err := Traces(sem, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []Trace{
+		{Ev("a"), Ev("b"), Tick()},
+		{Ev("b"), Ev("a"), Tick()},
+	} {
+		if !ts.Contains(want) {
+			t.Errorf("missing interleaving %s", want)
+		}
+	}
+}
+
+func TestDistributedTermination(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	// SKIP ||| a->SKIP cannot tick until both sides can.
+	p := Interleave(Skip(), DoEvent("a", Skip()))
+	ts, err := Traces(sem, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Contains(Trace{Tick()}) {
+		t.Error("parallel terminated before both components could")
+	}
+	if !ts.Contains(Trace{Ev("a"), Tick()}) {
+		t.Error("missing trace <a, tick>")
+	}
+}
+
+func TestHidingMakesEventsInternal(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := Hide(DoEvent("a", DoEvent("b", Stop())), Events(Ev("a")))
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 1 || !trs[0].Ev.IsTau() {
+		t.Fatalf("hidden prefix transitions = %v, want single tau", trs)
+	}
+	ts, err := Traces(sem, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.Contains(Trace{Ev("b")}) {
+		t.Error("hiding removed the wrong events")
+	}
+	if ts.Contains(Trace{Ev("a")}) {
+		t.Error("hidden event a still visible")
+	}
+}
+
+func TestRenaming(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := Rename(DoEvent("a", Stop()), map[string]string{"a": "b"})
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 1 || trs[0].Ev.String() != "b" {
+		t.Fatalf("renamed transitions = %v, want single b", trs)
+	}
+}
+
+func TestConditionalProcess(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := If(LitBool(true), DoEvent("a", Stop()), DoEvent("b", Stop()))
+	trs := mustTransitions(t, sem, p)
+	if len(trs) != 1 || trs[0].Ev.String() != "a" {
+		t.Fatalf("if-true transitions = %v, want a", trs)
+	}
+	p = If(LitBool(false), DoEvent("a", Stop()), DoEvent("b", Stop()))
+	trs = mustTransitions(t, sem, p)
+	if len(trs) != 1 || trs[0].Ev.String() != "b" {
+		t.Fatalf("if-false transitions = %v, want b", trs)
+	}
+}
+
+func TestGuardFalseIsStop(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	p := Guard(LitBool(false), DoEvent("a", Stop()))
+	if trs := mustTransitions(t, sem, p); len(trs) != 0 {
+		t.Errorf("false-guarded process has transitions %v", trs)
+	}
+}
+
+func TestRecursionViaEnv(t *testing.T) {
+	ctx := testContext(t)
+	env := NewEnv()
+	env.MustDefine("P", nil, DoEvent("a", Call("P")))
+	sem := NewSemantics(env, ctx)
+	ts, err := Traces(sem, Call("P"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ts.Contains(Trace{Ev("a"), Ev("a"), Ev("a"), Ev("a")}) {
+		t.Error("recursive P = a -> P missing trace <a,a,a,a>")
+	}
+}
+
+func TestParameterisedRecursion(t *testing.T) {
+	ctx := NewContext()
+	ctx.MustChannel("count", IntRange{Lo: 0, Hi: 5})
+	env := NewEnv()
+	// COUNT(n) = count!n -> COUNT(n+1), bounded by guard at 3.
+	env.MustDefine("COUNT", []string{"n"},
+		Guard(Binary{Op: OpLe, L: V("n"), R: LitInt(3)},
+			Prefix("count", []CommField{Out(V("n"))},
+				Call("COUNT", Binary{Op: OpAdd, L: V("n"), R: LitInt(1)}))))
+	sem := NewSemantics(env, ctx)
+	ts, err := Traces(sem, Call("COUNT", LitInt(0)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Trace{
+		Ev("count", Int(0)), Ev("count", Int(1)),
+		Ev("count", Int(2)), Ev("count", Int(3)),
+	}
+	if !ts.Contains(want) {
+		t.Errorf("counter missing trace %s; have %d traces", want, ts.Len())
+	}
+	if ts.Contains(Trace{Ev("count", Int(0)), Ev("count", Int(0))}) {
+		t.Error("counter repeated a value")
+	}
+}
+
+func TestUnguardedRecursionDetected(t *testing.T) {
+	ctx := testContext(t)
+	env := NewEnv()
+	env.MustDefine("P", nil, Call("P"))
+	sem := NewSemantics(env, ctx)
+	_, err := sem.Transitions(Call("P"))
+	if err == nil {
+		t.Fatal("expected unguarded recursion error")
+	}
+	if !strings.Contains(err.Error(), "unguarded recursion") {
+		t.Errorf("error = %v, want unguarded recursion", err)
+	}
+}
+
+func TestUndefinedProcessError(t *testing.T) {
+	sem := newSem(t, testContext(t))
+	if _, err := sem.Transitions(Call("NoSuch")); err == nil {
+		t.Fatal("expected undefined process error")
+	}
+}
+
+func TestTraceHide(t *testing.T) {
+	tr := Trace{Ev("a"), Ev("b"), Ev("a")}
+	got := tr.Hide(Events(Ev("a")))
+	if !got.Equal(Trace{Ev("b")}) {
+		t.Errorf("trace hide = %s, want <b>", got)
+	}
+}
+
+func TestTracePrefixRelation(t *testing.T) {
+	long := Trace{Ev("a"), Ev("b"), Ev("c")}
+	if !long.HasPrefix(Trace{Ev("a"), Ev("b")}) {
+		t.Error("prefix relation failed on genuine prefix")
+	}
+	if long.HasPrefix(Trace{Ev("b")}) {
+		t.Error("prefix relation accepted non-prefix")
+	}
+}
+
+func TestEventSetProduction(t *testing.T) {
+	ctx := testContext(t)
+	set := EventsOf("ch")
+	if !set.Contains(Ev("ch", Sym("m1"))) {
+		t.Error("production set {|ch|} missing ch.m1")
+	}
+	if set.Contains(Ev("a")) {
+		t.Error("production set {|ch|} contains a")
+	}
+	evs := set.Enumerate(ctx)
+	if len(evs) != 3 {
+		t.Errorf("enumerated %d events, want 3", len(evs))
+	}
+}
+
+func TestContextEnumeration(t *testing.T) {
+	ctx := testContext(t)
+	all := ctx.AllEvents()
+	// a, b, c plus 3 ch.* events.
+	if len(all) != 6 {
+		t.Errorf("alphabet size = %d, want 6", len(all))
+	}
+	if err := ctx.DeclareChannel("a"); err == nil {
+		t.Error("duplicate channel declaration accepted")
+	}
+}
+
+func TestDataTypeWithPayload(t *testing.T) {
+	key := EnumType("Key", "k1", "k2")
+	payload := EnumType("Payload", "p1")
+	dt := DataType{
+		TypeName: "Packet",
+		Ctors: []Ctor{
+			{Head: "plain", Fields: []Type{payload}},
+			{Head: "mac", Fields: []Type{key, payload}},
+		},
+	}
+	vals := dt.Values()
+	if len(vals) != 3 { // plain.p1, mac.k1.p1, mac.k2.p1
+		t.Fatalf("datatype has %d values, want 3", len(vals))
+	}
+	if !dt.Contains(NewDotted("mac", Sym("k1"), Sym("p1"))) {
+		t.Error("datatype missing mac.k1.p1")
+	}
+	if dt.Contains(NewDotted("mac", Sym("p1"), Sym("k1"))) {
+		t.Error("datatype accepted ill-typed mac.p1.k1")
+	}
+}
+
+func TestSubstShadowing(t *testing.T) {
+	// (ch?x -> ch!x -> STOP).Subst(x, m1) must not touch the bound x.
+	inner := Prefix("ch", []CommField{Out(V("x"))}, Stop())
+	p := Recv("ch", inner, "x")
+	q := p.Subst("x", Sym("m1"))
+	if q.Key() != p.Key() {
+		t.Errorf("substitution captured bound variable: %s != %s", q.Key(), p.Key())
+	}
+}
+
+func TestKeyDeterminism(t *testing.T) {
+	mk := func() Process {
+		return Par(
+			DoEvent("a", Stop()),
+			EventsOf("ch").Union(Events(Ev("b"))),
+			Hide(DoEvent("b", Skip()), Events(Ev("b"))),
+		)
+	}
+	if mk().Key() != mk().Key() {
+		t.Error("Key not deterministic for identical terms")
+	}
+}

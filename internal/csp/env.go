@@ -1,0 +1,80 @@
+package csp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Definition is a named, possibly parameterised, process equation
+// Name(params...) = Body.
+type Definition struct {
+	Name   string
+	Params []string
+	Body   Process
+}
+
+// Env is a set of process definitions, the binding environment in which
+// CallProc references are resolved. It corresponds to the equation
+// section of a CSPm script.
+type Env struct {
+	defs map[string]Definition
+}
+
+// NewEnv returns an empty definition environment.
+func NewEnv() *Env {
+	return &Env{defs: make(map[string]Definition)}
+}
+
+// Define registers a process equation. Redefinition is an error.
+func (e *Env) Define(name string, params []string, body Process) error {
+	if _, dup := e.defs[name]; dup {
+		return fmt.Errorf("process %q already defined", name)
+	}
+	e.defs[name] = Definition{Name: name, Params: params, Body: body}
+	return nil
+}
+
+// MustDefine is Define that panics on error; for static model building.
+func (e *Env) MustDefine(name string, params []string, body Process) {
+	if err := e.Define(name, params, body); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a definition by name.
+func (e *Env) Lookup(name string) (Definition, bool) {
+	d, ok := e.defs[name]
+	return d, ok
+}
+
+// Names returns the defined process names, sorted.
+func (e *Env) Names() []string {
+	out := make([]string, 0, len(e.defs))
+	for n := range e.defs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expand resolves a call: it evaluates the argument expressions and
+// substitutes them for the definition's parameters in its body.
+func (e *Env) Expand(c CallProc) (Process, error) {
+	def, ok := e.defs[c.Name]
+	if !ok {
+		return nil, fmt.Errorf("undefined process %q", c.Name)
+	}
+	if len(def.Params) != len(c.Args) {
+		return nil, fmt.Errorf("process %q expects %d argument(s), got %d",
+			c.Name, len(def.Params), len(c.Args))
+	}
+	body := def.Body
+	for i, p := range def.Params {
+		v, err := Eval(c.Args[i])
+		if err != nil {
+			return nil, fmt.Errorf("argument %d of %q: %w", i, c.Name, err)
+		}
+		body = body.Subst(p, v)
+	}
+	return body, nil
+}

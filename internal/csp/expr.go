@@ -1,0 +1,324 @@
+package csp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a side-effect-free expression evaluated when a process takes a
+// transition: process parameters, prefix guards and output fields are
+// expressions. After substitution of all bound variables an expression is
+// closed and Eval succeeds.
+type Expr interface {
+	// Key returns canonical syntax used for state hashing.
+	Key() string
+	// subst replaces free occurrences of the variable with a literal.
+	subst(name string, v Value) Expr
+}
+
+// Lit is a literal value.
+type Lit struct{ Val Value }
+
+// Key returns the literal's canonical form.
+func (l Lit) Key() string              { return l.Val.String() }
+func (l Lit) subst(string, Value) Expr { return l }
+
+// Var is a free variable reference, bound by an input prefix or a process
+// parameter.
+type Var struct{ Name string }
+
+// Key returns the variable name.
+func (v Var) Key() string { return v.Name }
+func (v Var) subst(name string, val Value) Expr {
+	if v.Name == name {
+		return Lit{Val: val}
+	}
+	return v
+}
+
+// BinOp enumerates binary operators of the expression language.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota + 1
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "and", OpOr: "or",
+}
+
+// String returns the operator's CSPm spelling.
+func (op BinOp) String() string { return binOpNames[op] }
+
+// Binary is a binary operation on two sub-expressions.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Key returns canonical parenthesised syntax.
+func (b Binary) Key() string {
+	return "(" + b.L.Key() + " " + b.Op.String() + " " + b.R.Key() + ")"
+}
+
+func (b Binary) subst(name string, v Value) Expr {
+	return Binary{Op: b.Op, L: b.L.subst(name, v), R: b.R.subst(name, v)}
+}
+
+// UnOp enumerates unary operators.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg UnOp = iota + 1
+	OpNot
+)
+
+// Unary is a unary operation on a sub-expression.
+type Unary struct {
+	Op UnOp
+	X  Expr
+}
+
+// Key returns canonical syntax.
+func (u Unary) Key() string {
+	if u.Op == OpNeg {
+		return "(-" + u.X.Key() + ")"
+	}
+	return "(not " + u.X.Key() + ")"
+}
+
+func (u Unary) subst(name string, v Value) Expr {
+	return Unary{Op: u.Op, X: u.X.subst(name, v)}
+}
+
+// DotExpr applies a datatype constructor to argument expressions,
+// producing a Dotted value, e.g. mac.k.m.
+type DotExpr struct {
+	Head Sym
+	Args []Expr
+}
+
+// Key returns canonical dotted syntax.
+func (d DotExpr) Key() string {
+	parts := make([]string, 0, len(d.Args)+1)
+	parts = append(parts, string(d.Head))
+	for _, a := range d.Args {
+		parts = append(parts, a.Key())
+	}
+	return strings.Join(parts, ".")
+}
+
+func (d DotExpr) subst(name string, v Value) Expr {
+	args := make([]Expr, len(d.Args))
+	for i, a := range d.Args {
+		args[i] = a.subst(name, v)
+	}
+	return DotExpr{Head: d.Head, Args: args}
+}
+
+// SetAddExpr evaluates to base ∪ {elem}: used by learning intruders that
+// extend their knowledge set.
+type SetAddExpr struct {
+	Base Expr
+	Elem Expr
+}
+
+// Key returns canonical union syntax.
+func (s SetAddExpr) Key() string { return "union(" + s.Base.Key() + ",{" + s.Elem.Key() + "})" }
+
+func (s SetAddExpr) subst(name string, v Value) Expr {
+	return SetAddExpr{Base: s.Base.subst(name, v), Elem: s.Elem.subst(name, v)}
+}
+
+// MemberExpr evaluates to membership of Elem in the SetValue denoted by
+// Set (CSPm's `member(x, S)`).
+type MemberExpr struct {
+	Elem Expr
+	Set  Expr
+}
+
+// Key returns canonical member syntax.
+func (m MemberExpr) Key() string { return "member(" + m.Elem.Key() + "," + m.Set.Key() + ")" }
+
+func (m MemberExpr) subst(name string, v Value) Expr {
+	return MemberExpr{Elem: m.Elem.subst(name, v), Set: m.Set.subst(name, v)}
+}
+
+// Helper constructors.
+
+// LitInt wraps an int as a literal expression.
+func LitInt(i int) Expr { return Lit{Val: Int(i)} }
+
+// LitBool wraps a bool as a literal expression.
+func LitBool(b bool) Expr { return Lit{Val: Bool(b)} }
+
+// LitSym wraps a symbol as a literal expression.
+func LitSym(s string) Expr { return Lit{Val: Sym(s)} }
+
+// V is shorthand for a variable reference.
+func V(name string) Expr { return Var{Name: name} }
+
+// Eval evaluates a closed expression. It returns an error if the
+// expression still contains free variables, divides by zero, or applies
+// an operator to operands of the wrong kind.
+func Eval(e Expr) (Value, error) {
+	switch x := e.(type) {
+	case Lit:
+		return x.Val, nil
+	case Var:
+		return nil, fmt.Errorf("unbound variable %q", x.Name)
+	case Unary:
+		v, err := Eval(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case OpNeg:
+			i, ok := v.(Int)
+			if !ok {
+				return nil, fmt.Errorf("negate non-integer %s", v)
+			}
+			return Int(-i), nil
+		case OpNot:
+			b, ok := v.(Bool)
+			if !ok {
+				return nil, fmt.Errorf("not of non-boolean %s", v)
+			}
+			return Bool(!b), nil
+		}
+		return nil, fmt.Errorf("unknown unary operator %d", x.Op)
+	case Binary:
+		return evalBinary(x)
+	case DotExpr:
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := Eval(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		if len(args) == 0 {
+			return x.Head, nil
+		}
+		return Dotted{Head: x.Head, Args: args}, nil
+	case SetAddExpr:
+		base, err := Eval(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		set, ok := base.(SetValue)
+		if !ok {
+			return nil, fmt.Errorf("union base is not a set: %s", base)
+		}
+		el, err := Eval(x.Elem)
+		if err != nil {
+			return nil, err
+		}
+		return set.Add(el), nil
+	case MemberExpr:
+		el, err := Eval(x.Elem)
+		if err != nil {
+			return nil, err
+		}
+		sv, err := Eval(x.Set)
+		if err != nil {
+			return nil, err
+		}
+		set, ok := sv.(SetValue)
+		if !ok {
+			return nil, fmt.Errorf("member of non-set %s", sv)
+		}
+		return Bool(set.Contains(el)), nil
+	case nil:
+		return nil, fmt.Errorf("nil expression")
+	}
+	return nil, fmt.Errorf("unknown expression %T", e)
+}
+
+func evalBinary(b Binary) (Value, error) {
+	lv, err := Eval(b.L)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit booleans.
+	if b.Op == OpAnd || b.Op == OpOr {
+		lb, ok := lv.(Bool)
+		if !ok {
+			return nil, fmt.Errorf("boolean operator on %s", lv)
+		}
+		if b.Op == OpAnd && !bool(lb) {
+			return Bool(false), nil
+		}
+		if b.Op == OpOr && bool(lb) {
+			return Bool(true), nil
+		}
+		rv, err := Eval(b.R)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := rv.(Bool)
+		if !ok {
+			return nil, fmt.Errorf("boolean operator on %s", rv)
+		}
+		return rb, nil
+	}
+	rv, err := Eval(b.R)
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case OpEq:
+		return Bool(lv.Equal(rv)), nil
+	case OpNe:
+		return Bool(!lv.Equal(rv)), nil
+	}
+	li, lok := lv.(Int)
+	ri, rok := rv.(Int)
+	if !lok || !rok {
+		return nil, fmt.Errorf("arithmetic on non-integers %s %s %s", lv, b.Op, rv)
+	}
+	switch b.Op {
+	case OpAdd:
+		return li + ri, nil
+	case OpSub:
+		return li - ri, nil
+	case OpMul:
+		return li * ri, nil
+	case OpDiv:
+		if ri == 0 {
+			return nil, fmt.Errorf("division by zero")
+		}
+		return li / ri, nil
+	case OpMod:
+		if ri == 0 {
+			return nil, fmt.Errorf("modulo by zero")
+		}
+		return li % ri, nil
+	case OpLt:
+		return Bool(li < ri), nil
+	case OpLe:
+		return Bool(li <= ri), nil
+	case OpGt:
+		return Bool(li > ri), nil
+	case OpGe:
+		return Bool(li >= ri), nil
+	}
+	return nil, fmt.Errorf("unknown binary operator %d", b.Op)
+}

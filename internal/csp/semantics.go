@@ -1,0 +1,312 @@
+package csp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transition is one step of the operational semantics: the process can
+// perform Ev and then behave as To.
+type Transition struct {
+	Ev Event
+	To Process
+}
+
+// ErrUnguardedRecursion is returned when expanding process calls exceeds
+// the expansion budget without reaching a prefix, which indicates an
+// unguarded recursive definition such as P = P.
+var ErrUnguardedRecursion = errors.New("unguarded recursion: expansion budget exceeded")
+
+// maxExpansions bounds how many CallProc expansions may occur while
+// computing the transitions of a single term.
+const maxExpansions = 4096
+
+// Semantics computes operational-semantics transitions of process terms
+// within a fixed definition environment and channel context.
+type Semantics struct {
+	Env *Env
+	Ctx *Context
+}
+
+// NewSemantics pairs a definition environment with a channel context.
+func NewSemantics(env *Env, ctx *Context) *Semantics {
+	return &Semantics{Env: env, Ctx: ctx}
+}
+
+// Transitions returns every transition the term can perform.
+func (s *Semantics) Transitions(p Process) ([]Transition, error) {
+	budget := maxExpansions
+	return s.transitions(p, &budget)
+}
+
+func (s *Semantics) transitions(p Process, budget *int) ([]Transition, error) {
+	switch t := p.(type) {
+	case StopProc, OmegaProc:
+		return nil, nil
+	case SkipProc:
+		return []Transition{{Ev: Tick(), To: OmegaProc{}}}, nil
+	case PrefixProc:
+		return s.prefixTransitions(t)
+	case ExtChoiceProc:
+		return s.extChoiceTransitions(t, budget)
+	case IntChoiceProc:
+		return []Transition{
+			{Ev: Tau(), To: t.L},
+			{Ev: Tau(), To: t.R},
+		}, nil
+	case SeqProc:
+		return s.seqTransitions(t, budget)
+	case ParProc:
+		return s.parTransitions(t, budget)
+	case HideProc:
+		return s.hideTransitions(t, budget)
+	case RenameProc:
+		return s.renameTransitions(t, budget)
+	case IfProc:
+		v, err := Eval(t.Cond)
+		if err != nil {
+			return nil, fmt.Errorf("conditional guard: %w", err)
+		}
+		b, ok := v.(Bool)
+		if !ok {
+			return nil, fmt.Errorf("conditional guard is not boolean: %s", v)
+		}
+		if b {
+			return s.transitions(t.Then, budget)
+		}
+		return s.transitions(t.Else, budget)
+	case CallProc:
+		if *budget <= 0 {
+			return nil, fmt.Errorf("expanding %s: %w", t.Key(), ErrUnguardedRecursion)
+		}
+		*budget--
+		body, err := s.Env.Expand(t)
+		if err != nil {
+			return nil, err
+		}
+		return s.transitions(body, budget)
+	case nil:
+		return nil, errors.New("nil process")
+	}
+	return nil, fmt.Errorf("unknown process node %T", p)
+}
+
+// prefixTransitions enumerates the concrete events a prefix offers. Input
+// fields range over the channel's declared field type (filtered by any
+// restriction predicate); output fields are evaluated and validated
+// against the field type.
+func (s *Semantics) prefixTransitions(p PrefixProc) ([]Transition, error) {
+	ch, ok := s.Ctx.Channel(p.Chan)
+	if !ok {
+		return nil, fmt.Errorf("prefix on undeclared channel %q", p.Chan)
+	}
+	if len(p.Fields) != len(ch.Fields) {
+		return nil, fmt.Errorf("channel %q has %d field(s), prefix supplies %d",
+			p.Chan, len(ch.Fields), len(p.Fields))
+	}
+	var out []Transition
+	args := make([]Value, len(p.Fields))
+	var rec func(i int, cont Process, rest []CommField) error
+	rec = func(i int, cont Process, rest []CommField) error {
+		if i == len(p.Fields) {
+			cp := make([]Value, len(args))
+			copy(cp, args)
+			out = append(out, Transition{
+				Ev: Event{Chan: p.Chan, Args: cp},
+				To: cont,
+			})
+			return nil
+		}
+		f := rest[0]
+		if !f.IsInput {
+			v, err := Eval(f.Expr)
+			if err != nil {
+				return fmt.Errorf("output field %d of channel %q: %w", i, p.Chan, err)
+			}
+			if !ch.Fields[i].Contains(v) {
+				return fmt.Errorf("value %s outside domain %s of channel %q field %d",
+					v, ch.Fields[i].Name(), p.Chan, i)
+			}
+			args[i] = v
+			return rec(i+1, cont, rest[1:])
+		}
+		for _, v := range ch.Fields[i].Values() {
+			if f.Restrict != nil {
+				rv, err := Eval(f.Restrict.subst(f.Var, v))
+				if err != nil {
+					return fmt.Errorf("input restriction on %q: %w", f.Var, err)
+				}
+				b, ok := rv.(Bool)
+				if !ok {
+					return fmt.Errorf("input restriction on %q is not boolean", f.Var)
+				}
+				if !b {
+					continue
+				}
+			}
+			args[i] = v
+			// Bind the input variable in the remaining fields and the
+			// continuation.
+			nrest := make([]CommField, len(rest)-1)
+			for j, rf := range rest[1:] {
+				nf := rf
+				if rf.IsInput {
+					if rf.Restrict != nil && rf.Var != f.Var {
+						nf.Restrict = rf.Restrict.subst(f.Var, v)
+					}
+				} else {
+					nf.Expr = rf.Expr.subst(f.Var, v)
+				}
+				nrest[j] = nf
+				if rf.IsInput && rf.Var == f.Var {
+					// Shadowed: stop substituting further (copy rest as-is).
+					copy(nrest[j+1:], rest[j+2:])
+					break
+				}
+			}
+			ncont := cont.Subst(f.Var, v)
+			if err := rec(i+1, ncont, nrest); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, p.Cont, p.Fields); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Semantics) extChoiceTransitions(p ExtChoiceProc, budget *int) ([]Transition, error) {
+	lt, err := s.transitions(p.L, budget)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := s.transitions(p.R, budget)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Transition, 0, len(lt)+len(rt))
+	for _, tr := range lt {
+		if tr.Ev.IsTau() {
+			// Tau does not resolve external choice.
+			out = append(out, Transition{Ev: Tau(), To: ExtChoiceProc{L: tr.To, R: p.R}})
+		} else {
+			out = append(out, tr)
+		}
+	}
+	for _, tr := range rt {
+		if tr.Ev.IsTau() {
+			out = append(out, Transition{Ev: Tau(), To: ExtChoiceProc{L: p.L, R: tr.To}})
+		} else {
+			out = append(out, tr)
+		}
+	}
+	return out, nil
+}
+
+func (s *Semantics) seqTransitions(p SeqProc, budget *int) ([]Transition, error) {
+	lt, err := s.transitions(p.L, budget)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Transition, 0, len(lt))
+	for _, tr := range lt {
+		if tr.Ev.IsTick() {
+			// Termination of the first component is internal to P;Q.
+			out = append(out, Transition{Ev: Tau(), To: p.R})
+		} else {
+			out = append(out, Transition{Ev: tr.Ev, To: SeqProc{L: tr.To, R: p.R}})
+		}
+	}
+	return out, nil
+}
+
+func (s *Semantics) parTransitions(p ParProc, budget *int) ([]Transition, error) {
+	lt, err := s.transitions(p.L, budget)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := s.transitions(p.R, budget)
+	if err != nil {
+		return nil, err
+	}
+	var out []Transition
+	leftTick, rightTick := false, false
+	for _, tr := range lt {
+		switch {
+		case tr.Ev.IsTick():
+			leftTick = true
+		case tr.Ev.IsTau() || !p.Sync.Contains(tr.Ev):
+			out = append(out, Transition{Ev: tr.Ev, To: ParProc{L: tr.To, R: p.R, Sync: p.Sync}})
+		}
+	}
+	for _, tr := range rt {
+		switch {
+		case tr.Ev.IsTick():
+			rightTick = true
+		case tr.Ev.IsTau() || !p.Sync.Contains(tr.Ev):
+			out = append(out, Transition{Ev: tr.Ev, To: ParProc{L: p.L, R: tr.To, Sync: p.Sync}})
+		}
+	}
+	// Synchronised events: both components must agree on the event.
+	for _, ltr := range lt {
+		if !ltr.Ev.IsVisible() || !p.Sync.Contains(ltr.Ev) {
+			continue
+		}
+		for _, rtr := range rt {
+			if rtr.Ev.IsVisible() && p.Sync.Contains(rtr.Ev) && ltr.Ev.Equal(rtr.Ev) {
+				out = append(out, Transition{
+					Ev: ltr.Ev,
+					To: ParProc{L: ltr.To, R: rtr.To, Sync: p.Sync},
+				})
+			}
+		}
+	}
+	// Distributed termination: the composition terminates when both can.
+	if leftTick && rightTick {
+		out = append(out, Transition{Ev: Tick(), To: OmegaProc{}})
+	}
+	return out, nil
+}
+
+func (s *Semantics) hideTransitions(p HideProc, budget *int) ([]Transition, error) {
+	inner, err := s.transitions(p.P, budget)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Transition, 0, len(inner))
+	for _, tr := range inner {
+		switch {
+		case tr.Ev.IsTick():
+			out = append(out, Transition{Ev: Tick(), To: OmegaProc{}})
+		case p.Set.Contains(tr.Ev):
+			out = append(out, Transition{Ev: Tau(), To: HideProc{P: tr.To, Set: p.Set}})
+		default:
+			out = append(out, Transition{Ev: tr.Ev, To: HideProc{P: tr.To, Set: p.Set}})
+		}
+	}
+	return out, nil
+}
+
+func (s *Semantics) renameTransitions(p RenameProc, budget *int) ([]Transition, error) {
+	inner, err := s.transitions(p.P, budget)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Transition, 0, len(inner))
+	for _, tr := range inner {
+		ev := tr.Ev
+		if ev.IsVisible() {
+			if to, ok := p.Mapping[ev.Chan]; ok {
+				ev = Event{Chan: to, Args: ev.Args}
+			}
+		}
+		if tr.Ev.IsTick() {
+			out = append(out, Transition{Ev: Tick(), To: OmegaProc{}})
+			continue
+		}
+		out = append(out, Transition{Ev: ev, To: RenameProc{P: tr.To, Mapping: p.Mapping}})
+	}
+	return out, nil
+}

@@ -1,0 +1,298 @@
+package cspm
+
+// Script is a parsed CSPm file: declarations, process equations and
+// assertions, in source order.
+type Script struct {
+	Decls   []Decl
+	Asserts []Assertion
+}
+
+// Decl is a top-level declaration.
+type Decl interface{ isDecl() }
+
+// ChannelDecl declares one or more channels sharing a field signature:
+// channel a, b : T1.T2 (or channel done for event channels).
+type ChannelDecl struct {
+	Names  []string
+	Fields []TypeExpr
+}
+
+func (ChannelDecl) isDecl() {}
+
+// CtorDecl is one constructor of a datatype declaration.
+type CtorDecl struct {
+	Name   string
+	Fields []TypeExpr
+}
+
+// DatatypeDecl declares datatype Name = C1 | C2.T | ...
+type DatatypeDecl struct {
+	Name  string
+	Ctors []CtorDecl
+}
+
+func (DatatypeDecl) isDecl() {}
+
+// NametypeDecl declares nametype Name = <set>, e.g. nametype N = {0..3}.
+type NametypeDecl struct {
+	Name string
+	Set  SetExpr
+}
+
+func (NametypeDecl) isDecl() {}
+
+// ProcDef is a process equation Name(params) = Body.
+type ProcDef struct {
+	Name   string
+	Params []string
+	Body   ProcExpr
+}
+
+func (ProcDef) isDecl() {}
+
+// TypeExpr denotes a channel-field or constructor-field type.
+type TypeExpr interface{ isTypeExpr() }
+
+// TypeRef names a declared datatype or nametype (or the builtin Bool).
+type TypeRef struct{ Name string }
+
+func (TypeRef) isTypeExpr() {}
+
+// TypeRange is the literal integer range {lo..hi}.
+type TypeRange struct{ Lo, Hi int }
+
+func (TypeRange) isTypeExpr() {}
+
+// SetExpr denotes a set of events or of plain values.
+type SetExpr interface{ isSetExpr() }
+
+// ProdSet is the production set {| c1, c2 |}: every event of the listed
+// channels.
+type ProdSet struct{ Channels []string }
+
+func (ProdSet) isSetExpr() {}
+
+// ExplicitSet is {e1, e2, ...} with dotted-value elements.
+type ExplicitSet struct{ Elems []ExprE }
+
+func (ExplicitSet) isSetExpr() {}
+
+// RangeSet is {lo..hi}.
+type RangeSet struct{ Lo, Hi int }
+
+func (RangeSet) isSetExpr() {}
+
+// SetRef names a declared nametype or datatype used as a set.
+type SetRef struct{ Name string }
+
+func (SetRef) isSetExpr() {}
+
+// SetUnion is union(S, T).
+type SetUnion struct{ L, R SetExpr }
+
+func (SetUnion) isSetExpr() {}
+
+// ExprE is a value expression in the CSPm syntax tree. Identifier
+// resolution (constructor vs bound variable) happens at evaluation.
+type ExprE interface{ isExprE() }
+
+// IntE is an integer literal.
+type IntE struct{ Val int }
+
+func (IntE) isExprE() {}
+
+// BoolE is a boolean literal.
+type BoolE struct{ Val bool }
+
+func (BoolE) isExprE() {}
+
+// IdentE is an identifier: a constructor, a bound variable, or (in
+// process position) a process name.
+type IdentE struct{ Name string }
+
+func (IdentE) isExprE() {}
+
+// DottedE is a constructor application in dotted form: Head.e1.e2.
+type DottedE struct {
+	Head string
+	Args []ExprE
+}
+
+func (DottedE) isExprE() {}
+
+// BinE is a binary operation.
+type BinE struct {
+	Op   string // one of + - * / % == != < <= > >= and or
+	L, R ExprE
+}
+
+func (BinE) isExprE() {}
+
+// UnE is a unary operation ("-" or "not").
+type UnE struct {
+	Op string
+	X  ExprE
+}
+
+func (UnE) isExprE() {}
+
+// MemberE is member(x, S).
+type MemberE struct {
+	Elem ExprE
+	Set  SetExpr
+}
+
+func (MemberE) isExprE() {}
+
+// ProcExpr is a process expression.
+type ProcExpr interface{ isProcExpr() }
+
+// StopE is STOP.
+type StopE struct{}
+
+func (StopE) isProcExpr() {}
+
+// SkipE is SKIP.
+type SkipE struct{}
+
+func (SkipE) isProcExpr() {}
+
+// FieldE is one communication field of a prefix.
+type FieldE struct {
+	Kind FieldKind
+	Var  string  // input binder (FieldIn)
+	In   SetExpr // optional input restriction c?x:S (FieldIn)
+	Expr ExprE   // output value (FieldOut / FieldDot)
+}
+
+// FieldKind distinguishes the prefix field syntaxes.
+type FieldKind int
+
+// Prefix field kinds.
+const (
+	FieldDot FieldKind = iota + 1 // .e
+	FieldOut                      // !e
+	FieldIn                       // ?x or ?x:S
+)
+
+// PrefixE is the prefix process c<fields> -> Cont.
+type PrefixE struct {
+	Chan   string
+	Fields []FieldE
+	Cont   ProcExpr
+}
+
+func (PrefixE) isProcExpr() {}
+
+// CallE references a process equation, possibly with arguments.
+type CallE struct {
+	Name string
+	Args []ExprE
+}
+
+func (CallE) isProcExpr() {}
+
+// BinProcE is a binary process operator application.
+type BinProcE struct {
+	Op   ProcOp
+	L, R ProcExpr
+	Sync SetExpr // for OpGenPar
+}
+
+func (BinProcE) isProcExpr() {}
+
+// ProcOp enumerates binary process operators.
+type ProcOp int
+
+// Binary process operators.
+const (
+	OpExtChoice  ProcOp = iota + 1 // []
+	OpIntChoice                    // |~|
+	OpSeqComp                      // ;
+	OpInterleave                   // |||
+	OpGenPar                       // [| A |]
+)
+
+// ReplE is a replicated operator: [] x:S @ P (replicated external
+// choice) or ||| x:S @ P (replicated interleaving), expanding the body
+// over every member of the set.
+type ReplE struct {
+	Op   ProcOp // OpExtChoice or OpInterleave
+	Var  string
+	Set  SetExpr
+	Body ProcExpr
+}
+
+func (ReplE) isProcExpr() {}
+
+// HideE is P \ A.
+type HideE struct {
+	P   ProcExpr
+	Set SetExpr
+}
+
+func (HideE) isProcExpr() {}
+
+// RenameE is P[[a <- b, ...]] (channel renaming).
+type RenameE struct {
+	P     ProcExpr
+	Pairs [][2]string
+}
+
+func (RenameE) isProcExpr() {}
+
+// IfE is if b then P else Q.
+type IfE struct {
+	Cond ExprE
+	Then ProcExpr
+	Else ProcExpr
+}
+
+func (IfE) isProcExpr() {}
+
+// GuardE is b & P.
+type GuardE struct {
+	Cond ExprE
+	P    ProcExpr
+}
+
+func (GuardE) isProcExpr() {}
+
+// AssertKind enumerates assertion forms.
+type AssertKind int
+
+// Assertion kinds.
+const (
+	AssertTraceRef AssertKind = iota + 1 // SPEC [T= IMPL
+	AssertFailRef                        // SPEC [F= IMPL
+	AssertFDRef                          // SPEC [FD= IMPL
+	AssertDeadlockFree
+	AssertDivergenceFree
+)
+
+// String names the assertion form using FDR's notation.
+func (k AssertKind) String() string {
+	switch k {
+	case AssertTraceRef:
+		return "[T="
+	case AssertFailRef:
+		return "[F="
+	case AssertFDRef:
+		return "[FD="
+	case AssertDeadlockFree:
+		return ":[deadlock free]"
+	case AssertDivergenceFree:
+		return ":[divergence free]"
+	}
+	return "?"
+}
+
+// Assertion is a checkable claim: a refinement between two process
+// expressions, or a deadlock/divergence-freedom property of one.
+type Assertion struct {
+	Kind AssertKind
+	Spec ProcExpr // left-hand side for refinements
+	Impl ProcExpr // right-hand side; the subject for property asserts
+	// Text is the original source fragment, for reporting.
+	Text string
+}

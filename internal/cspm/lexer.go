@@ -1,0 +1,268 @@
+package cspm
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// SyntaxError is a lexical or parse error with source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("cspm:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenises an entire CSPm source, returning the token stream
+// terminated by TokEOF.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekAt(n int) rune {
+	if lx.pos+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+n]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '-' && lx.peekAt(1) == '-':
+			// Line comment. But "->" must not be eaten: '--' is safe.
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '{' && lx.peekAt(1) == '-':
+			// Block comment {- ... -}, nesting not supported (as in CSPm).
+			startLine, startCol := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.pos >= len(lx.src) {
+					return &SyntaxError{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+				}
+				if lx.peek() == '-' && lx.peekAt(1) == '}' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || r == '\'' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: lx.line, Col: lx.col}
+	if lx.pos >= len(lx.src) {
+		tok.Kind = TokEOF
+		return tok, nil
+	}
+	r := lx.peek()
+
+	switch {
+	case isIdentStart(r):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentCont(lx.peek()) {
+			lx.advance()
+		}
+		text := string(lx.src[start:lx.pos])
+		if kw, ok := keywords[text]; ok {
+			tok.Kind = kw
+			tok.Text = text
+			return tok, nil
+		}
+		tok.Kind = TokIdent
+		tok.Text = text
+		return tok, nil
+
+	case unicode.IsDigit(r):
+		start := lx.pos
+		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {
+			lx.advance()
+		}
+		text := string(lx.src[start:lx.pos])
+		n, err := strconv.Atoi(text)
+		if err != nil {
+			return Token{}, lx.errf("bad integer literal %q", text)
+		}
+		tok.Kind = TokInt
+		tok.Int = n
+		tok.Text = text
+		return tok, nil
+	}
+
+	two := string(r) + string(lx.peekAt(1))
+	three := two + string(lx.peekAt(2))
+	four := three + string(lx.peekAt(3))
+
+	consume := func(kind TokKind, n int) (Token, error) {
+		for i := 0; i < n; i++ {
+			lx.advance()
+		}
+		tok.Kind = kind
+		return tok, nil
+	}
+
+	if four == "[FD=" {
+		return consume(TokRefFD, 4)
+	}
+	switch three {
+	case "|~|":
+		return consume(TokIntCh, 3)
+	case "|||":
+		return consume(TokIleave, 3)
+	case "[T=":
+		return consume(TokRefT, 3)
+	case "[F=":
+		return consume(TokRefF, 3)
+	}
+	switch two {
+	case "->":
+		return consume(TokArrow, 2)
+	case "{|":
+		return consume(TokLProd, 2)
+	case "|}":
+		return consume(TokRProd, 2)
+	case "[]":
+		return consume(TokBox, 2)
+	case "[|":
+		return consume(TokLPar, 2)
+	case "|]":
+		return consume(TokRPar, 2)
+	case "[[":
+		return consume(TokLRename, 2)
+	case "]]":
+		return consume(TokRRename, 2)
+	case "<-":
+		return consume(TokLArrow, 2)
+	case "==":
+		return consume(TokEq, 2)
+	case "!=":
+		return consume(TokNe, 2)
+	case "<=":
+		return consume(TokLe, 2)
+	case ">=":
+		return consume(TokGe, 2)
+	case "..":
+		return consume(TokDotDot, 2)
+	case ":[":
+		return consume(TokColLBrack, 2)
+	}
+	switch r {
+	case '=':
+		return consume(TokEquals, 1)
+	case '(':
+		return consume(TokLParen, 1)
+	case ')':
+		return consume(TokRParen, 1)
+	case '{':
+		return consume(TokLBrace, 1)
+	case '}':
+		return consume(TokRBrace, 1)
+	case ',':
+		return consume(TokComma, 1)
+	case ':':
+		return consume(TokColon, 1)
+	case ';':
+		return consume(TokSemi, 1)
+	case '|':
+		return consume(TokBar, 1)
+	case '.':
+		return consume(TokDot, 1)
+	case '?':
+		return consume(TokQuestion, 1)
+	case '!':
+		return consume(TokBang, 1)
+	case '\\':
+		return consume(TokBackslash, 1)
+	case '&':
+		return consume(TokAmp, 1)
+	case '@':
+		return consume(TokAt, 1)
+	case '<':
+		return consume(TokLt, 1)
+	case '>':
+		return consume(TokGt, 1)
+	case '+':
+		return consume(TokPlus, 1)
+	case '-':
+		return consume(TokMinus, 1)
+	case '*':
+		return consume(TokStar, 1)
+	case '/':
+		return consume(TokSlash, 1)
+	case '%':
+		return consume(TokPercent, 1)
+	case ']':
+		return consume(TokRBrack, 1)
+	}
+	return Token{}, lx.errf("unexpected character %q", string(r))
+}

@@ -1,0 +1,930 @@
+package cspm
+
+import (
+	"fmt"
+)
+
+// Parse lexes and parses a CSPm source into a Script.
+func Parse(src string) (*Script, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseScript()
+}
+
+// ParseProcess parses a single process expression, used by tests and by
+// tools that accept process expressions on the command line.
+func ParseProcess(src string) (ProcExpr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	proc, err := p.parseProc()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("unexpected %s after process expression", p.peek())
+	}
+	return proc, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peek2() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k TokKind) (Token, bool) {
+	if p.peek().Kind == k {
+		return p.advance(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.peek().Kind == k {
+		return p.advance(), nil
+	}
+	return Token{}, p.errf("expected %s, found %s", k, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseScript() (*Script, error) {
+	s := &Script{}
+	for p.peek().Kind != TokEOF {
+		switch p.peek().Kind {
+		case TokChannel:
+			d, err := p.parseChannelDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Decls = append(s.Decls, d)
+		case TokDatatype:
+			d, err := p.parseDatatypeDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Decls = append(s.Decls, d)
+		case TokNametype:
+			d, err := p.parseNametypeDecl()
+			if err != nil {
+				return nil, err
+			}
+			s.Decls = append(s.Decls, d)
+		case TokAssert:
+			a, err := p.parseAssert()
+			if err != nil {
+				return nil, err
+			}
+			s.Asserts = append(s.Asserts, a)
+		case TokIdent:
+			d, err := p.parseProcDef()
+			if err != nil {
+				return nil, err
+			}
+			s.Decls = append(s.Decls, d)
+		default:
+			return nil, p.errf("expected declaration, found %s", p.peek())
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseChannelDecl() (Decl, error) {
+	if _, err := p.expect(TokChannel); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		id, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, id.Text)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	var fields []TypeExpr
+	if _, ok := p.accept(TokColon); ok {
+		for {
+			te, err := p.parseTypeExpr()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, te)
+			if _, ok := p.accept(TokDot); !ok {
+				break
+			}
+		}
+	}
+	return ChannelDecl{Names: names, Fields: fields}, nil
+}
+
+func (p *parser) parseTypeExpr() (TypeExpr, error) {
+	switch p.peek().Kind {
+	case TokIdent:
+		return TypeRef{Name: p.advance().Text}, nil
+	case TokLBrace:
+		p.advance()
+		lo, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDotDot); err != nil {
+			return nil, err
+		}
+		hi, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return TypeRange{Lo: lo.Int, Hi: hi.Int}, nil
+	}
+	return nil, p.errf("expected type, found %s", p.peek())
+}
+
+func (p *parser) parseDatatypeDecl() (Decl, error) {
+	if _, err := p.expect(TokDatatype); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEquals); err != nil {
+		return nil, err
+	}
+	var ctors []CtorDecl
+	for {
+		c, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		ctor := CtorDecl{Name: c.Text}
+		for p.peek().Kind == TokDot {
+			p.advance()
+			te, err := p.parseTypeExpr()
+			if err != nil {
+				return nil, err
+			}
+			ctor.Fields = append(ctor.Fields, te)
+		}
+		ctors = append(ctors, ctor)
+		if _, ok := p.accept(TokBar); !ok {
+			break
+		}
+	}
+	return DatatypeDecl{Name: name.Text, Ctors: ctors}, nil
+}
+
+func (p *parser) parseNametypeDecl() (Decl, error) {
+	if _, err := p.expect(TokNametype); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEquals); err != nil {
+		return nil, err
+	}
+	set, err := p.parseSet()
+	if err != nil {
+		return nil, err
+	}
+	return NametypeDecl{Name: name.Text, Set: set}, nil
+}
+
+func (p *parser) parseProcDef() (Decl, error) {
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	var params []string
+	if _, ok := p.accept(TokLParen); ok {
+		for {
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, id.Text)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokEquals); err != nil {
+		return nil, err
+	}
+	body, err := p.parseProc()
+	if err != nil {
+		return nil, err
+	}
+	return ProcDef{Name: name.Text, Params: params, Body: body}, nil
+}
+
+func (p *parser) parseAssert() (Assertion, error) {
+	start := p.pos
+	if _, err := p.expect(TokAssert); err != nil {
+		return Assertion{}, err
+	}
+	lhs, err := p.parseProc()
+	if err != nil {
+		return Assertion{}, err
+	}
+	a := Assertion{}
+	switch p.peek().Kind {
+	case TokRefT, TokRefF, TokRefFD:
+		op := p.advance()
+		rhs, err := p.parseProc()
+		if err != nil {
+			return Assertion{}, err
+		}
+		a.Spec, a.Impl = lhs, rhs
+		switch op.Kind {
+		case TokRefT:
+			a.Kind = AssertTraceRef
+		case TokRefF:
+			a.Kind = AssertFailRef
+		default:
+			a.Kind = AssertFDRef
+		}
+	case TokColLBrack:
+		p.advance()
+		kind, err := p.expect(TokIdent)
+		if err != nil {
+			return Assertion{}, err
+		}
+		free, err := p.expect(TokIdent)
+		if err != nil {
+			return Assertion{}, err
+		}
+		if free.Text != "free" {
+			return Assertion{}, p.errf("expected 'free' in property assertion")
+		}
+		if _, err := p.expect(TokRBrack); err != nil {
+			return Assertion{}, err
+		}
+		switch kind.Text {
+		case "deadlock":
+			a.Kind = AssertDeadlockFree
+		case "divergence":
+			a.Kind = AssertDivergenceFree
+		default:
+			return Assertion{}, p.errf("unknown property %q (want deadlock or divergence)", kind.Text)
+		}
+		a.Impl = lhs
+	default:
+		return Assertion{}, p.errf("expected [T=, [F=, [FD= or :[ in assertion, found %s", p.peek())
+	}
+	a.Text = p.sourceRange(start, p.pos)
+	return a, nil
+}
+
+func (p *parser) sourceRange(from, to int) string {
+	out := ""
+	for i := from; i < to && i < len(p.toks); i++ {
+		t := p.toks[i]
+		if out != "" {
+			out += " "
+		}
+		switch t.Kind {
+		case TokIdent:
+			out += t.Text
+		case TokInt:
+			out += t.Text
+		default:
+			out += t.Kind.String()
+		}
+	}
+	return out
+}
+
+// --- Process expressions ----------------------------------------------
+
+// parseProc parses at the loosest precedence: internal choice.
+func (p *parser) parseProc() (ProcExpr, error) {
+	left, err := p.parseExtChoice()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokIntCh {
+		p.advance()
+		right, err := p.parseExtChoice()
+		if err != nil {
+			return nil, err
+		}
+		left = BinProcE{Op: OpIntChoice, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseExtChoice() (ProcExpr, error) {
+	left, err := p.parsePar()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokBox {
+		p.advance()
+		right, err := p.parsePar()
+		if err != nil {
+			return nil, err
+		}
+		left = BinProcE{Op: OpExtChoice, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePar() (ProcExpr, error) {
+	left, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokIleave:
+			p.advance()
+			right, err := p.parseSeq()
+			if err != nil {
+				return nil, err
+			}
+			left = BinProcE{Op: OpInterleave, L: left, R: right}
+		case TokLPar:
+			p.advance()
+			sync, err := p.parseSet()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRPar); err != nil {
+				return nil, err
+			}
+			right, err := p.parseSeq()
+			if err != nil {
+				return nil, err
+			}
+			left = BinProcE{Op: OpGenPar, L: left, R: right, Sync: sync}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseSeq() (ProcExpr, error) {
+	left, err := p.parseGuard()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokSemi {
+		p.advance()
+		right, err := p.parseGuard()
+		if err != nil {
+			return nil, err
+		}
+		left = BinProcE{Op: OpSeqComp, L: left, R: right}
+	}
+	return left, nil
+}
+
+// parseGuard handles b & P by speculative expression parsing.
+func (p *parser) parseGuard() (ProcExpr, error) {
+	save := p.pos
+	if expr, err := p.parseExpr(); err == nil && p.peek().Kind == TokAmp {
+		p.advance()
+		body, err := p.parseGuard()
+		if err != nil {
+			return nil, err
+		}
+		return GuardE{Cond: expr, P: body}, nil
+	}
+	p.pos = save
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (ProcExpr, error) {
+	proc, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokBackslash:
+			p.advance()
+			set, err := p.parseSet()
+			if err != nil {
+				return nil, err
+			}
+			proc = HideE{P: proc, Set: set}
+		case TokLRename:
+			p.advance()
+			var pairs [][2]string
+			for {
+				from, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokLArrow); err != nil {
+					return nil, err
+				}
+				to, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				pairs = append(pairs, [2]string{from.Text, to.Text})
+				if _, ok := p.accept(TokComma); !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TokRRename); err != nil {
+				return nil, err
+			}
+			proc = RenameE{P: proc, Pairs: pairs}
+		default:
+			return proc, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (ProcExpr, error) {
+	switch p.peek().Kind {
+	case TokBox, TokIleave:
+		return p.parseReplicated()
+	case TokStop:
+		p.advance()
+		return StopE{}, nil
+	case TokSkip:
+		p.advance()
+		return SkipE{}, nil
+	case TokIf:
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokThen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokElse); err != nil {
+			return nil, err
+		}
+		els, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		return IfE{Cond: cond, Then: then, Else: els}, nil
+	case TokLParen:
+		p.advance()
+		proc, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return proc, nil
+	case TokIdent:
+		return p.parsePrefixOrCall()
+	}
+	return nil, p.errf("expected process, found %s", p.peek())
+}
+
+// parseReplicated parses [] x:S @ P and ||| x:S @ P.
+func (p *parser) parseReplicated() (ProcExpr, error) {
+	op := OpExtChoice
+	if p.advance().Kind == TokIleave {
+		op = OpInterleave
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon); err != nil {
+		return nil, err
+	}
+	set, err := p.parseSet()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAt); err != nil {
+		return nil, err
+	}
+	body, err := p.parseGuard()
+	if err != nil {
+		return nil, err
+	}
+	return ReplE{Op: op, Var: name.Text, Set: set, Body: body}, nil
+}
+
+// parsePrefixOrCall disambiguates `c.f!g?x -> P` (prefix), `P(args)`
+// (parameterised call) and bare `P` (call).
+func (p *parser) parsePrefixOrCall() (ProcExpr, error) {
+	name := p.advance().Text
+	if p.peek().Kind == TokLParen {
+		p.advance()
+		var args []ExprE
+		if p.peek().Kind != TokRParen {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, e)
+				if _, ok := p.accept(TokComma); !ok {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return CallE{Name: name, Args: args}, nil
+	}
+	var fields []FieldE
+	for {
+		switch p.peek().Kind {
+		case TokDot:
+			p.advance()
+			e, err := p.parseFieldAtom()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, FieldE{Kind: FieldDot, Expr: e})
+			continue
+		case TokBang:
+			p.advance()
+			e, err := p.parseFieldAtom()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, FieldE{Kind: FieldOut, Expr: e})
+			continue
+		case TokQuestion:
+			p.advance()
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			f := FieldE{Kind: FieldIn, Var: id.Text}
+			if p.peek().Kind == TokColon {
+				p.advance()
+				set, err := p.parseSet()
+				if err != nil {
+					return nil, err
+				}
+				f.In = set
+			}
+			fields = append(fields, f)
+			continue
+		}
+		break
+	}
+	if p.peek().Kind == TokArrow {
+		p.advance()
+		cont, err := p.parseGuard()
+		if err != nil {
+			return nil, err
+		}
+		return PrefixE{Chan: name, Fields: fields, Cont: cont}, nil
+	}
+	if len(fields) > 0 {
+		return nil, p.errf("expected -> after communication on channel %q", name)
+	}
+	return CallE{Name: name}, nil
+}
+
+// parseFieldAtom parses a single dotted component of a communication:
+// an identifier, literal, or parenthesised expression (used for compound
+// values such as send.(mac.k.m)).
+func (p *parser) parseFieldAtom() (ExprE, error) {
+	switch p.peek().Kind {
+	case TokIdent:
+		return IdentE{Name: p.advance().Text}, nil
+	case TokInt:
+		return IntE{Val: p.advance().Int}, nil
+	case TokTrue:
+		p.advance()
+		return BoolE{Val: true}, nil
+	case TokFalse:
+		p.advance()
+		return BoolE{Val: false}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected value in communication, found %s", p.peek())
+}
+
+// --- Value expressions -------------------------------------------------
+
+func (p *parser) parseExpr() (ExprE, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (ExprE, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokOr {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = BinE{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (ExprE, error) {
+	left, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokAnd {
+		p.advance()
+		right, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		left = BinE{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+var cmpOps = map[TokKind]string{
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+}
+
+func (p *parser) parseCmp() (ExprE, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.peek().Kind]; ok {
+		p.advance()
+		right, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return BinE{Op: op, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (ExprE, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().Kind {
+		case TokPlus:
+			op = "+"
+		case TokMinus:
+			op = "-"
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = BinE{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseMul() (ExprE, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().Kind {
+		case TokStar:
+			op = "*"
+		case TokSlash:
+			op = "/"
+		case TokPercent:
+			op = "%"
+		default:
+			return left, nil
+		}
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = BinE{Op: op, L: left, R: right}
+	}
+}
+
+func (p *parser) parseUnary() (ExprE, error) {
+	switch p.peek().Kind {
+	case TokMinus:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnE{Op: "-", X: x}, nil
+	case TokNot:
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return UnE{Op: "not", X: x}, nil
+	}
+	return p.parseDotted()
+}
+
+func (p *parser) parseDotted() (ExprE, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokDot {
+		return atom, nil
+	}
+	head, ok := atom.(IdentE)
+	if !ok {
+		return nil, p.errf("dotted value must start with a constructor name")
+	}
+	var args []ExprE
+	for p.peek().Kind == TokDot {
+		p.advance()
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return DottedE{Head: head.Name, Args: args}, nil
+}
+
+func (p *parser) parseAtom() (ExprE, error) {
+	switch p.peek().Kind {
+	case TokInt:
+		return IntE{Val: p.advance().Int}, nil
+	case TokTrue:
+		p.advance()
+		return BoolE{Val: true}, nil
+	case TokFalse:
+		p.advance()
+		return BoolE{Val: false}, nil
+	case TokIdent:
+		return IdentE{Name: p.advance().Text}, nil
+	case TokMember:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		set, err := p.parseSet()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return MemberE{Elem: elem, Set: set}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected expression, found %s", p.peek())
+}
+
+// --- Sets ---------------------------------------------------------------
+
+func (p *parser) parseSet() (SetExpr, error) {
+	switch p.peek().Kind {
+	case TokLProd:
+		p.advance()
+		var chans []string
+		for {
+			id, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			chans = append(chans, id.Text)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TokRProd); err != nil {
+			return nil, err
+		}
+		return ProdSet{Channels: chans}, nil
+	case TokLBrace:
+		p.advance()
+		if p.peek().Kind == TokRBrace {
+			p.advance()
+			return ExplicitSet{}, nil
+		}
+		if p.peek().Kind == TokInt && p.peek2().Kind == TokDotDot {
+			lo := p.advance().Int
+			p.advance() // ..
+			hi, err := p.expect(TokInt)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return nil, err
+			}
+			return RangeSet{Lo: lo, Hi: hi.Int}, nil
+		}
+		var elems []ExprE
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if _, ok := p.accept(TokComma); !ok {
+				break
+			}
+		}
+		if _, err := p.expect(TokRBrace); err != nil {
+			return nil, err
+		}
+		return ExplicitSet{Elems: elems}, nil
+	case TokUnion:
+		p.advance()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		l, err := p.parseSet()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		r, err := p.parseSet()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return SetUnion{L: l, R: r}, nil
+	case TokIdent:
+		return SetRef{Name: p.advance().Text}, nil
+	}
+	return nil, p.errf("expected set, found %s", p.peek())
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RunAll executes every experiment and renders a complete report — the
+// otacheck command's output and the basis of EXPERIMENTS.md.
+func RunAll(scalabilitySizes []int) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("Reproduction report — Heneghan et al., DSN-W 2019\n")
+	sb.WriteString(strings.Repeat("=", 60) + "\n\n")
+
+	t1, err := TableI()
+	if err != nil {
+		return sb.String(), fmt.Errorf("Table I: %w", err)
+	}
+	sb.WriteString(t1.Render() + "\n")
+
+	t2, err := TableII()
+	if err != nil {
+		return sb.String(), fmt.Errorf("Table II: %w", err)
+	}
+	sb.WriteString(t2.Render() + "\n")
+
+	t3, err := TableIII()
+	if err != nil {
+		return sb.String(), fmt.Errorf("Table III: %w", err)
+	}
+	sb.WriteString(t3.Render() + "\n")
+
+	f1, err := Figure1()
+	if err != nil {
+		return sb.String(), fmt.Errorf("Figure 1: %w", err)
+	}
+	sb.WriteString(f1.Render() + "\n")
+
+	f2, err := Figure2()
+	if err != nil {
+		return sb.String(), fmt.Errorf("Figure 2: %w", err)
+	}
+	sb.WriteString(f2.Table().Render() + "\n")
+
+	f3, err := Figure3()
+	if err != nil {
+		return sb.String(), fmt.Errorf("Figure 3: %w", err)
+	}
+	sb.WriteString("Figure 3 — generated ECU implementation model (CSPm):\n")
+	for _, line := range strings.Split(strings.TrimRight(f3, "\n"), "\n") {
+		sb.WriteString("    " + line + "\n")
+	}
+	sb.WriteString("\n")
+
+	sec, err := SecureVariants()
+	if err != nil {
+		return sb.String(), fmt.Errorf("secure variants: %w", err)
+	}
+	sb.WriteString(SecureVariantsTable(sec).Render() + "\n")
+
+	at, err := AttackTree()
+	if err != nil {
+		return sb.String(), fmt.Errorf("attack tree: %w", err)
+	}
+	sb.WriteString(at.Render() + "\n")
+
+	ns, err := NeedhamSchroeder()
+	if err != nil {
+		return sb.String(), fmt.Errorf("NSPK: %w", err)
+	}
+	sb.WriteString(ns.Render() + "\n")
+
+	ext, err := Extensions()
+	if err != nil {
+		return sb.String(), fmt.Errorf("extensions: %w", err)
+	}
+	sb.WriteString(ExtensionsTable(ext).Render() + "\n")
+
+	fi, err := FaultInjection()
+	if err != nil {
+		return sb.String(), fmt.Errorf("fault injection: %w", err)
+	}
+	sb.WriteString(FaultTable(fi).Render() + "\n")
+
+	sc, err := Scalability(scalabilitySizes)
+	if err != nil {
+		return sb.String(), fmt.Errorf("scalability: %w", err)
+	}
+	sb.WriteString(ScalabilityTable(sc).Render() + "\n")
+
+	return sb.String(), nil
+}

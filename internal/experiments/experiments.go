@@ -1,0 +1,75 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the quantitative scalability and attacker experiments
+// DESIGN.md adds. Each experiment returns structured results that the
+// otacheck command renders and the benchmark harness measures;
+// EXPERIMENTS.md records the expected shapes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render lays the table out as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+func check(ok bool) string {
+	if ok {
+		return "passed"
+	}
+	return "FAILED"
+}
+
+func holdsOrTrace(holds bool, trace fmt.Stringer) string {
+	if holds {
+		return "holds"
+	}
+	return "violated: " + trace.String()
+}

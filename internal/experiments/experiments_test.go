@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableI(t *testing.T) {
+	tab, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(tableIEntries) {
+		t.Errorf("rows = %d, want %d", len(tab.Rows), len(tableIEntries))
+	}
+	out := tab.Render()
+	if !strings.Contains(out, "|~|") || !strings.Contains(out, "passed") {
+		t.Errorf("render:\n%s", out)
+	}
+	if strings.Contains(out, "FAILED") {
+		t.Errorf("Table I has failures:\n%s", out)
+	}
+}
+
+func TestTableII(t *testing.T) {
+	tab, err := TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("rows = %d, want 4", len(tab.Rows))
+	}
+	out := tab.Render()
+	for _, want := range []string{"reqSw", "rptSw", "reqApp", "rptUpd", "VMG", "ECU"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	tab, err := TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (R01..R05)", len(tab.Rows))
+	}
+	out := tab.Render()
+	// Correct system holds everything; the flawed one must violate R02.
+	if strings.Count(out, "violated") == 0 {
+		t.Errorf("flawed system produced no violation:\n%s", out)
+	}
+	for _, id := range []string{"R01", "R02", "R03", "R04", "R05"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("missing requirement %s", id)
+		}
+	}
+}
+
+func TestFigure1EndToEnd(t *testing.T) {
+	res, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Asserts {
+		if !a.Result.Holds {
+			t.Errorf("assertion failed: %s", a)
+		}
+	}
+	if !res.CrossValidated {
+		t.Error("simulation trace did not validate against the model")
+	}
+	if !strings.Contains(res.ECUModel, "ECU = ") {
+		t.Errorf("ECU model missing:\n%s", res.ECUModel)
+	}
+}
+
+func TestFigure2Variants(t *testing.T) {
+	res, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	correct, flawed, silent := res.Rows[0], res.Rows[1], res.Rows[2]
+	if !correct.SP02Holds || !correct.DeadlockFree {
+		t.Error("correct system failed its checks")
+	}
+	if flawed.SP02Holds {
+		t.Error("flawed system passed SP02")
+	}
+	if silent.DeadlockFree {
+		t.Error("silent ECU did not deadlock")
+	}
+}
+
+func TestFigure3Artifact(t *testing.T) {
+	text, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"datatype Msgs = reqSw | rptSw | reqApp | rptUpd",
+		"channel send, rec : Msgs",
+		"send.reqSw -> rec!rptSw -> ECU",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Figure 3 missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSecureVariantsShape(t *testing.T) {
+	rows, err := SecureVariants()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	naive, mac, nonce := rows[0], rows[1], rows[2]
+	if naive.AuthHolds {
+		t.Error("plaintext variant should be injectable")
+	}
+	if !mac.AuthHolds || mac.InjHolds {
+		t.Error("MAC variant should stop injection but not replay")
+	}
+	if !nonce.AuthHolds || !nonce.InjHolds {
+		t.Error("nonce variant should stop both")
+	}
+}
+
+func TestAttackTreeEquivalence(t *testing.T) {
+	res, err := AttackTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Equivalent {
+		t.Errorf("translation not equivalent: %d sequences vs %d traces",
+			res.SequenceCount, res.CSPTraceCount)
+	}
+	if res.SequenceCount != 4 {
+		t.Errorf("sequences = %d, want 4", res.SequenceCount)
+	}
+}
+
+func TestNeedhamSchroederShape(t *testing.T) {
+	res, err := NeedhamSchroeder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OriginalHolds {
+		t.Error("NSPK attack not found")
+	}
+	if !res.FixedHolds {
+		t.Error("NSL fix rejected")
+	}
+	if res.AttackTrace.String() == "<>" {
+		t.Error("empty attack trace")
+	}
+}
+
+func TestScalabilitySmall(t *testing.T) {
+	pts, err := Scalability([]int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !p.Holds {
+			t.Errorf("size %d: property failed", p.MessagePairs)
+		}
+	}
+	if pts[1].ImplStates <= pts[0].ImplStates {
+		t.Errorf("state count did not grow with size: %d -> %d",
+			pts[0].ImplStates, pts[1].ImplStates)
+	}
+	out := ScalabilityTable(pts).Render()
+	if !strings.Contains(out, "message pairs") {
+		t.Errorf("table render:\n%s", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "bbbb"},
+		Rows:   [][]string{{"xxxxx", "y"}},
+		Notes:  []string{"n"},
+	}
+	out := tab.Render()
+	for _, want := range []string{"T\n", "xxxxx", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	rows, err := FaultInjection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	retry, naive := rows[0], rows[1]
+	if !retry.GotReport {
+		t.Error("retry gateway did not recover from the dropped frame")
+	}
+	if retry.Attempts < 2 {
+		t.Errorf("retry attempts = %d, want >= 2", retry.Attempts)
+	}
+	if naive.GotReport {
+		t.Error("naive gateway recovered without retrying (drop not effective?)")
+	}
+	if retry.FramesDropped != 1 || naive.FramesDropped != 1 {
+		t.Errorf("dropped = %d/%d, want 1/1", retry.FramesDropped, naive.FramesDropped)
+	}
+	out := FaultTable(rows).Render()
+	if !strings.Contains(out, "stalled") {
+		t.Errorf("table:\n%s", out)
+	}
+}
+
+func TestExtensionsAllPass(t *testing.T) {
+	rows, err := Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Passed != r.Asserts {
+			t.Errorf("%s: %d/%d checks passed", r.Name, r.Passed, r.Asserts)
+		}
+	}
+	out := ExtensionsTable(rows).Render()
+	if !strings.Contains(out, "tock-CSP") {
+		t.Errorf("table:\n%s", out)
+	}
+}

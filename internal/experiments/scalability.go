@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ScalabilityPoint is one measurement of the refinement-check sweep.
+type ScalabilityPoint struct {
+	// MessagePairs is the number of request/response message pairs in
+	// the generated ECU application.
+	MessagePairs int
+	// ImplStates and SpecNodes are the sizes the checker explored.
+	ImplStates    int
+	SpecNodes     int
+	ProductStates int
+	// Elapsed is the wall-clock time of the refinement check.
+	Elapsed time.Duration
+	// Holds confirms the property held (it must, by construction).
+	Holds bool
+}
+
+// GenerateScaledECU builds a CAPL ECU application with n
+// request/response message pairs — the workload generator for the
+// scalability sweep (the paper's section VII discussion of scaling to
+// real-world component sizes).
+func GenerateScaledECU(n int) string {
+	var sb strings.Builder
+	sb.WriteString("variables\n{\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  message 0x%03X req%d;\n", 0x100+i, i)
+		fmt.Fprintf(&sb, "  message 0x%03X rsp%d;\n", 0x200+i, i)
+	}
+	sb.WriteString("}\n\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "on message req%d\n{\n  output(rsp%d);\n}\n\n", i, i)
+	}
+	return sb.String()
+}
+
+// GenerateScaledVMG builds the matching gateway that cycles through all
+// n request/response pairs.
+func GenerateScaledVMG(n int) string {
+	var sb strings.Builder
+	sb.WriteString("variables\n{\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "  message 0x%03X req%d;\n", 0x100+i, i)
+		fmt.Fprintf(&sb, "  message 0x%03X rsp%d;\n", 0x200+i, i)
+	}
+	sb.WriteString("}\n\n")
+	fmt.Fprintf(&sb, "on start\n{\n  output(req0);\n}\n\n")
+	for i := 0; i < n; i++ {
+		next := (i + 1) % n
+		fmt.Fprintf(&sb, "on message rsp%d\n{\n  output(req%d);\n}\n\n", i, next)
+	}
+	return sb.String()
+}
+
+// scaledSpec builds the specification section: every request must be
+// answered by its response (checked pairwise under projection), plus
+// deadlock freedom.
+func scaledSpec(n int) string {
+	var sb strings.Builder
+	sb.WriteString("SYSTEM = VMG [| {| send, rec |} |] ECU\n")
+	// Property for pair 0 under projection of all other messages.
+	var others []string
+	for i := 1; i < n; i++ {
+		others = append(others, fmt.Sprintf("send.req%d", i), fmt.Sprintf("rec.rsp%d", i))
+	}
+	sb.WriteString("SP = send.req0 -> rec.rsp0 -> SP\n")
+	if len(others) > 0 {
+		fmt.Fprintf(&sb, "VIEW = SYSTEM \\ {%s}\n", strings.Join(others, ", "))
+	} else {
+		sb.WriteString("VIEW = SYSTEM\n")
+	}
+	sb.WriteString("assert SP [T= VIEW\n")
+	sb.WriteString("assert SYSTEM :[deadlock free]\n")
+	return sb.String()
+}
+
+// ScalabilityRun builds and checks the scaled system for one size.
+func ScalabilityRun(pairs int) (ScalabilityPoint, error) {
+	pipeline := &core.Pipeline{
+		Nodes: []core.NodeSpec{
+			{Name: "ECU", Source: GenerateScaledECU(pairs), In: "send", Out: "rec"},
+			{Name: "VMG", Source: GenerateScaledVMG(pairs), In: "rec", Out: "send"},
+		},
+		Spec: scaledSpec(pairs),
+	}
+	start := time.Now()
+	report, err := pipeline.Run()
+	if err != nil {
+		return ScalabilityPoint{}, err
+	}
+	elapsed := time.Since(start)
+	pt := ScalabilityPoint{
+		MessagePairs: pairs,
+		Elapsed:      elapsed,
+		Holds:        report.AllHold(),
+	}
+	if len(report.Results) > 0 {
+		pt.ImplStates = report.Results[0].Result.ImplStates
+		pt.SpecNodes = report.Results[0].Result.SpecNodes
+		pt.ProductStates = report.Results[0].Result.ProductStates
+	}
+	return pt, nil
+}
+
+// Scalability sweeps the refinement check over system sizes.
+func Scalability(sizes []int) ([]ScalabilityPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 8, 16, 32}
+	}
+	out := make([]ScalabilityPoint, 0, len(sizes))
+	for _, n := range sizes {
+		pt, err := ScalabilityRun(n)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", n, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ScalabilityTable renders the sweep.
+func ScalabilityTable(points []ScalabilityPoint) *Table {
+	t := &Table{
+		Title:  "Scalability — refinement-check cost vs application size (section VII)",
+		Header: []string{"message pairs", "impl states", "spec nodes", "product states", "time", "property"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", p.MessagePairs),
+			fmt.Sprintf("%d", p.ImplStates),
+			fmt.Sprintf("%d", p.SpecNodes),
+			fmt.Sprintf("%d", p.ProductStates),
+			p.Elapsed.Round(time.Microsecond).String(),
+			check(p.Holds),
+		})
+	}
+	return t
+}

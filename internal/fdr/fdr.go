@@ -1,0 +1,61 @@
+// Package fdr runs the assertions of an evaluated CSPm script through
+// the refinement checker — the "FDR" step of the paper's workflow
+// (Figure 1). It is the library behind the fdrlite command.
+package fdr
+
+import (
+	"fmt"
+
+	"repro/internal/cspm"
+	"repro/internal/refine"
+)
+
+// AssertResult pairs an assertion with its check outcome.
+type AssertResult struct {
+	Assert cspm.ResolvedAssert
+	Result refine.Result
+}
+
+// String renders the result in FDR-like pass/fail form.
+func (r AssertResult) String() string {
+	status := "✔ passed"
+	if !r.Result.Holds {
+		status = "✘ FAILED"
+		if len(r.Result.Counterexample) > 0 || r.Result.Reason != "" {
+			status += fmt.Sprintf(" — %s %s", r.Result.Counterexample, r.Result.Reason)
+		}
+	}
+	return fmt.Sprintf("%s: %s", r.Assert.Text, status)
+}
+
+// RunAssert checks a single resolved assertion.
+func RunAssert(m *cspm.Model, a cspm.ResolvedAssert, maxStates int) (refine.Result, error) {
+	c := refine.NewChecker(m.Env, m.Ctx)
+	c.MaxStates = maxStates
+	switch a.Kind {
+	case cspm.AssertTraceRef:
+		return c.RefinesTraces(a.Spec, a.Impl)
+	case cspm.AssertFailRef:
+		return c.RefinesFailures(a.Spec, a.Impl)
+	case cspm.AssertFDRef:
+		return c.RefinesFD(a.Spec, a.Impl)
+	case cspm.AssertDeadlockFree:
+		return c.DeadlockFree(a.Impl)
+	case cspm.AssertDivergenceFree:
+		return c.DivergenceFree(a.Impl)
+	}
+	return refine.Result{}, fmt.Errorf("unknown assertion kind %v", a.Kind)
+}
+
+// RunAll checks every assertion of the model in order.
+func RunAll(m *cspm.Model, maxStates int) ([]AssertResult, error) {
+	out := make([]AssertResult, 0, len(m.Asserts))
+	for _, a := range m.Asserts {
+		res, err := RunAssert(m, a, maxStates)
+		if err != nil {
+			return nil, fmt.Errorf("assertion %q: %w", a.Text, err)
+		}
+		out = append(out, AssertResult{Assert: a, Result: res})
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package fdr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cspm"
+)
+
+const script = `
+channel a, b
+SPEC = a -> SPEC
+GOOD = a -> GOOD
+BAD = a -> b -> BAD
+DET = a -> DET [] b -> DET
+NDET = a -> NDET |~| b -> NDET
+
+assert SPEC [T= GOOD
+assert SPEC [T= BAD
+assert DET [F= NDET
+assert GOOD :[deadlock free]
+assert STOP :[deadlock free]
+assert GOOD :[divergence free]
+`
+
+func load(t *testing.T) *cspm.Model {
+	t.Helper()
+	m, err := cspm.Load(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunAllOutcomes(t *testing.T) {
+	m := load(t)
+	results, err := RunAll(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, false, true, false, true}
+	if len(results) != len(want) {
+		t.Fatalf("results = %d, want %d", len(results), len(want))
+	}
+	for i, w := range want {
+		if results[i].Result.Holds != w {
+			t.Errorf("assertion %d (%s): holds=%v, want %v",
+				i, results[i].Assert.Text, results[i].Result.Holds, w)
+		}
+	}
+}
+
+func TestRunAssertKinds(t *testing.T) {
+	m := load(t)
+	// The failures assertion must fail while the same processes
+	// trace-refine each other.
+	res, err := RunAssert(m, m.Asserts[2], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("DET [F= NDET should fail")
+	}
+	traceVersion := m.Asserts[2]
+	traceVersion.Kind = cspm.AssertTraceRef
+	res, err = RunAssert(m, traceVersion, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Error("DET [T= NDET should hold")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	m := load(t)
+	results, err := RunAll(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(results[0].String(), "passed") {
+		t.Errorf("pass rendering: %s", results[0])
+	}
+	failed := results[1].String()
+	if !strings.Contains(failed, "FAILED") || !strings.Contains(failed, "b") {
+		t.Errorf("failure rendering: %s", failed)
+	}
+}
+
+func TestRunAssertUnknownKind(t *testing.T) {
+	m := load(t)
+	bogus := m.Asserts[0]
+	bogus.Kind = 0
+	if _, err := RunAssert(m, bogus, 0); err == nil {
+		t.Error("unknown assertion kind accepted")
+	}
+}

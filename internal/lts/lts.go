@@ -1,0 +1,254 @@
+// Package lts builds explicit labelled transition systems from CSP
+// process terms by exhaustive exploration of the operational semantics,
+// and provides the normalisation (tau-closure + subset construction)
+// needed by the refinement checker, mirroring what FDR does before a
+// refinement run.
+package lts
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/csp"
+)
+
+// Event label identifiers. Tau and Tick have fixed IDs; visible events
+// are interned in order of first appearance.
+const (
+	TauID  = 0
+	TickID = 1
+)
+
+// ErrStateLimit is returned when exploration exceeds the configured
+// maximum number of states.
+var ErrStateLimit = errors.New("state limit exceeded during LTS exploration")
+
+// LTS is an explicit-state labelled transition system.
+type LTS struct {
+	// Init is the index of the initial state.
+	Init int
+	// Keys holds the canonical process term of each state.
+	Keys []string
+	// Procs holds the process term of each state (same indexing as Keys).
+	Procs []csp.Process
+	// Edges holds the outgoing transitions of each state.
+	Edges [][]Edge
+	// Events maps event IDs (>= 2) to events; index 0 and 1 are
+	// placeholders for tau and tick.
+	Events []csp.Event
+
+	eventIDs map[string]int
+}
+
+// Edge is a transition to state To labelled with event ID Ev.
+type Edge struct {
+	Ev int
+	To int
+}
+
+// Options configures exploration.
+type Options struct {
+	// MaxStates bounds the exploration; 0 means DefaultMaxStates.
+	MaxStates int
+}
+
+// DefaultMaxStates is the exploration bound used when Options.MaxStates
+// is zero.
+const DefaultMaxStates = 1 << 20
+
+// Explore builds the LTS reachable from root under the given semantics.
+func Explore(sem *csp.Semantics, root csp.Process, opts Options) (*LTS, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	l := &LTS{
+		Events:   []csp.Event{csp.Tau(), csp.Tick()},
+		eventIDs: map[string]int{},
+	}
+	index := map[string]int{}
+	add := func(p csp.Process) (int, bool) {
+		k := p.Key()
+		if id, ok := index[k]; ok {
+			return id, false
+		}
+		id := len(l.Keys)
+		index[k] = id
+		l.Keys = append(l.Keys, k)
+		l.Procs = append(l.Procs, p)
+		l.Edges = append(l.Edges, nil)
+		return id, true
+	}
+	rootID, _ := add(root)
+	l.Init = rootID
+	queue := []int{rootID}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		trs, err := sem.Transitions(l.Procs[id])
+		if err != nil {
+			return nil, fmt.Errorf("state %q: %w", l.Keys[id], err)
+		}
+		edges := make([]Edge, 0, len(trs))
+		for _, tr := range trs {
+			to, fresh := add(tr.To)
+			if fresh {
+				if len(l.Keys) > maxStates {
+					return nil, fmt.Errorf("%w (limit %d)", ErrStateLimit, maxStates)
+				}
+				queue = append(queue, to)
+			}
+			edges = append(edges, Edge{Ev: l.eventID(tr.Ev), To: to})
+		}
+		l.Edges[id] = edges
+	}
+	return l, nil
+}
+
+func (l *LTS) eventID(e csp.Event) int {
+	switch {
+	case e.IsTau():
+		return TauID
+	case e.IsTick():
+		return TickID
+	}
+	k := e.String()
+	if id, ok := l.eventIDs[k]; ok {
+		return id
+	}
+	id := len(l.Events)
+	l.Events = append(l.Events, e)
+	l.eventIDs[k] = id
+	return id
+}
+
+// EventByID returns the event with the given label ID.
+func (l *LTS) EventByID(id int) csp.Event { return l.Events[id] }
+
+// EventID looks up the label ID for a visible event; ok is false if the
+// event never occurs in the LTS.
+func (l *LTS) EventID(e csp.Event) (int, bool) {
+	switch {
+	case e.IsTau():
+		return TauID, true
+	case e.IsTick():
+		return TickID, true
+	}
+	id, ok := l.eventIDs[e.String()]
+	return id, ok
+}
+
+// NumStates returns the number of explored states.
+func (l *LTS) NumStates() int { return len(l.Keys) }
+
+// NumTransitions returns the total number of edges.
+func (l *LTS) NumTransitions() int {
+	n := 0
+	for _, es := range l.Edges {
+		n += len(es)
+	}
+	return n
+}
+
+// IsStable reports whether the state has no outgoing tau transitions.
+func (l *LTS) IsStable(id int) bool {
+	for _, e := range l.Edges[id] {
+		if e.Ev == TauID {
+			return false
+		}
+	}
+	return true
+}
+
+// Initials returns the sorted set of non-tau label IDs offered by the
+// state (tick included).
+func (l *LTS) Initials(id int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, e := range l.Edges[id] {
+		if e.Ev != TauID && !seen[e.Ev] {
+			seen[e.Ev] = true
+			out = append(out, e.Ev)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TauClosure returns the sorted set of states reachable from the given
+// states via tau transitions only (including the states themselves).
+func (l *LTS) TauClosure(states []int) []int {
+	seen := make(map[int]bool, len(states))
+	stack := append([]int(nil), states...)
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		for _, e := range l.Edges[s] {
+			if e.Ev == TauID && !seen[e.To] {
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasTauCycle reports whether a cycle consisting solely of tau
+// transitions is reachable, i.e. the process can diverge. The witness is
+// the index of a state on the cycle, or -1.
+func (l *LTS) HasTauCycle() (bool, int) {
+	// Iterative DFS with colour marking over tau edges only.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := make([]byte, len(l.Keys))
+	type frame struct {
+		state int
+		next  int
+	}
+	for start := range l.Keys {
+		if colour[start] != white {
+			continue
+		}
+		stack := []frame{{state: start}}
+		colour[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			advanced := false
+			for f.next < len(l.Edges[f.state]) {
+				e := l.Edges[f.state][f.next]
+				f.next++
+				if e.Ev != TauID {
+					continue
+				}
+				switch colour[e.To] {
+				case grey:
+					return true, e.To
+				case white:
+					colour[e.To] = grey
+					stack = append(stack, frame{state: e.To})
+					advanced = true
+				}
+				if advanced {
+					break
+				}
+			}
+			if !advanced {
+				colour[f.state] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false, -1
+}

@@ -1,0 +1,28 @@
+// Command gen writes the case-study CAPL sources and CAN database into
+// testdata/, keeping the files in sync with the canonical sources in
+// the ota package. Run from the repository root:
+//
+//	go run ./internal/ota/gen
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/ota"
+)
+
+func main() {
+	files := map[string]string{
+		"testdata/ecu.can":        ota.ECUSource,
+		"testdata/vmg.can":        ota.VMGSource,
+		"testdata/flawed_ecu.can": ota.FlawedECUSource,
+		"testdata/vmg_timer.can":  ota.VMGTimerSource,
+	}
+	for path, content := range files {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package ota
+
+import (
+	"fmt"
+
+	"repro/internal/capl"
+	"repro/internal/cspm"
+	"repro/internal/translate"
+)
+
+// System is the fully assembled case-study model: the extracted ECU and
+// VMG implementation models, the specification processes, the composed
+// SYSTEM, and the Table III assertions — evaluated and ready to check.
+type System struct {
+	// Model is the evaluated combined script.
+	Model *cspm.Model
+	// Source is the complete combined CSPm source.
+	Source string
+	// ECUText and VMGText are the per-node extracted models (ECUText is
+	// the Figure 3 artefact).
+	ECUText string
+	VMGText string
+	// Warnings aggregates translator abstraction warnings.
+	Warnings []string
+}
+
+// allMessages lists the constructors every node's datatype must carry.
+var allMessages = []string{"reqSw", "rptSw", "reqApp", "rptUpd"}
+
+// specSection holds the specification models and assertions appended to
+// the extracted implementation models. Assertion order is significant:
+// requirements.go indexes into it.
+const specSection = `
+-- Specification models (security properties for Table III).
+RUNALL = send?x1 -> RUNALL [] rec?x2 -> RUNALL
+SP01 = send.reqSw -> RUNALL
+SP02 = send.reqSw -> rec.rptSw -> SP02
+SP034 = send.reqApp -> rec.rptUpd -> SP034
+
+-- Composed system model (Figure 2 scope).
+SYSTEM = VMG [| {| send, rec |} |] ECU
+DIAG = SYSTEM \ {send.reqApp, rec.rptUpd}
+UPDATE = SYSTEM \ {send.reqSw, rec.rptSw}
+
+assert SP01 [T= SYSTEM
+assert SP02 [T= DIAG
+assert SP034 [T= UPDATE
+assert SYSTEM :[deadlock free]
+assert SYSTEM :[divergence free]
+`
+
+// Assertion indices within the combined script.
+const (
+	AssertR01 = iota
+	AssertR02
+	AssertR034
+	AssertDeadlock
+	AssertDivergence
+	numAsserts
+)
+
+// Build assembles the correct case-study system from the canonical CAPL
+// sources.
+func Build() (*System, error) {
+	return BuildFromCAPL(ECUSource, VMGSource)
+}
+
+// BuildFlawed assembles the system with the flawed ECU that answers
+// inventory requests with the wrong message type.
+func BuildFlawed() (*System, error) {
+	return BuildFromCAPL(FlawedECUSource, VMGSource)
+}
+
+// BuildDeadlocked assembles the system with the ECU that swallows
+// inventory requests.
+func BuildDeadlocked() (*System, error) {
+	return BuildFromCAPL(DeadlockECUSource, VMGSource)
+}
+
+// BuildFromCAPL runs the full Figure 1 pipeline: parse both CAPL node
+// programs, extract their CSPm implementation models, compose them with
+// the specification models, and evaluate the result.
+func BuildFromCAPL(ecuSrc, vmgSrc string) (*System, error) {
+	ecuProg, err := capl.Parse(ecuSrc)
+	if err != nil {
+		return nil, fmt.Errorf("parse ECU CAPL: %w", err)
+	}
+	vmgProg, err := capl.Parse(vmgSrc)
+	if err != nil {
+		return nil, fmt.Errorf("parse VMG CAPL: %w", err)
+	}
+
+	ecuOpts := translate.Options{
+		NodeName:      "ECU",
+		InChannel:     "send",
+		OutChannel:    "rec",
+		MsgDatatype:   "Msgs",
+		MessageRename: MessageRename,
+		ExtraMessages: allMessages,
+		IncludeTimers: true,
+	}
+	ecuRes, err := translate.Translate(ecuProg, ecuOpts)
+	if err != nil {
+		return nil, fmt.Errorf("extract ECU model: %w", err)
+	}
+
+	vmgOpts := translate.Options{
+		NodeName:      "VMG",
+		InChannel:     "rec",
+		OutChannel:    "send",
+		MsgDatatype:   "Msgs",
+		MessageRename: MessageRename,
+		ExtraMessages: allMessages,
+		IncludeTimers: true,
+		OmitDecls:     true,
+	}
+	vmgRes, err := translate.Translate(vmgProg, vmgOpts)
+	if err != nil {
+		return nil, fmt.Errorf("extract VMG model: %w", err)
+	}
+
+	combined := ecuRes.Text + "\n" + vmgRes.Text + specSection
+	model, err := cspm.Load(combined)
+	if err != nil {
+		return nil, fmt.Errorf("evaluate combined model: %w\n%s", err, combined)
+	}
+	if len(model.Asserts) != numAsserts {
+		return nil, fmt.Errorf("combined model has %d assertions, want %d", len(model.Asserts), numAsserts)
+	}
+	sys := &System{
+		Model:   model,
+		Source:  combined,
+		ECUText: ecuRes.Text,
+		VMGText: vmgRes.Text,
+	}
+	sys.Warnings = append(sys.Warnings, ecuRes.Warnings...)
+	sys.Warnings = append(sys.Warnings, vmgRes.Warnings...)
+	return sys, nil
+}

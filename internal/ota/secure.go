@@ -1,0 +1,285 @@
+package ota
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/csp"
+	"repro/internal/security"
+)
+
+// SecureVariant selects how update-request messages are protected on
+// the bus, following the X.1373 options discussed in section V-A2 of
+// the paper (shared-key MAC) and the nonce extension of section V-B.
+type SecureVariant int
+
+// Secure model variants.
+const (
+	// Naive sends plaintext update requests: any bus attacker can forge
+	// one and trigger an unauthorised update.
+	Naive SecureVariant = iota + 1
+	// MACOnly authenticates requests with a shared-key MAC: forging is
+	// impossible, but a recorded request can be replayed.
+	MACOnly
+	// MACNonce adds a nonce to the MAC'd request and the ECU rejects
+	// reused nonces, defeating replay as well.
+	MACNonce
+)
+
+// String names the variant.
+func (v SecureVariant) String() string {
+	switch v {
+	case Naive:
+		return "plaintext"
+	case MACOnly:
+		return "shared-key MAC"
+	case MACNonce:
+		return "shared-key MAC + nonce"
+	}
+	return "unknown"
+}
+
+// SecureModel is the R05 shared-key model: a VMG broadcasting update
+// requests on busV, an ECU accepting requests from both the genuine bus
+// (busV) and the attacker-controlled direction (busI), and a Dolev-Yao
+// intruder that overhears busV and injects on busI. Directional
+// channels ensure every event has exactly one producer.
+type SecureModel struct {
+	Variant SecureVariant
+	Ctx     *csp.Context
+	Env     *csp.Env
+	// System is the composition (VMG || ECU || INTRUDER) with the bus
+	// hidden: only startUpd and applyUpd remain visible.
+	System csp.Process
+	// SystemVisible keeps the bus visible, for trace inspection.
+	SystemVisible csp.Process
+	// AuthSpec is non-injective authentication: no update is applied
+	// before one was requested (violated by injection).
+	AuthSpec csp.Process
+	// InjSpec is injective agreement: requests and applications strictly
+	// alternate (violated by replay).
+	InjSpec csp.Process
+	// IntruderStates reports the intruder's knowledge-state count.
+	IntruderStates int
+}
+
+// Packet constructors of the secure model's bus datatype.
+const (
+	ctorPlain = "plain"
+	ctorMAC   = "mac"
+	ctorMACN  = "macn"
+)
+
+// plainPkt, macPkt and macnPkt build packet values.
+func plainPkt(payload string) csp.Value { return csp.NewDotted(ctorPlain, csp.Sym(payload)) }
+func macPkt(key, payload string) csp.Value {
+	return csp.NewDotted(ctorMAC, csp.Sym(key), csp.Sym(payload))
+}
+func macnPkt(key, payload, nonce string) csp.Value {
+	return csp.NewDotted(ctorMACN, csp.Sym(key), csp.Sym(payload), csp.Sym(nonce))
+}
+
+// BuildSecure assembles the shared-key model for the given variant.
+func BuildSecure(variant SecureVariant) (*SecureModel, error) {
+	ctx := csp.NewContext()
+	env := csp.NewEnv()
+
+	payload := csp.EnumType("Payload", "reqSw", "rptSw", "reqApp", "rptUpd")
+	key := csp.EnumType("Key", "kShared", "kAtt")
+	nonce := csp.EnumType("Nonce", "n1", "n2")
+	packet := csp.DataType{
+		TypeName: "Packet",
+		Ctors: []csp.Ctor{
+			{Head: ctorPlain, Fields: []csp.Type{payload}},
+			{Head: ctorMAC, Fields: []csp.Type{key, payload}},
+			{Head: ctorMACN, Fields: []csp.Type{key, payload, nonce}},
+		},
+	}
+	for _, decl := range []struct {
+		name string
+		ty   csp.Type
+	}{
+		{"Payload", payload}, {"Key", key}, {"Nonce", nonce}, {"Packet", packet},
+	} {
+		if err := ctx.DeclareType(decl.name, decl.ty); err != nil {
+			return nil, err
+		}
+	}
+	// busV: frames produced by the VMG. busI: frames injected by the
+	// intruder. busE: frames produced by the ECU (acknowledgements the
+	// VMG paces on). The ECU treats busV and busI identically, as a real
+	// CAN controller would (frames carry no provenance).
+	for _, ch := range []string{"busV", "busI", "busE"} {
+		if err := ctx.DeclareChannel(ch, packet); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.DeclareChannel("startUpd"); err != nil {
+		return nil, err
+	}
+	if err := ctx.DeclareChannel("applyUpd"); err != nil {
+		return nil, err
+	}
+
+	switch variant {
+	case Naive:
+		defineNaiveNodes(env)
+	case MACOnly:
+		defineMACNodes(env)
+	case MACNonce:
+		defineMACNonceNodes(env)
+	default:
+		return nil, fmt.Errorf("unknown secure variant %d", variant)
+	}
+
+	// The bus attacker: replays relevant frames it overheard; forges
+	// plaintext and anything protected by its own key.
+	cfg := attack.BusConfig{
+		Hear:     []string{"busV"},
+		Say:      "busI",
+		Universe: packet,
+		Forgeable: func(v csp.Value, _ csp.SetValue) bool {
+			d, ok := v.(csp.Dotted)
+			if !ok {
+				return false
+			}
+			switch d.Head {
+			case ctorPlain:
+				return true
+			case ctorMAC, ctorMACN:
+				return len(d.Args) > 0 && d.Args[0].Equal(csp.Sym("kAtt"))
+			}
+			return false
+		},
+		// Only packets the ECU acts on are worth remembering: MAC'd
+		// update requests under the shared key. This keeps the
+		// knowledge-state space at 2^3 instead of 2^12.
+		Relevant: func(v csp.Value, _ csp.SetValue) bool {
+			d, ok := v.(csp.Dotted)
+			if !ok || len(d.Args) < 2 {
+				return false
+			}
+			isShared := d.Args[0].Equal(csp.Sym("kShared"))
+			isReqApp := d.Args[1].Equal(csp.Sym("reqApp"))
+			return (d.Head == ctorMAC || d.Head == ctorMACN) && isShared && isReqApp
+		},
+	}
+	intruder, err := attack.BuildIntruder(cfg, env)
+	if err != nil {
+		return nil, err
+	}
+	states, err := attack.NumKnowledgeStates(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// VMG produces busV and consumes busE; the ECU consumes busV and
+	// busI and produces busE; the intruder overhears busV and produces
+	// busI.
+	nodes := csp.Par(csp.Call("VMG"), csp.EventsOf("busV", "busE"), csp.Call("ECU"))
+	visible := csp.Par(nodes, csp.EventsOf("busV", "busI"), intruder)
+	system := csp.Hide(visible, csp.EventsOf("busV", "busI", "busE"))
+
+	authSpec, err := security.Precedence(env, "AUTH", csp.Ev("startUpd"), csp.Ev("applyUpd"))
+	if err != nil {
+		return nil, err
+	}
+	injSpec, err := security.Alternation(env, "AUTHINJ", csp.Ev("startUpd"), csp.Ev("applyUpd"))
+	if err != nil {
+		return nil, err
+	}
+
+	return &SecureModel{
+		Variant:        variant,
+		Ctx:            ctx,
+		Env:            env,
+		System:         system,
+		SystemVisible:  visible,
+		AuthSpec:       authSpec,
+		InjSpec:        injSpec,
+		IntruderStates: states,
+	}, nil
+}
+
+// defineECUReceiver installs ECU = busV?p -> handle [] busI?p -> handle.
+func defineECUReceiver(env *csp.Env, name string, params []string, handle csp.Process) {
+	env.MustDefine(name, params, csp.ExtChoice(
+		csp.Recv("busV", handle, "p"),
+		csp.Recv("busI", handle, "p"),
+	))
+}
+
+// ackPkt is the acknowledgement frame the ECU broadcasts after applying
+// an update; the VMG paces the next update cycle on it. Its authenticity
+// is not under test here.
+func ackPkt() csp.Value { return plainPkt("rptUpd") }
+
+// ecuApply builds applyUpd -> busE!ack -> cont.
+func ecuApply(cont csp.Process) csp.Process {
+	return csp.DoEvent("applyUpd", csp.Send("busE", cont, ackPkt()))
+}
+
+// vmgCycle builds startUpd -> busV!req -> busE?r -> next.
+func vmgCycle(req csp.Value, next csp.Process) csp.Process {
+	return csp.DoEvent("startUpd",
+		csp.Send("busV", csp.Recv("busE", next, "r"), req))
+}
+
+// defineNaiveNodes installs the plaintext protocol: the VMG announces
+// the update (startUpd) then broadcasts plain.reqApp; the ECU applies
+// on any plain.reqApp from either direction.
+func defineNaiveNodes(env *csp.Env) {
+	env.MustDefine("VMG", nil, vmgCycle(plainPkt("reqApp"), csp.Call("VMG")))
+	defineECUReceiver(env, "ECU", nil, csp.If(
+		csp.Binary{Op: csp.OpEq, L: csp.V("p"), R: csp.Lit{Val: plainPkt("reqApp")}},
+		ecuApply(csp.Call("ECU")),
+		csp.Call("ECU"),
+	))
+}
+
+// defineMACNodes installs the shared-key MAC protocol.
+func defineMACNodes(env *csp.Env) {
+	pkt := macPkt("kShared", "reqApp")
+	env.MustDefine("VMG", nil, vmgCycle(pkt, csp.Call("VMG")))
+	defineECUReceiver(env, "ECU", nil, csp.If(
+		csp.Binary{Op: csp.OpEq, L: csp.V("p"), R: csp.Lit{Val: pkt}},
+		ecuApply(csp.Call("ECU")),
+		csp.Call("ECU"),
+	))
+}
+
+// defineMACNonceNodes installs the MAC+nonce protocol: the VMG uses each
+// nonce once; the ECU tracks used nonces in a set parameter and rejects
+// reuse.
+func defineMACNonceNodes(env *csp.Env) {
+	pktN1 := macnPkt("kShared", "reqApp", "n1")
+	pktN2 := macnPkt("kShared", "reqApp", "n2")
+
+	env.MustDefine("VMG", nil, vmgCycle(pktN1, csp.Call("VMG_2")))
+	env.MustDefine("VMG_2", nil, vmgCycle(pktN2, csp.Call("VMG_DONE")))
+	env.MustDefine("VMG_DONE", nil, csp.Stop())
+
+	// ECU_P(used) applies an update for a fresh-nonce packet and records
+	// the nonce; everything else is ignored.
+	eq := func(v csp.Value) csp.Expr {
+		return csp.Binary{Op: csp.OpEq, L: csp.V("p"), R: csp.Lit{Val: v}}
+	}
+	fresh := func(n string) csp.Expr {
+		return csp.Unary{Op: csp.OpNot, X: csp.MemberExpr{
+			Elem: csp.Lit{Val: csp.Sym(n)},
+			Set:  csp.V("used"),
+		}}
+	}
+	apply := func(n string) csp.Process {
+		return ecuApply(csp.Call("ECU_P",
+			csp.SetAddExpr{Base: csp.V("used"), Elem: csp.Lit{Val: csp.Sym(n)}}))
+	}
+	handle := csp.If(csp.Binary{Op: csp.OpAnd, L: eq(pktN1), R: fresh("n1")},
+		apply("n1"),
+		csp.If(csp.Binary{Op: csp.OpAnd, L: eq(pktN2), R: fresh("n2")},
+			apply("n2"),
+			csp.Call("ECU_P", csp.V("used")),
+		))
+	defineECUReceiver(env, "ECU_P", []string{"used"}, handle)
+	env.MustDefine("ECU", nil, csp.Call("ECU_P", csp.Lit{Val: csp.NewSet()}))
+}

@@ -1,0 +1,181 @@
+// Package ota implements the paper's case study (section V): Over-The-
+// Air software updates following ITU-T X.1373, restricted — like the
+// paper's demonstration — to the Vehicle Mobile Gateway (VMG) and a
+// target ECU (Figure 2). It carries the CAPL sources of the simulated
+// CANoe network nodes, the end-to-end extraction pipeline (Figure 1),
+// the Table III requirements encoded as CSP specification processes, and
+// the shared-key (MAC) secure variant used for requirement R05.
+package ota
+
+// MessageRename maps the CAPL message variable names used in the CANoe
+// node programs to the X.1373 message-type identifiers of Table II.
+var MessageRename = map[string]string{
+	"swInventoryReq":  "reqSw",
+	"swInventoryRpt":  "rptSw",
+	"applyUpdateReq":  "reqApp",
+	"updateResultRpt": "rptUpd",
+}
+
+// MessageType is one row of Table II: the X.1373 message types used by
+// the demonstration system.
+type MessageType struct {
+	Type        string // Diagnose or Update
+	ID          string // reqSw, rptSw, reqApp, rptUpd
+	From, To    string
+	Description string
+	CANID       int64 // CAN identifier in the simulated network
+}
+
+// TableII lists the message types of the case study exactly as in the
+// paper's Table II, extended with the CAN identifiers our simulated
+// network assigns them.
+var TableII = []MessageType{
+	{Type: "Diagnose", ID: "reqSw", From: "VMG", To: "ECU", Description: "Request diagnose software status", CANID: 0x101},
+	{Type: "Diagnose", ID: "rptSw", From: "ECU", To: "VMG", Description: "Result of software diagnosis", CANID: 0x102},
+	{Type: "Update", ID: "reqApp", From: "VMG", To: "ECU", Description: "Request apply update module", CANID: 0x103},
+	{Type: "Update", ID: "rptUpd", From: "ECU", To: "VMG", Description: "Result of applying update module", CANID: 0x104},
+}
+
+// ECUSource is the CAPL program of the target ECU's update module: it
+// answers software inventory requests (R02) and applies updates,
+// reporting the result (R03, R04).
+const ECUSource = `/*@!Encoding:1310*/
+/* Target ECU update module (ITU-T X.1373 demonstration subset). */
+
+variables
+{
+  message 0x101 swInventoryReq;   // reqSw:  VMG -> ECU
+  message 0x102 swInventoryRpt;   // rptSw:  ECU -> VMG
+  message 0x103 applyUpdateReq;   // reqApp: VMG -> ECU
+  message 0x104 updateResultRpt;  // rptUpd: ECU -> VMG
+  int updatesApplied = 0;
+}
+
+on message swInventoryReq
+{
+  // R02: every inventory request is answered with a software list.
+  output(swInventoryRpt);
+}
+
+on message applyUpdateReq
+{
+  // R03: check the package contents and apply the update.
+  applyUpdate();
+  // R04: report the installation result.
+  output(updateResultRpt);
+}
+
+void applyUpdate()
+{
+  updatesApplied = updatesApplied + 1;
+}
+`
+
+// VMGSource is the CAPL program of the Vehicle Mobile Gateway: it starts
+// the update process with an inventory request (R01) and drives the
+// update exchange.
+const VMGSource = `/*@!Encoding:1310*/
+/* Vehicle Mobile Gateway (VMG) update manager. */
+
+variables
+{
+  message 0x101 swInventoryReq;
+  message 0x102 swInventoryRpt;
+  message 0x103 applyUpdateReq;
+  message 0x104 updateResultRpt;
+}
+
+on start
+{
+  // R01: at start of the update process, request the software inventory.
+  output(swInventoryReq);
+}
+
+on message swInventoryRpt
+{
+  output(applyUpdateReq);
+}
+
+on message updateResultRpt
+{
+  // Begin the next update cycle.
+  output(swInventoryReq);
+}
+`
+
+// FlawedECUSource is a deliberately broken ECU implementation: it
+// responds to an inventory request with an update result instead of the
+// software list, violating the integrity requirement R02 (the flaw class
+// the paper's SP_02 check is designed to expose).
+const FlawedECUSource = `/*@!Encoding:1310*/
+variables
+{
+  message 0x101 swInventoryReq;
+  message 0x102 swInventoryRpt;
+  message 0x103 applyUpdateReq;
+  message 0x104 updateResultRpt;
+}
+
+on message swInventoryReq
+{
+  output(updateResultRpt);  // BUG: wrong response message
+}
+
+on message applyUpdateReq
+{
+  output(updateResultRpt);
+}
+`
+
+// DeadlockECUSource is an ECU that never answers the inventory request,
+// so the composed system deadlocks after the first message — used to
+// exercise the deadlock-freedom assertion.
+const DeadlockECUSource = `/*@!Encoding:1310*/
+variables
+{
+  message 0x101 swInventoryReq;
+  message 0x102 swInventoryRpt;
+  message 0x103 applyUpdateReq;
+  message 0x104 updateResultRpt;
+  int seen = 0;
+}
+
+on message swInventoryReq
+{
+  seen = seen + 1;  // silently swallow the request
+}
+`
+
+// VMGTimerSource is a richer VMG variant that drives the update cycle
+// from a CANoe timer, exercising the untimed timer abstraction
+// (setTimer/timeout events) of the translator.
+const VMGTimerSource = `/*@!Encoding:1310*/
+variables
+{
+  message 0x101 swInventoryReq;
+  message 0x102 swInventoryRpt;
+  message 0x103 applyUpdateReq;
+  message 0x104 updateResultRpt;
+  msTimer updateCycle;
+}
+
+on start
+{
+  setTimer(updateCycle, 100);
+}
+
+on timer updateCycle
+{
+  output(swInventoryReq);
+}
+
+on message swInventoryRpt
+{
+  output(applyUpdateReq);
+}
+
+on message updateResultRpt
+{
+  setTimer(updateCycle, 1000);
+}
+`

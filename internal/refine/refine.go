@@ -1,0 +1,334 @@
+// Package refine is an FDR-style refinement checker for the CSP core:
+// trace refinement, stable-failures refinement, deadlock freedom and
+// divergence freedom, each producing counterexample traces on failure.
+// It plays the role FDR plays in Figure 1 of Heneghan et al. (DSN-W
+// 2019): the automation-ready back end that checks implementation models
+// against specification models.
+package refine
+
+import (
+	"fmt"
+
+	"repro/internal/csp"
+	"repro/internal/lts"
+)
+
+// Model selects the semantic model a refinement check runs in.
+type Model int
+
+// Semantic models.
+const (
+	// Traces is the finite-trace model (the model used in the paper).
+	Traces Model = iota + 1
+	// Failures is the stable-failures model.
+	Failures
+	// FailuresDivergences is FDR's flagship model: the implementation
+	// must additionally be divergence-free.
+	FailuresDivergences
+)
+
+// String names the model like FDR's assertion syntax ([T= / [F=).
+func (m Model) String() string {
+	switch m {
+	case Traces:
+		return "[T="
+	case Failures:
+		return "[F="
+	case FailuresDivergences:
+		return "[FD="
+	}
+	return "?"
+}
+
+// Result reports the outcome of a check.
+type Result struct {
+	// Holds is true when the property holds.
+	Holds bool
+	// Counterexample is a witness trace when the property fails: for
+	// refinement, the shortest trace after which the implementation
+	// behaves outside the specification; for deadlock/divergence, the
+	// trace leading to the offending state.
+	Counterexample csp.Trace
+	// BadEvent is the event the implementation performed that the
+	// specification could not (trace refinement), if any.
+	BadEvent *csp.Event
+	// Reason is a human-readable explanation of a failure.
+	Reason string
+	// ImplStates and SpecNodes report the sizes explored, for the
+	// scalability experiments.
+	ImplStates int
+	SpecNodes  int
+	// ProductStates is the number of (impl, spec) pairs visited.
+	ProductStates int
+}
+
+// Checker runs refinement checks within one semantics (definition
+// environment + channel context).
+type Checker struct {
+	Sem *csp.Semantics
+	// MaxStates bounds each LTS exploration; 0 uses the lts default.
+	MaxStates int
+}
+
+// NewChecker builds a Checker over the given environment and context.
+func NewChecker(env *csp.Env, ctx *csp.Context) *Checker {
+	return &Checker{Sem: csp.NewSemantics(env, ctx)}
+}
+
+func (c *Checker) explore(p csp.Process) (*lts.LTS, error) {
+	return lts.Explore(c.Sem, p, lts.Options{MaxStates: c.MaxStates})
+}
+
+// Refines checks spec ⊑ impl in the given model, i.e. FDR's
+// `assert SPEC [T= IMPL`, `assert SPEC [F= IMPL` or
+// `assert SPEC [FD= IMPL`.
+func (c *Checker) Refines(spec, impl csp.Process, model Model) (Result, error) {
+	specLTS, err := c.explore(spec)
+	if err != nil {
+		return Result{}, fmt.Errorf("explore specification: %w", err)
+	}
+	implLTS, err := c.explore(impl)
+	if err != nil {
+		return Result{}, fmt.Errorf("explore implementation: %w", err)
+	}
+	if model == FailuresDivergences {
+		// The implementation must be divergence-free; the failures
+		// product is then decisive.
+		if diverges, witness := implLTS.HasTauCycle(); diverges {
+			return Result{
+				Holds:      false,
+				Reason:     "implementation diverges: tau cycle at " + implLTS.Keys[witness],
+				ImplStates: implLTS.NumStates(),
+			}, nil
+		}
+		model = Failures
+	}
+	if model == Failures {
+		// Normalisation computes acceptance sets from stable states, so
+		// a divergent specification (a node with no stable member) has
+		// no meaningful refusals. FDR imposes the same restriction.
+		if diverges, witness := specLTS.HasTauCycle(); diverges {
+			return Result{}, fmt.Errorf(
+				"specification diverges (tau cycle at %s); stable-failures refinement requires a divergence-free specification",
+				specLTS.Keys[witness])
+		}
+	}
+	norm := lts.Normalize(specLTS)
+	res := c.productCheck(specLTS, norm, implLTS, model)
+	res.ImplStates = implLTS.NumStates()
+	res.SpecNodes = norm.NumNodes()
+	return res, nil
+}
+
+// RefinesFD checks failures-divergences refinement spec ⊑FD impl.
+func (c *Checker) RefinesFD(spec, impl csp.Process) (Result, error) {
+	return c.Refines(spec, impl, FailuresDivergences)
+}
+
+// RefinesTraces checks trace refinement spec ⊑T impl.
+func (c *Checker) RefinesTraces(spec, impl csp.Process) (Result, error) {
+	return c.Refines(spec, impl, Traces)
+}
+
+// RefinesFailures checks stable-failures refinement spec ⊑F impl.
+func (c *Checker) RefinesFailures(spec, impl csp.Process) (Result, error) {
+	return c.Refines(spec, impl, Failures)
+}
+
+// productState pairs an implementation state with a normalised
+// specification node.
+type productState struct {
+	impl int
+	spec int
+}
+
+type parentEdge struct {
+	from productState
+	ev   int // implementation label ID; -1 for the root
+}
+
+func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *lts.LTS, model Model) Result {
+	// Map implementation label IDs to specification label IDs. Labels the
+	// spec has never heard of map to -1 and immediately fail refinement
+	// when performed.
+	implToSpec := make([]int, len(implLTS.Events))
+	for i, ev := range implLTS.Events {
+		switch i {
+		case lts.TauID:
+			implToSpec[i] = lts.TauID
+		case lts.TickID:
+			implToSpec[i] = lts.TickID
+		default:
+			if id, ok := specLTS.EventID(ev); ok {
+				implToSpec[i] = id
+			} else {
+				implToSpec[i] = -1
+			}
+		}
+	}
+
+	start := productState{impl: implLTS.Init, spec: norm.Init}
+	visited := map[productState]parentEdge{start: {ev: -1}}
+	queue := []productState{start}
+
+	rebuild := func(ps productState, extra *csp.Event) csp.Trace {
+		var rev []csp.Event
+		cur := ps
+		for {
+			pe := visited[cur]
+			if pe.ev == -1 {
+				break
+			}
+			if pe.ev != lts.TauID {
+				rev = append(rev, implLTS.EventByID(pe.ev))
+			}
+			cur = pe.from
+		}
+		trace := make(csp.Trace, 0, len(rev)+1)
+		for i := len(rev) - 1; i >= 0; i-- {
+			trace = append(trace, rev[i])
+		}
+		if extra != nil {
+			trace = append(trace, *extra)
+		}
+		return trace
+	}
+
+	for len(queue) > 0 {
+		ps := queue[0]
+		queue = queue[1:]
+
+		if model == Failures && implLTS.IsStable(ps.impl) {
+			offered := implLTS.Initials(ps.impl)
+			mapped := make([]int, 0, len(offered))
+			for _, o := range offered {
+				mapped = append(mapped, implToSpec[o])
+			}
+			if !norm.RefusalPossible(ps.spec, mapped) {
+				return Result{
+					Holds:          false,
+					Counterexample: rebuild(ps, nil),
+					Reason: fmt.Sprintf(
+						"implementation stable state refuses more than the specification allows (offers %s)",
+						labelNames(implLTS, offered)),
+					ProductStates: len(visited),
+				}
+			}
+		}
+
+		for _, e := range implLTS.Edges[ps.impl] {
+			if e.Ev == lts.TauID {
+				next := productState{impl: e.To, spec: ps.spec}
+				if _, seen := visited[next]; !seen {
+					visited[next] = parentEdge{from: ps, ev: lts.TauID}
+					queue = append(queue, next)
+				}
+				continue
+			}
+			specLabel := implToSpec[e.Ev]
+			var specTo int
+			ok := specLabel >= 0
+			if ok {
+				specTo, ok = norm.Accepts(ps.spec, specLabel)
+			}
+			if !ok {
+				bad := implLTS.EventByID(e.Ev)
+				return Result{
+					Holds:          false,
+					Counterexample: rebuild(ps, &bad),
+					BadEvent:       &bad,
+					Reason:         fmt.Sprintf("implementation performs %s, which the specification cannot", bad),
+					ProductStates:  len(visited),
+				}
+			}
+			next := productState{impl: e.To, spec: specTo}
+			if _, seen := visited[next]; !seen {
+				visited[next] = parentEdge{from: ps, ev: e.Ev}
+				queue = append(queue, next)
+			}
+		}
+	}
+	return Result{Holds: true, ProductStates: len(visited)}
+}
+
+func labelNames(l *lts.LTS, labels []int) string {
+	out := "{"
+	for i, id := range labels {
+		if i > 0 {
+			out += ", "
+		}
+		out += l.EventByID(id).String()
+	}
+	return out + "}"
+}
+
+// DeadlockFree checks that no reachable state of p is a deadlock: a
+// state with no transitions at all that is not the terminated process.
+func (c *Checker) DeadlockFree(p csp.Process) (Result, error) {
+	l, err := c.explore(p)
+	if err != nil {
+		return Result{}, err
+	}
+	// BFS with parent tracking for counterexample reconstruction.
+	parents := make([]parentEdge, l.NumStates())
+	seen := make([]bool, l.NumStates())
+	seen[l.Init] = true
+	parents[l.Init] = parentEdge{ev: -1}
+	queue := []int{l.Init}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if len(l.Edges[s]) == 0 && l.Keys[s] != "Ω" {
+			return Result{
+				Holds:          false,
+				Counterexample: rebuildLinear(l, parents, s),
+				Reason:         "deadlocked state reached: " + l.Keys[s],
+				ImplStates:     l.NumStates(),
+			}, nil
+		}
+		for _, e := range l.Edges[s] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				parents[e.To] = parentEdge{from: productState{impl: s}, ev: e.Ev}
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return Result{Holds: true, ImplStates: l.NumStates()}, nil
+}
+
+// DivergenceFree checks that p has no reachable tau cycle (livelock).
+func (c *Checker) DivergenceFree(p csp.Process) (Result, error) {
+	l, err := c.explore(p)
+	if err != nil {
+		return Result{}, err
+	}
+	if diverges, witness := l.HasTauCycle(); diverges {
+		return Result{
+			Holds:      false,
+			Reason:     "divergent state (tau cycle) reachable: " + l.Keys[witness],
+			ImplStates: l.NumStates(),
+		}, nil
+	}
+	return Result{Holds: true, ImplStates: l.NumStates()}, nil
+}
+
+func rebuildLinear(l *lts.LTS, parents []parentEdge, state int) csp.Trace {
+	var rev []csp.Event
+	cur := state
+	for {
+		pe := parents[cur]
+		if pe.ev == -1 {
+			break
+		}
+		if pe.ev != lts.TauID {
+			rev = append(rev, l.EventByID(pe.ev))
+		}
+		cur = pe.from.impl
+	}
+	trace := make(csp.Trace, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		trace = append(trace, rev[i])
+	}
+	return trace
+}

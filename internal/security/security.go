@@ -1,0 +1,118 @@
+// Package security provides reusable CSP specification-process builders
+// for the security property classes the paper discusses (section IV-A
+// and V-B): integrity as request/response sequencing (SP_02-style),
+// authentication as event precedence, injective agreement as strict
+// alternation, and secrecy as event unreachability. Each builder
+// installs recursive definitions into a csp.Env and returns the
+// specification process, ready to be the left-hand side of a trace
+// refinement check.
+package security
+
+import (
+	"fmt"
+
+	"repro/internal/csp"
+)
+
+// DefineRun installs RUN(A) for the union of the given channels: the
+// process that forever accepts every event on them. It is the weakest
+// specification over that alphabet.
+func DefineRun(env *csp.Env, name string, channels ...string) (csp.Process, error) {
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("security: RUN needs at least one channel")
+	}
+	branches := make([]csp.Process, len(channels))
+	for i, ch := range channels {
+		branches[i] = csp.Recv(ch, csp.Call(name), fmt.Sprintf("x%d", i))
+	}
+	if err := env.Define(name, nil, csp.ExtChoice(branches...)); err != nil {
+		return nil, err
+	}
+	return csp.Call(name), nil
+}
+
+// Response installs the request/response integrity property of the
+// paper's SP_02: every occurrence of req is immediately followed (in
+// the projected alphabet {req, resp}) by resp. Check it against the
+// implementation with all other events hidden.
+func Response(env *csp.Env, name string, req, resp csp.Event) (csp.Process, error) {
+	body := csp.Send(req.Chan,
+		csp.Send(resp.Chan, csp.Call(name), resp.Args...),
+		req.Args...)
+	if err := env.Define(name, nil, body); err != nil {
+		return nil, err
+	}
+	return csp.Call(name), nil
+}
+
+// Precedence installs the non-injective authentication property: the
+// `then` event may occur only after at least one `first` event has
+// occurred; both events may recur freely afterwards. A trace beginning
+// with `then` violates it.
+func Precedence(env *csp.Env, name string, first, then csp.Event) (csp.Process, error) {
+	runName := name + "_AFTER"
+	after := csp.ExtChoice(
+		csp.Send(first.Chan, csp.Call(runName), first.Args...),
+		csp.Send(then.Chan, csp.Call(runName), then.Args...),
+	)
+	if err := env.Define(runName, nil, after); err != nil {
+		return nil, err
+	}
+	body := csp.Send(first.Chan, csp.Call(runName), first.Args...)
+	if err := env.Define(name, nil, body); err != nil {
+		return nil, err
+	}
+	return csp.Call(name), nil
+}
+
+// Alternation installs the injective agreement property: events a and b
+// strictly alternate starting with a. A replayed b (two b's for one a)
+// violates it.
+func Alternation(env *csp.Env, name string, a, b csp.Event) (csp.Process, error) {
+	body := csp.Send(a.Chan,
+		csp.Send(b.Chan, csp.Call(name), b.Args...),
+		a.Args...)
+	if err := env.Define(name, nil, body); err != nil {
+		return nil, err
+	}
+	return csp.Call(name), nil
+}
+
+// NoOccurrence installs the secrecy/unreachability property over the
+// given alphabet channels: any event on them is allowed except the
+// forbidden one. Check against the implementation restricted to that
+// alphabet; the forbidden event in any trace is a violation.
+func NoOccurrence(env *csp.Env, name string, forbidden csp.Event, channels ...string) (csp.Process, error) {
+	if len(channels) == 0 {
+		return nil, fmt.Errorf("security: NoOccurrence needs the observation alphabet")
+	}
+	var branches []csp.Process
+	for i, ch := range channels {
+		v := fmt.Sprintf("x%d", i)
+		if ch == forbidden.Chan {
+			// Accept everything on the channel except the forbidden
+			// event: restrict the input.
+			pred := notEqual(csp.V(v), forbidden)
+			branches = append(branches, csp.Prefix(ch,
+				[]csp.CommField{csp.InSuchThat(v, pred)},
+				csp.Call(name)))
+			continue
+		}
+		branches = append(branches, csp.Recv(ch, csp.Call(name), v))
+	}
+	if err := env.Define(name, nil, csp.ExtChoice(branches...)); err != nil {
+		return nil, err
+	}
+	return csp.Call(name), nil
+}
+
+// notEqual builds the predicate x != <event payload>. Only single-field
+// channels are supported (sufficient for packet buses).
+func notEqual(x csp.Expr, forbidden csp.Event) csp.Expr {
+	if len(forbidden.Args) != 1 {
+		// Multi-field events compare against the dotted value; callers
+		// with multi-field channels should restrict by channel instead.
+		return csp.LitBool(true)
+	}
+	return csp.Binary{Op: csp.OpNe, L: x, R: csp.Lit{Val: forbidden.Args[0]}}
+}

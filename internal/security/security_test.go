@@ -1,0 +1,154 @@
+package security
+
+import (
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/refine"
+)
+
+func ctx(t *testing.T) *csp.Context {
+	t.Helper()
+	c := csp.NewContext()
+	msg := csp.EnumType("M", "req", "rsp", "other")
+	c.MustChannel("a", msg)
+	c.MustChannel("b", msg)
+	c.MustChannel("evA")
+	c.MustChannel("evB")
+	return c
+}
+
+func TestDefineRunAcceptsEverything(t *testing.T) {
+	c := ctx(t)
+	env := csp.NewEnv()
+	run, err := DefineRun(env, "RUN0", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := refine.NewChecker(env, c)
+	// Any process over a/b refines RUN.
+	env.MustDefine("ANY", nil, csp.Send("a", csp.Send("b", csp.Call("ANY"), csp.Sym("rsp")), csp.Sym("req")))
+	res, err := checker.RefinesTraces(run, csp.Call("ANY"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("RUN [T= ANY failed: %s", res.Counterexample)
+	}
+	if _, err := DefineRun(env, "RUNx"); err == nil {
+		t.Error("RUN with no channels accepted")
+	}
+}
+
+func TestResponseProperty(t *testing.T) {
+	c := ctx(t)
+	env := csp.NewEnv()
+	spec, err := Response(env, "RESP", csp.Ev("a", csp.Sym("req")), csp.Ev("b", csp.Sym("rsp")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := refine.NewChecker(env, c)
+	env.MustDefine("GOOD", nil,
+		csp.Send("a", csp.Send("b", csp.Call("GOOD"), csp.Sym("rsp")), csp.Sym("req")))
+	env.MustDefine("BAD", nil,
+		csp.Send("a", csp.Send("a", csp.Call("BAD"), csp.Sym("req")), csp.Sym("req")))
+	res, err := checker.RefinesTraces(spec, csp.Call("GOOD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("good responder rejected: %s", res.Counterexample)
+	}
+	res, err = checker.RefinesTraces(spec, csp.Call("BAD"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("unanswered request accepted")
+	}
+}
+
+func TestPrecedenceProperty(t *testing.T) {
+	c := ctx(t)
+	env := csp.NewEnv()
+	spec, err := Precedence(env, "PREC", csp.Ev("evA"), csp.Ev("evB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := refine.NewChecker(env, c)
+	// evB before any evA violates; evA then any mix is fine.
+	env.MustDefine("OK", nil, csp.DoEvent("evA",
+		csp.ExtChoice(csp.DoEvent("evB", csp.Call("OK")), csp.DoEvent("evA", csp.Call("OK")))))
+	env.MustDefine("VIOLATION", nil, csp.DoEvent("evB", csp.Stop()))
+	res, err := checker.RefinesTraces(spec, csp.Call("OK"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("precedence-respecting process rejected: %s", res.Counterexample)
+	}
+	res, err = checker.RefinesTraces(spec, csp.Call("VIOLATION"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("evB before evA accepted")
+	}
+}
+
+func TestAlternationProperty(t *testing.T) {
+	c := ctx(t)
+	env := csp.NewEnv()
+	spec, err := Alternation(env, "ALT", csp.Ev("evA"), csp.Ev("evB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := refine.NewChecker(env, c)
+	env.MustDefine("STRICT", nil, csp.DoEvent("evA", csp.DoEvent("evB", csp.Call("STRICT"))))
+	env.MustDefine("REPLAYED", nil,
+		csp.DoEvent("evA", csp.DoEvent("evB", csp.DoEvent("evB", csp.Stop()))))
+	res, err := checker.RefinesTraces(spec, csp.Call("STRICT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("strict alternation rejected: %s", res.Counterexample)
+	}
+	res, err = checker.RefinesTraces(spec, csp.Call("REPLAYED"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("double evB accepted by alternation spec")
+	}
+}
+
+func TestNoOccurrenceProperty(t *testing.T) {
+	c := ctx(t)
+	env := csp.NewEnv()
+	forbidden := csp.Ev("a", csp.Sym("other"))
+	spec, err := NoOccurrence(env, "SAFE", forbidden, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checker := refine.NewChecker(env, c)
+	env.MustDefine("CLEAN", nil, csp.Send("a", csp.Call("CLEAN"), csp.Sym("req")))
+	env.MustDefine("LEAKY", nil, csp.Send("a", csp.Stop(), csp.Sym("other")))
+	res, err := checker.RefinesTraces(spec, csp.Call("CLEAN"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("clean process rejected: %s", res.Counterexample)
+	}
+	res, err = checker.RefinesTraces(spec, csp.Call("LEAKY"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Error("forbidden event accepted")
+	}
+	if _, err := NoOccurrence(env, "SAFE2", forbidden); err == nil {
+		t.Error("NoOccurrence without alphabet accepted")
+	}
+}

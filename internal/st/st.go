@@ -1,0 +1,281 @@
+// Package st is a small text-template engine modelled on ANTLR's
+// StringTemplate (Parr, "Enforcing strict model-view separation in
+// template engines"), which the paper uses to render CSPm output from
+// the parsed CAPL AST (section IV-C). It deliberately keeps logic out of
+// templates: a template may substitute attributes, join list attributes
+// with a separator, apply a named sub-template to each list element, and
+// include text conditionally on an attribute's presence — nothing more.
+//
+// Syntax (delimiter $ ... $ as in classic StringTemplate):
+//
+//	$name$                        substitute attribute
+//	$names; separator=", "$       join list attribute
+//	$names:item()$                apply template "item" to each element
+//	$names:item(); separator="x"$ apply and join
+//	$if(name)$ ... $else$ ... $endif$
+//	$$                            literal dollar sign
+//
+// Attribute values are strings, []string, []Attrs (for template
+// application) or Attrs (nested scope for application of a template).
+package st
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attrs is the attribute environment a template renders against.
+type Attrs map[string]any
+
+// Group is a named collection of templates that can reference each
+// other through the application syntax.
+type Group struct {
+	templates map[string]string
+}
+
+// NewGroup creates an empty template group.
+func NewGroup() *Group {
+	return &Group{templates: map[string]string{}}
+}
+
+// Define registers a template under a name, replacing any previous
+// definition.
+func (g *Group) Define(name, body string) {
+	g.templates[name] = body
+}
+
+// MustRender renders like Render but panics on error; for statically
+// known templates in tests.
+func (g *Group) MustRender(name string, attrs Attrs) string {
+	out, err := g.Render(name, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Render instantiates the named template with the given attributes.
+func (g *Group) Render(name string, attrs Attrs) (string, error) {
+	body, ok := g.templates[name]
+	if !ok {
+		return "", fmt.Errorf("template %q not defined", name)
+	}
+	return g.render(body, attrs)
+}
+
+func (g *Group) render(body string, attrs Attrs) (string, error) {
+	var sb strings.Builder
+	i := 0
+	for i < len(body) {
+		c := body[i]
+		if c != '$' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		// Find the closing delimiter.
+		end := strings.IndexByte(body[i+1:], '$')
+		if end < 0 {
+			return "", fmt.Errorf("unterminated $...$ expression")
+		}
+		expr := body[i+1 : i+1+end]
+		next := i + end + 2
+		if expr == "" { // "$$" is a literal dollar
+			sb.WriteByte('$')
+			i = next
+			continue
+		}
+		if strings.HasPrefix(expr, "if(") {
+			rendered, consumed, err := g.renderIf(body[i:], attrs)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(rendered)
+			i += consumed
+			continue
+		}
+		out, err := g.renderExpr(expr, attrs)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(out)
+		i = next
+	}
+	return sb.String(), nil
+}
+
+// renderIf handles $if(x)$ ... [$else$ ...] $endif$ starting at the
+// "$if(" in src. It returns the rendered text and the number of source
+// bytes consumed.
+func (g *Group) renderIf(src string, attrs Attrs) (string, int, error) {
+	// Parse the condition.
+	condEnd := strings.Index(src, ")$")
+	if condEnd < 0 || !strings.HasPrefix(src, "$if(") {
+		return "", 0, fmt.Errorf("malformed $if(...)$")
+	}
+	cond := src[len("$if("):condEnd]
+	negate := false
+	if strings.HasPrefix(cond, "!") {
+		negate = true
+		cond = cond[1:]
+	}
+	bodyStart := condEnd + 2
+	// Scan for matching $else$/$endif$ with nesting support.
+	depth := 0
+	elseAt := -1
+	i := bodyStart
+	for i < len(src) {
+		switch {
+		case strings.HasPrefix(src[i:], "$if("):
+			depth++
+			i += 4
+		case strings.HasPrefix(src[i:], "$endif$"):
+			if depth == 0 {
+				thenBody := src[bodyStart:i]
+				elseBody := ""
+				if elseAt >= 0 {
+					thenBody = src[bodyStart:elseAt]
+					elseBody = src[elseAt+len("$else$") : i]
+				}
+				truthy := attrPresent(attrs, cond)
+				if negate {
+					truthy = !truthy
+				}
+				chosen := elseBody
+				if truthy {
+					chosen = thenBody
+				}
+				out, err := g.render(chosen, attrs)
+				if err != nil {
+					return "", 0, err
+				}
+				return out, i + len("$endif$"), nil
+			}
+			depth--
+			i += len("$endif$")
+		case strings.HasPrefix(src[i:], "$else$") && depth == 0 && elseAt < 0:
+			elseAt = i
+			i += len("$else$")
+		default:
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("missing $endif$ for $if(%s)$", cond)
+}
+
+func attrPresent(attrs Attrs, name string) bool {
+	v, ok := attrs[name]
+	if !ok || v == nil {
+		return false
+	}
+	switch x := v.(type) {
+	case string:
+		return x != ""
+	case []string:
+		return len(x) > 0
+	case []Attrs:
+		return len(x) > 0
+	case bool:
+		return x
+	}
+	return true
+}
+
+// renderExpr handles a non-conditional expression: attribute reference,
+// optional template application, optional separator option.
+func (g *Group) renderExpr(expr string, attrs Attrs) (string, error) {
+	sep := ""
+	hasSep := false
+	if at := strings.Index(expr, ";"); at >= 0 {
+		opt := strings.TrimSpace(expr[at+1:])
+		expr = strings.TrimSpace(expr[:at])
+		const pfx = "separator="
+		if !strings.HasPrefix(opt, pfx) {
+			return "", fmt.Errorf("unknown template option %q", opt)
+		}
+		raw := strings.TrimPrefix(opt, pfx)
+		if len(raw) < 2 || raw[0] != '"' || raw[len(raw)-1] != '"' {
+			return "", fmt.Errorf("separator must be a quoted string, got %q", raw)
+		}
+		sep = unescape(raw[1 : len(raw)-1])
+		hasSep = true
+	}
+	applied := ""
+	if at := strings.Index(expr, ":"); at >= 0 {
+		applied = strings.TrimSpace(expr[at+1:])
+		expr = strings.TrimSpace(expr[:at])
+		if !strings.HasSuffix(applied, "()") {
+			return "", fmt.Errorf("template application must look like name(), got %q", applied)
+		}
+		applied = strings.TrimSuffix(applied, "()")
+	}
+	v, ok := attrs[expr]
+	if !ok {
+		return "", fmt.Errorf("attribute %q not supplied", expr)
+	}
+	items, err := toItems(v)
+	if err != nil {
+		return "", fmt.Errorf("attribute %q: %w", expr, err)
+	}
+	if !hasSep {
+		sep = ""
+	}
+	parts := make([]string, 0, len(items))
+	for _, item := range items {
+		if applied == "" {
+			s, ok := item.(string)
+			if !ok {
+				return "", fmt.Errorf("attribute %q has non-string elements; apply a template to it", expr)
+			}
+			parts = append(parts, s)
+			continue
+		}
+		var sub Attrs
+		switch x := item.(type) {
+		case Attrs:
+			sub = x
+		case string:
+			sub = Attrs{"it": x}
+		default:
+			return "", fmt.Errorf("cannot apply template %q to %T", applied, item)
+		}
+		out, err := g.Render(applied, sub)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, out)
+	}
+	return strings.Join(parts, sep), nil
+}
+
+func toItems(v any) ([]any, error) {
+	switch x := v.(type) {
+	case string:
+		return []any{x}, nil
+	case []string:
+		out := make([]any, len(x))
+		for i, s := range x {
+			out[i] = s
+		}
+		return out, nil
+	case []Attrs:
+		out := make([]any, len(x))
+		for i, a := range x {
+			out[i] = a
+		}
+		return out, nil
+	case Attrs:
+		return []any{x}, nil
+	case fmt.Stringer:
+		return []any{x.String()}, nil
+	case int:
+		return []any{fmt.Sprintf("%d", x)}, nil
+	}
+	return nil, fmt.Errorf("unsupported attribute type %T", v)
+}
+
+func unescape(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	s = strings.ReplaceAll(s, `\t`, "\t")
+	return s
+}

@@ -1,0 +1,147 @@
+package st
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimpleSubstitution(t *testing.T) {
+	g := NewGroup()
+	g.Define("greet", "Hello, $name$!")
+	out, err := g.Render("greet", Attrs{"name": "world"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "Hello, world!" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestListWithSeparator(t *testing.T) {
+	g := NewGroup()
+	g.Define("chan", `channel $names; separator=", "$ : Msgs`)
+	out, err := g.Render("chan", Attrs{"names": []string{"send", "rec"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "channel send, rec : Msgs" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestTemplateApplication(t *testing.T) {
+	g := NewGroup()
+	g.Define("proc", `$defs:def(); separator="\n"$`)
+	g.Define("def", "$name$ = $body$")
+	out, err := g.Render("proc", Attrs{
+		"defs": []Attrs{
+			{"name": "P", "body": "a -> P"},
+			{"name": "Q", "body": "STOP"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "P = a -> P\nQ = STOP"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestApplicationToStrings(t *testing.T) {
+	g := NewGroup()
+	g.Define("list", `$xs:item(); separator=" "$`)
+	g.Define("item", "<$it$>")
+	out, err := g.Render("list", Attrs{"xs": []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "<a> <b>" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestConditional(t *testing.T) {
+	g := NewGroup()
+	g.Define("t", "$if(flag)$yes$else$no$endif$")
+	if out := g.MustRender("t", Attrs{"flag": "x"}); out != "yes" {
+		t.Errorf("present: %q", out)
+	}
+	if out := g.MustRender("t", Attrs{"flag": ""}); out != "no" {
+		t.Errorf("empty: %q", out)
+	}
+	if out := g.MustRender("t", Attrs{}); out != "no" {
+		t.Errorf("absent: %q", out)
+	}
+}
+
+func TestConditionalNegationAndNesting(t *testing.T) {
+	g := NewGroup()
+	g.Define("t", "$if(!x)$outer$if(y)$-inner$endif$$endif$")
+	if out := g.MustRender("t", Attrs{"y": "1"}); out != "outer-inner" {
+		t.Errorf("out = %q", out)
+	}
+	if out := g.MustRender("t", Attrs{"x": "1", "y": "1"}); out != "" {
+		t.Errorf("out = %q, want empty", out)
+	}
+}
+
+func TestLiteralDollar(t *testing.T) {
+	g := NewGroup()
+	g.Define("t", "cost: $$$n$")
+	if out := g.MustRender("t", Attrs{"n": "5"}); out != "cost: $5" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestBoolAttr(t *testing.T) {
+	g := NewGroup()
+	g.Define("t", "$if(b)$on$else$off$endif$")
+	if out := g.MustRender("t", Attrs{"b": true}); out != "on" {
+		t.Errorf("out = %q", out)
+	}
+	if out := g.MustRender("t", Attrs{"b": false}); out != "off" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := NewGroup()
+	g.Define("unterminated", "$name")
+	g.Define("missingAttr", "$nope$")
+	g.Define("badOption", `$x; frob="y"$`)
+	g.Define("noEndif", "$if(x)$ body")
+	g.Define("badApply", "$x:item$")
+
+	cases := []struct {
+		tmpl  string
+		attrs Attrs
+		want  string
+	}{
+		{"nosuch", nil, "not defined"},
+		{"unterminated", Attrs{"name": "x"}, "unterminated"},
+		{"missingAttr", Attrs{}, "not supplied"},
+		{"badOption", Attrs{"x": "1"}, "unknown template option"},
+		{"noEndif", Attrs{"x": "1"}, "missing $endif$"},
+		{"badApply", Attrs{"x": "1"}, "template application"},
+	}
+	for _, tc := range cases {
+		_, err := g.Render(tc.tmpl, tc.attrs)
+		if err == nil {
+			t.Errorf("Render(%q) succeeded, want error %q", tc.tmpl, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Render(%q) error = %v, want substring %q", tc.tmpl, err, tc.want)
+		}
+	}
+}
+
+func TestSeparatorEscapes(t *testing.T) {
+	g := NewGroup()
+	g.Define("t", `$xs; separator="\n\t"$`)
+	out := g.MustRender("t", Attrs{"xs": []string{"a", "b"}})
+	if out != "a\n\tb" {
+		t.Errorf("out = %q", out)
+	}
+}

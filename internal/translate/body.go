@@ -1,0 +1,401 @@
+package translate
+
+import (
+	"fmt"
+
+	"repro/internal/capl"
+	"repro/internal/cspm"
+)
+
+// stmts translates a statement list into a process expression ending in
+// cont. inlining tracks the user-function inlining stack to reject
+// recursion.
+func (t *translator) stmts(list []capl.Stmt, cont cspm.ProcExpr, inlining []string) (cspm.ProcExpr, error) {
+	// Translate back to front so each statement prefixes the rest.
+	out := cont
+	for i := len(list) - 1; i >= 0; i-- {
+		var err error
+		out, err = t.stmt(list[i], out, inlining)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (t *translator) stmt(s capl.Stmt, cont cspm.ProcExpr, inlining []string) (cspm.ProcExpr, error) {
+	switch x := s.(type) {
+	case *capl.BlockStmt:
+		return t.stmts(x.Stmts, cont, inlining)
+
+	case *capl.DeclStmt:
+		// Local state is abstracted away.
+		return cont, nil
+
+	case *capl.ExprStmt:
+		return t.exprStmt(x, cont, inlining)
+
+	case *capl.IfStmt:
+		return t.ifStmt(x, cont, inlining)
+
+	case *capl.WhileStmt:
+		return t.loop(x.Body, cont, inlining, false, x.Line)
+
+	case *capl.ForStmt:
+		return t.loop(x.Body, cont, inlining, false, x.Line)
+
+	case *capl.DoWhileStmt:
+		return t.loop(x.Body, cont, inlining, true, x.Line)
+
+	case *capl.SwitchStmt:
+		return t.switchStmt(x, cont, inlining)
+
+	case *capl.ReturnStmt:
+		// Return ends the procedure; anything the caller appended after
+		// the call still runs, so the continuation is reached directly.
+		return cont, nil
+
+	case *capl.BreakStmt, *capl.ContinueStmt:
+		// Loop control inside an already-approximated loop; the
+		// approximation (see loop) covers both exits.
+		return cont, nil
+	}
+	return nil, fmt.Errorf("unsupported statement %T", s)
+}
+
+func (t *translator) exprStmt(s *capl.ExprStmt, cont cspm.ProcExpr, inlining []string) (cspm.ProcExpr, error) {
+	call, ok := s.X.(*capl.CallExpr)
+	if !ok {
+		// Assignments, increments etc.: pure state, abstracted away.
+		return cont, nil
+	}
+	switch call.Fun {
+	case "output":
+		if len(call.Args) != 1 {
+			return nil, fmt.Errorf("line %d: output() expects one argument", s.Line)
+		}
+		id, ok := call.Args[0].(*capl.Ident)
+		if !ok {
+			return nil, fmt.Errorf("line %d: output() argument must be a message variable", s.Line)
+		}
+		ctor, ok := t.msgCtor[id.Name]
+		if !ok {
+			return nil, fmt.Errorf("line %d: output(%s): message variable not declared", s.Line, id.Name)
+		}
+		return cspm.PrefixE{
+			Chan:   t.opts.OutChannel,
+			Fields: []cspm.FieldE{{Kind: cspm.FieldOut, Expr: cspm.IdentE{Name: ctor}}},
+			Cont:   cont,
+		}, nil
+
+	case "setTimer", "cancelTimer":
+		if !t.opts.IncludeTimers {
+			return cont, nil
+		}
+		if len(call.Args) < 1 {
+			return nil, fmt.Errorf("line %d: %s() expects a timer argument", s.Line, call.Fun)
+		}
+		id, ok := call.Args[0].(*capl.Ident)
+		if !ok || !t.timerSet[id.Name] {
+			return nil, fmt.Errorf("line %d: %s(): first argument must be a declared timer", s.Line, call.Fun)
+		}
+		if t.opts.TockTime && call.Fun == "setTimer" {
+			ms := int64(t.opts.TockMs) // default: one tock
+			if len(call.Args) >= 2 {
+				if v, ok := constEval(call.Args[1]); ok {
+					ms = v
+				} else {
+					t.warnf("line %d: non-constant timer duration approximated as one tock", s.Line)
+				}
+			}
+			return t.tockSetTimerEvent(id.Name, ms, cont)
+		}
+		ch := SetTimerChan
+		if call.Fun == "cancelTimer" {
+			ch = CancelTimerChan
+		}
+		return cspm.PrefixE{
+			Chan:   ch,
+			Fields: []cspm.FieldE{{Kind: cspm.FieldDot, Expr: cspm.IdentE{Name: id.Name}}},
+			Cont:   cont,
+		}, nil
+
+	case "write", "writeEx", "writeLineEx":
+		// Diagnostics do not appear in the network model.
+		return cont, nil
+	}
+
+	// User-defined function: inline its body.
+	fn, ok := t.prog.Function(call.Fun)
+	if !ok {
+		t.warnf("line %d: call to unknown function %s() abstracted away", s.Line, call.Fun)
+		return cont, nil
+	}
+	for _, active := range inlining {
+		if active == call.Fun {
+			return nil, fmt.Errorf("line %d: recursive function %s() cannot be inlined", s.Line, call.Fun)
+		}
+	}
+	return t.stmts(fn.Body.Stmts, cont, append(inlining, call.Fun))
+}
+
+func (t *translator) ifStmt(s *capl.IfStmt, cont cspm.ProcExpr, inlining []string) (cspm.ProcExpr, error) {
+	thenP, err := t.stmt(s.Then, cont, inlining)
+	if err != nil {
+		return nil, err
+	}
+	elseP := cont
+	if s.Else != nil {
+		elseP, err = t.stmt(s.Else, cont, inlining)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Conditions over runtime data (message bytes, variables) are not
+	// represented in the extracted model; translate to a literal
+	// conditional when the condition is compile-time constant, otherwise
+	// over-approximate by internal choice.
+	if v, ok := constEval(s.Cond); ok {
+		if v != 0 {
+			return thenP, nil
+		}
+		return elseP, nil
+	}
+	if sameProc(thenP, elseP) {
+		return thenP, nil
+	}
+	t.warnf("line %d: data-dependent condition abstracted to internal choice", s.Line)
+	return cspm.BinProcE{Op: cspm.OpIntChoice, L: thenP, R: elseP}, nil
+}
+
+// loop over-approximates a loop whose body communicates: the body runs
+// zero or more times (at least once for do-while). Event-free loops are
+// dropped entirely.
+func (t *translator) loop(body capl.Stmt, cont cspm.ProcExpr, inlining []string, atLeastOnce bool, line int) (cspm.ProcExpr, error) {
+	if !t.hasEvents(body, inlining) {
+		return cont, nil
+	}
+	t.auxCount++
+	aux := fmt.Sprintf("%s_LOOP%d", t.opts.NodeName, t.auxCount)
+	bodyP, err := t.stmt(body, cspm.CallE{Name: aux}, inlining)
+	if err != nil {
+		return nil, err
+	}
+	t.defs = append(t.defs, cspm.ProcDef{
+		Name: aux,
+		Body: cspm.BinProcE{Op: cspm.OpIntChoice, L: bodyP, R: cont},
+	})
+	t.warnf("line %d: loop approximated as zero-or-more iterations (%s)", line, aux)
+	if atLeastOnce {
+		return t.stmt(body, cspm.CallE{Name: aux}, inlining)
+	}
+	return cspm.CallE{Name: aux}, nil
+}
+
+func (t *translator) switchStmt(s *capl.SwitchStmt, cont cspm.ProcExpr, inlining []string) (cspm.ProcExpr, error) {
+	if len(s.Cases) == 0 {
+		return cont, nil
+	}
+	// A compile-time constant tag selects a single arm.
+	if tag, ok := constEval(s.Tag); ok {
+		for _, c := range s.Cases {
+			if c.Value == nil {
+				continue
+			}
+			if v, ok := constEval(c.Value); ok && v == tag {
+				return t.stmts(stripBreak(c.Stmts), cont, inlining)
+			}
+		}
+		for _, c := range s.Cases {
+			if c.Value == nil {
+				return t.stmts(stripBreak(c.Stmts), cont, inlining)
+			}
+		}
+		return cont, nil
+	}
+	var arms []cspm.ProcExpr
+	sawDefault := false
+	for _, c := range s.Cases {
+		if c.Value == nil {
+			sawDefault = true
+		}
+		arm, err := t.stmts(stripBreak(c.Stmts), cont, inlining)
+		if err != nil {
+			return nil, err
+		}
+		arms = append(arms, arm)
+	}
+	if !sawDefault {
+		arms = append(arms, cont)
+	}
+	t.warnf("line %d: switch on runtime data abstracted to internal choice over %d arm(s)", s.Line, len(arms))
+	out := arms[0]
+	for _, a := range arms[1:] {
+		if sameProc(out, a) {
+			continue
+		}
+		out = cspm.BinProcE{Op: cspm.OpIntChoice, L: out, R: a}
+	}
+	return out, nil
+}
+
+// stripBreak removes a trailing break from a case arm.
+func stripBreak(list []capl.Stmt) []capl.Stmt {
+	if n := len(list); n > 0 {
+		if _, ok := list[n-1].(*capl.BreakStmt); ok {
+			return list[:n-1]
+		}
+	}
+	return list
+}
+
+// hasEvents reports whether executing the statement can produce any
+// event in the extracted model.
+func (t *translator) hasEvents(s capl.Stmt, inlining []string) bool {
+	switch x := s.(type) {
+	case *capl.BlockStmt:
+		for _, st := range x.Stmts {
+			if t.hasEvents(st, inlining) {
+				return true
+			}
+		}
+	case *capl.ExprStmt:
+		call, ok := x.X.(*capl.CallExpr)
+		if !ok {
+			return false
+		}
+		switch call.Fun {
+		case "output":
+			return true
+		case "setTimer", "cancelTimer":
+			return t.opts.IncludeTimers
+		case "write", "writeEx", "writeLineEx":
+			return false
+		}
+		if fn, ok := t.prog.Function(call.Fun); ok {
+			for _, active := range inlining {
+				if active == call.Fun {
+					return false
+				}
+			}
+			return t.hasEvents(fn.Body, append(inlining, call.Fun))
+		}
+	case *capl.IfStmt:
+		if t.hasEvents(x.Then, inlining) {
+			return true
+		}
+		if x.Else != nil {
+			return t.hasEvents(x.Else, inlining)
+		}
+	case *capl.WhileStmt:
+		return t.hasEvents(x.Body, inlining)
+	case *capl.DoWhileStmt:
+		return t.hasEvents(x.Body, inlining)
+	case *capl.ForStmt:
+		return t.hasEvents(x.Body, inlining)
+	case *capl.SwitchStmt:
+		for _, c := range x.Cases {
+			for _, st := range c.Stmts {
+				if t.hasEvents(st, inlining) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// constEval evaluates compile-time constant integer expressions.
+func constEval(e capl.Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *capl.IntLit:
+		return x.Val, true
+	case *capl.UnaryExpr:
+		v, ok := constEval(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case capl.MINUS:
+			return -v, true
+		case capl.BANG:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case capl.TILDE:
+			return ^v, true
+		}
+	case *capl.BinaryExpr:
+		l, ok := constEval(x.L)
+		if !ok {
+			return 0, false
+		}
+		r, ok := constEval(x.R)
+		if !ok {
+			return 0, false
+		}
+		return constBinary(x.Op, l, r)
+	}
+	return 0, false
+}
+
+func constBinary(op capl.Kind, l, r int64) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case capl.PLUS:
+		return l + r, true
+	case capl.MINUS:
+		return l - r, true
+	case capl.STAR:
+		return l * r, true
+	case capl.SLASH:
+		if r == 0 {
+			return 0, false
+		}
+		return l / r, true
+	case capl.PERCENT:
+		if r == 0 {
+			return 0, false
+		}
+		return l % r, true
+	case capl.EQ:
+		return b2i(l == r), true
+	case capl.NE:
+		return b2i(l != r), true
+	case capl.LT:
+		return b2i(l < r), true
+	case capl.LE:
+		return b2i(l <= r), true
+	case capl.GT:
+		return b2i(l > r), true
+	case capl.GE:
+		return b2i(l >= r), true
+	case capl.ANDAND:
+		return b2i(l != 0 && r != 0), true
+	case capl.OROR:
+		return b2i(l != 0 || r != 0), true
+	case capl.AMP:
+		return l & r, true
+	case capl.PIPE:
+		return l | r, true
+	case capl.CARET:
+		return l ^ r, true
+	case capl.SHL:
+		return l << uint(r&63), true
+	case capl.SHR:
+		return l >> uint(r&63), true
+	}
+	return 0, false
+}
+
+// sameProc reports whether two translated processes are syntactically
+// identical (used to collapse redundant internal choices).
+func sameProc(a, b cspm.ProcExpr) bool {
+	return cspm.PrintProc(a) == cspm.PrintProc(b)
+}
