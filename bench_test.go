@@ -17,6 +17,7 @@ import (
 	"repro/internal/csp"
 	"repro/internal/cspm"
 	"repro/internal/experiments"
+	"repro/internal/faultcampaign"
 	"repro/internal/lts"
 	"repro/internal/ota"
 	"repro/internal/refine"
@@ -378,6 +379,30 @@ func BenchmarkSignalCodec(b *testing.B) {
 			b.Fatal("codec mismatch")
 		}
 	}
+}
+
+// BenchmarkFaultCampaign measures end-to-end fault-campaign throughput:
+// a fixed-seed 32-scenario sweep (every fault kind, both protocol
+// variants, 500 ms horizon per scenario) so future PRs can track how
+// scenario cost evolves.
+func BenchmarkFaultCampaign(b *testing.B) {
+	cfg := faultcampaign.Config{
+		Seed:         42,
+		SeedsPerCase: 1,
+		Horizon:      500 * canbus.Millisecond,
+	}
+	n := len(faultcampaign.Matrix(cfg))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := faultcampaign.Run(cfg)
+		if rep.Scenarios != n {
+			b.Fatalf("ran %d scenarios, want %d", rep.Scenarios, n)
+		}
+		if rep.Errored != 0 {
+			b.Fatalf("%d scenarios errored", rep.Errored)
+		}
+	}
+	b.ReportMetric(float64(n), "scenarios/op")
 }
 
 func otaDBC() string {

@@ -1,0 +1,127 @@
+// Command faultcheck runs the seeded fault-injection campaign over the
+// simulated OTA network and, optionally, the lossy-channel refinement
+// checks that back the campaign's findings with formal counterexamples.
+// The campaign is deterministic: the same seed always produces a
+// byte-identical report.
+//
+// Usage:
+//
+//	faultcheck [-seed 42] [-format text|json] [-horizon-ms 3000]
+//	           [-cycles 3] [-reps 2] [-variant both|naive|hardened]
+//	           [-model] [-loss 2] [-max-states 262144]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/canbus"
+	"repro/internal/faultcampaign"
+	"repro/internal/ota"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "faultcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("faultcheck", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "campaign master seed")
+	format := fs.String("format", "text", "report format: text or json")
+	horizonMS := fs.Int64("horizon-ms", 3000, "per-scenario simulated horizon in milliseconds")
+	cycles := fs.Int("cycles", 3, "applied-update cycles required for convergence")
+	reps := fs.Int("reps", 2, "seed replicas per matrix cell")
+	variant := fs.String("variant", "both", "protocol variants: both, naive or hardened")
+	model := fs.Bool("model", false, "also run the lossy-channel refinement checks")
+	loss := fs.Int("loss", ota.DefaultLossBudget, "per-direction loss budget of the model checks")
+	maxStates := fs.Int("max-states", 1<<18, "state bound for the refinement checks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Validate every flag before the (multi-second) campaign runs.
+	if *horizonMS <= 0 {
+		return fmt.Errorf("horizon must be positive, got %dms", *horizonMS)
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+	if *reps < 1 {
+		return fmt.Errorf("reps must be at least 1, got %d", *reps)
+	}
+	if *loss < 0 {
+		return fmt.Errorf("loss budget must be >= 0, got %d", *loss)
+	}
+
+	cfg := faultcampaign.Config{
+		Seed:         *seed,
+		SeedsPerCase: *reps,
+		Horizon:      canbus.Time(*horizonMS) * canbus.Millisecond,
+		TargetCycles: *cycles,
+	}
+	switch *variant {
+	case "both", "":
+	case "naive":
+		cfg.Variants = []faultcampaign.Variant{faultcampaign.Naive}
+	case "hardened":
+		cfg.Variants = []faultcampaign.Variant{faultcampaign.Hardened}
+	default:
+		return fmt.Errorf("unknown variant %q (want both, naive or hardened)", *variant)
+	}
+
+	report := faultcampaign.Run(cfg)
+	switch *format {
+	case "text":
+		if _, err := io.WriteString(stdout, report.Text()); err != nil {
+			return err
+		}
+	case "json":
+		data, err := report.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := stdout.Write(append(data, '\n')); err != nil {
+			return err
+		}
+	}
+
+	if *model {
+		if err := runModelChecks(stdout, *loss, *maxStates); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runModelChecks runs the lossy-channel assertions for both gateway
+// variants and prints the pass/fail table that turns the campaign's
+// simulation evidence into a refinement-checked robustness claim.
+func runModelChecks(stdout io.Writer, lossBudget, maxStates int) error {
+	fmt.Fprintf(stdout, "\nlossy-channel refinement checks (loss budget %d per direction):\n", lossBudget)
+	for _, variant := range []ota.LossyVariant{ota.NaiveGateway, ota.HardenedGateway} {
+		sys, err := ota.BuildLossy(variant, lossBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "\n%s:\n", variant)
+		for i, a := range sys.Model.Asserts {
+			res, err := ota.CheckAssertion(sys, i, maxStates)
+			if err != nil {
+				return fmt.Errorf("%s: assertion %d: %w", variant, i, err)
+			}
+			status := "PASS"
+			if !res.Holds {
+				status = "FAIL"
+			}
+			fmt.Fprintf(stdout, "  %-4s  %s\n", status, a.Text)
+			if !res.Holds && len(res.Counterexample) > 0 {
+				fmt.Fprintf(stdout, "        counterexample: %v\n", res.Counterexample)
+			}
+		}
+	}
+	return nil
+}

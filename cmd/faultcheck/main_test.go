@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDeterministicReports(t *testing.T) {
+	args := []string{"-seed", "7", "-reps", "1", "-horizon-ms", "500"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different text reports")
+	}
+
+	jsonArgs := append(args, "-format", "json")
+	a.Reset()
+	b.Reset()
+	if err := run(jsonArgs, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(jsonArgs, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different JSON reports")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if decoded["masterSeed"] != float64(7) {
+		t.Errorf("masterSeed = %v, want 7", decoded["masterSeed"])
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-seed", "1", "-reps", "1", "-horizon-ms", "500", "-format", "json"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "2", "-reps", "1", "-horizon-ms", "500", "-format", "json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("different seeds produced identical reports")
+	}
+}
+
+func TestVariantFilterAndScale(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-reps", "2", "-horizon-ms", "500", "-variant", "hardened"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Contains(text, "naive variant:") {
+		t.Error("naive outcomes present despite -variant hardened")
+	}
+	// 16 matrix cells x 1 variant x 2 reps.
+	if !strings.Contains(text, "fault campaign: 32 scenarios") {
+		t.Errorf("unexpected scenario count:\n%s", text)
+	}
+	// The default full matrix must satisfy the >= 50 scenario floor.
+	out.Reset()
+	if err := run([]string{"-horizon-ms", "300"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fault campaign: 64 scenarios") {
+		t.Errorf("default matrix is not 64 scenarios:\n%s", firstLine(out.String()))
+	}
+}
+
+func TestModelChecksFlipTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-reps", "1", "-horizon-ms", "300", "-model"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	naive, hardened, ok := strings.Cut(text, "naive gateway:")
+	if !ok {
+		t.Fatalf("missing naive gateway section:\n%s", text)
+	}
+	_ = naive
+	hardenedIdx := strings.Index(hardened, "hardened (retry) gateway:")
+	if hardenedIdx < 0 {
+		t.Fatalf("missing hardened gateway section:\n%s", text)
+	}
+	naiveSection, hardenedSection := hardened[:hardenedIdx], hardened[hardenedIdx:]
+	if !strings.Contains(naiveSection, "FAIL") {
+		t.Error("naive gateway model checks should contain failures")
+	}
+	if strings.Contains(hardenedSection, "FAIL") {
+		t.Errorf("hardened gateway model checks should all pass:\n%s", hardenedSection)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "xml"},
+		{"-variant", "spicy"},
+		{"-horizon-ms", "0"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

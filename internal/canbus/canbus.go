@@ -36,8 +36,12 @@ type Frame struct {
 	Extended bool
 }
 
-// Clone returns a deep copy of the frame.
+// Clone returns a deep copy of the frame. A nil payload stays nil so
+// cloned frames compare deep-equal to their originals.
 func (f Frame) Clone() Frame {
+	if f.Data == nil {
+		return Frame{ID: f.ID, Extended: f.Extended}
+	}
 	data := make([]byte, len(f.Data))
 	copy(data, f.Data)
 	return Frame{ID: f.ID, Data: data, Extended: f.Extended}
@@ -73,12 +77,21 @@ type ReceiverFunc func(t Time, f Frame)
 func (fn ReceiverFunc) OnFrame(t Time, f Frame) { fn(t, f) }
 
 // Injector mutates or drops frames in flight, for failure-injection
-// experiments. Both hooks may be nil.
+// experiments. All hooks may be nil.
 type Injector struct {
-	// Drop returns true to lose the frame entirely.
+	// Drop returns true to lose the frame entirely (a receiver-side
+	// loss: the transmitter still sees a successful transmission).
 	Drop func(t Time, f Frame) bool
 	// Corrupt may return a modified frame (e.g. flipped payload bits).
+	// Without error confinement the mutated frame is delivered as-is;
+	// with Config.ErrorConfinement the mutation models a wire error the
+	// CRC catches, so the frame is destroyed by an error frame, error
+	// counters move, and the transmitter retransmits.
 	Corrupt func(t Time, f Frame) Frame
+	// Tamper may return a modified frame that evades CRC detection
+	// (targeted bit flips, spoofed identifiers). The mutation is always
+	// delivered, even under error confinement.
+	Tamper func(t Time, f Frame) Frame
 }
 
 // Config configures a bus.
@@ -88,6 +101,16 @@ type Config struct {
 	BitRate int
 	// Injector optionally injects faults.
 	Injector *Injector
+	// ErrorConfinement enables the ISO 11898 error-confinement state
+	// machine: per-node TEC/REC counters, error-active -> error-passive
+	// -> bus-off transitions, automatic retransmission of frames
+	// destroyed by detected errors, and bus-off recovery.
+	ErrorConfinement bool
+	// BusOffRecovery is the simulated time a bus-off node waits before
+	// rejoining as error-active. Zero selects the ISO 11898 default of
+	// 128 occurrences of 11 consecutive recessive bits at the
+	// configured bit rate.
+	BusOffRecovery Time
 }
 
 // Stats accumulates bus counters.
@@ -96,7 +119,17 @@ type Stats struct {
 	FramesDelivered int
 	FramesDropped   int
 	FramesCorrupted int
-	BusBusy         Time
+	// ErrorFrames counts detected wire errors (error confinement).
+	ErrorFrames int
+	// Retransmissions counts automatic retransmissions after detected
+	// errors (error confinement).
+	Retransmissions int
+	// BusOffEvents counts nodes entering bus-off (error confinement).
+	BusOffEvents int
+	// FramesRejected counts transmit requests refused because the
+	// requesting node was bus-off.
+	FramesRejected int
+	BusBusy        Time
 }
 
 // Errors returned by bus operations.
@@ -104,6 +137,9 @@ var (
 	ErrTooLong    = errors.New("canbus: frame payload exceeds 8 bytes")
 	ErrDetached   = errors.New("canbus: tap does not belong to this bus")
 	ErrTimeTravel = errors.New("canbus: cannot schedule in the past")
+	// ErrBusOff is returned by Transmit when the sending node is in the
+	// bus-off state; its controller cannot drive the bus until recovery.
+	ErrBusOff = errors.New("canbus: node is bus-off")
 )
 
 // Tap is one node's attachment point to the bus.
@@ -114,10 +150,26 @@ type Tap struct {
 	// TxCount and RxCount are per-node frame counters.
 	TxCount int
 	RxCount int
+
+	// Error-confinement state (meaningful when Config.ErrorConfinement
+	// is set; a node without it stays error-active with zero counters).
+	tec      int
+	rec      int
+	state    NodeState
+	busOffAt Time
 }
 
 // Name returns the node name given at Attach time.
 func (t *Tap) Name() string { return t.name }
+
+// TEC returns the node's transmit error counter.
+func (t *Tap) TEC() int { return t.tec }
+
+// REC returns the node's receive error counter.
+func (t *Tap) REC() int { return t.rec }
+
+// State returns the node's ISO 11898 error-confinement state.
+func (t *Tap) State() NodeState { return t.state }
 
 // Bus is a simulated CAN segment.
 type Bus struct {
@@ -210,6 +262,10 @@ func (b *Bus) Transmit(tap *Tap, f Frame) error {
 	if len(f.Data) > MaxDataLen {
 		return ErrTooLong
 	}
+	if tap.state == BusOff {
+		b.stats.FramesRejected++
+		return ErrBusOff
+	}
 	b.stats.FramesRequested++
 	b.seq++
 	b.pending = append(b.pending, pendingFrame{from: tap, frame: f.Clone(), seq: b.seq})
@@ -248,11 +304,25 @@ func (b *Bus) completeTransmission(p pendingFrame) {
 	f := p.frame
 	dropped := false
 	if inj := b.cfg.Injector; inj != nil {
-		if inj.Drop != nil && inj.Drop(b.now, f) {
+		switch {
+		case inj.Drop != nil && inj.Drop(b.now, f):
 			dropped = true
 			b.stats.FramesDropped++
-		} else if inj.Corrupt != nil {
-			mutated := inj.Corrupt(b.now, f.Clone())
+		case inj.Corrupt != nil:
+			mutated := clampFrame(inj.Corrupt(b.now, f.Clone()))
+			if !framesEqual(mutated, f) {
+				b.stats.FramesCorrupted++
+				if b.cfg.ErrorConfinement {
+					// A CRC-detected wire error: the frame is destroyed
+					// by an error frame and never delivered.
+					b.wireError(p)
+					return
+				}
+				f = mutated
+			}
+		}
+		if inj.Tamper != nil && !dropped {
+			mutated := clampFrame(inj.Tamper(b.now, f.Clone()))
 			if !framesEqual(mutated, f) {
 				b.stats.FramesCorrupted++
 			}
@@ -261,17 +331,29 @@ func (b *Bus) completeTransmission(p pendingFrame) {
 	}
 	if !dropped {
 		p.from.TxCount++
+		b.recordTxSuccess(p.from)
 		for _, tap := range b.taps {
 			if tap == p.from {
 				continue
 			}
 			tap.RxCount++
 			b.stats.FramesDelivered++
+			b.recordRxSuccess(tap)
 			tap.recv.OnFrame(b.now, f.Clone())
 		}
 	}
 	// Bus is idle again: next arbitration round.
 	b.tryArbitrate()
+}
+
+// clampFrame bounds an injector-mutated payload to the classic CAN
+// limit, so fault hooks cannot fabricate frames the wire could not
+// carry.
+func clampFrame(f Frame) Frame {
+	if len(f.Data) > MaxDataLen {
+		f.Data = f.Data[:MaxDataLen]
+	}
+	return f
 }
 
 func framesEqual(a, b Frame) bool {

@@ -1,0 +1,160 @@
+// ISO 11898 error confinement: every CAN controller keeps a transmit
+// error counter (TEC) and a receive error counter (REC) and moves
+// between three fault-confinement states. Detected errors destroy the
+// frame on the wire (error frame), raise the transmitter's TEC by 8 and
+// every receiver's REC by 1, and trigger automatic retransmission;
+// successful traffic decays the counters. A node whose TEC exceeds 127
+// becomes error-passive, and past 255 it disconnects (bus-off) until it
+// has observed 128 occurrences of 11 consecutive recessive bits —
+// modelled here as a recovery delay at the configured bit rate. This
+// gives injected corruption realistic consequences: a persistently
+// disturbed node degrades and eventually silences itself instead of
+// silently delivering mutated payloads.
+
+package canbus
+
+// NodeState is a node's ISO 11898 fault-confinement state.
+type NodeState int
+
+// Fault-confinement states.
+const (
+	// ErrorActive nodes participate normally and signal errors with
+	// active (dominant) error flags.
+	ErrorActive NodeState = iota
+	// ErrorPassive nodes (TEC or REC above 127) may only signal passive
+	// error flags and back off after transmissions.
+	ErrorPassive
+	// BusOff nodes (TEC above 255) are disconnected from the bus until
+	// the recovery sequence completes.
+	BusOff
+)
+
+// String names the state like the standard does.
+func (s NodeState) String() string {
+	switch s {
+	case ErrorActive:
+		return "error-active"
+	case ErrorPassive:
+		return "error-passive"
+	case BusOff:
+		return "bus-off"
+	}
+	return "unknown"
+}
+
+// Error-confinement thresholds and counter steps of ISO 11898-1 §12.1.4.
+const (
+	tecErrorStep     = 8   // TEC increment on a transmit error
+	recErrorStep     = 1   // REC increment on a receive error
+	passiveThreshold = 127 // above this, error-passive
+	busOffThreshold  = 255 // above this, bus-off
+	// busOffRecoveryBits is the ISO 11898 recovery sequence length: 128
+	// occurrences of 11 consecutive recessive bits.
+	busOffRecoveryBits = 128 * 11
+)
+
+// recoveryDelay returns the simulated duration of the bus-off recovery
+// sequence at the configured bit rate.
+func (b *Bus) recoveryDelay() Time {
+	if b.cfg.BusOffRecovery > 0 {
+		return b.cfg.BusOffRecovery
+	}
+	d := Time(int64(busOffRecoveryBits) * int64(Second) / int64(b.cfg.BitRate))
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// wireError handles a CRC-detected error on the frame in flight: error
+// counters move on every node, the transmitter retransmits unless the
+// accumulated errors have driven it to bus-off.
+func (b *Bus) wireError(p pendingFrame) {
+	b.stats.ErrorFrames++
+	tx := p.from
+	tx.tec += tecErrorStep
+	for _, tap := range b.taps {
+		if tap != tx {
+			tap.rec += recErrorStep
+		}
+		b.updateState(tap)
+	}
+	if tx.state != BusOff {
+		// Automatic retransmission: the frame re-enters arbitration with
+		// its original queue position.
+		b.stats.Retransmissions++
+		b.pending = append(b.pending, p)
+	}
+	b.tryArbitrate()
+}
+
+// recordTxSuccess decays the transmitter's error counter after a
+// successful transmission.
+func (b *Bus) recordTxSuccess(tap *Tap) {
+	if !b.cfg.ErrorConfinement {
+		return
+	}
+	if tap.tec > 0 {
+		tap.tec--
+	}
+	b.updateState(tap)
+}
+
+// recordRxSuccess decays a receiver's error counter after a successful
+// reception.
+func (b *Bus) recordRxSuccess(tap *Tap) {
+	if !b.cfg.ErrorConfinement {
+		return
+	}
+	if tap.rec > 0 {
+		tap.rec--
+	}
+	b.updateState(tap)
+}
+
+// updateState applies the ISO 11898 state transitions for the node's
+// current counter values, entering bus-off (and scheduling recovery)
+// when the TEC passes 255.
+func (b *Bus) updateState(tap *Tap) {
+	switch {
+	case tap.state == BusOff:
+		// Only the recovery sequence leaves bus-off.
+	case tap.tec > busOffThreshold:
+		tap.state = BusOff
+		tap.busOffAt = b.now
+		b.stats.BusOffEvents++
+		b.purgePending(tap)
+		at := b.now + b.recoveryDelay()
+		b.push(at, func() { b.recoverBusOff(tap) })
+	case tap.tec > passiveThreshold || tap.rec > passiveThreshold:
+		tap.state = ErrorPassive
+	default:
+		tap.state = ErrorActive
+	}
+}
+
+// purgePending removes a bus-off node's queued frames: its controller
+// can no longer drive the bus, so they are lost.
+func (b *Bus) purgePending(tap *Tap) {
+	kept := b.pending[:0]
+	for _, p := range b.pending {
+		if p.from == tap {
+			b.stats.FramesRejected++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	b.pending = kept
+}
+
+// recoverBusOff completes the bus-off recovery sequence: the node
+// rejoins error-active with cleared counters.
+func (b *Bus) recoverBusOff(tap *Tap) {
+	if tap.state != BusOff {
+		return
+	}
+	tap.state = ErrorActive
+	tap.tec = 0
+	tap.rec = 0
+	b.tryArbitrate()
+}

@@ -1,6 +1,7 @@
 package canoe
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/canbus"
@@ -22,6 +23,9 @@ type Node struct {
 	// Sent and Received record the node's frame history.
 	Sent     []canbus.Frame
 	Received []canbus.Frame
+	// OutputsRejected counts output() calls refused because the node's
+	// controller was bus-off.
+	OutputsRejected int
 
 	// MaxSteps bounds statement execution per event procedure call, to
 	// catch runaway CAPL loops (default 1 << 20).
@@ -231,12 +235,25 @@ func (n *Node) cancelTimer(name string) error {
 	return nil
 }
 
-// output transmits the message variable's current value.
+// output transmits the message variable's current value. A bus-off
+// controller silently refuses the frame — CAPL's output() does not
+// raise, matching CANoe — and the rejection is counted instead.
 func (n *Node) output(mv *MsgVal) error {
 	f := mv.Frame()
-	n.Sent = append(n.Sent, f.Clone())
-	return n.bus.Transmit(n.tap, f)
+	err := n.bus.Transmit(n.tap, f)
+	if errors.Is(err, canbus.ErrBusOff) {
+		n.OutputsRejected++
+		return nil
+	}
+	if err == nil {
+		n.Sent = append(n.Sent, f.Clone())
+	}
+	return err
 }
+
+// Tap returns the node's bus attachment, exposing its error-confinement
+// state and frame counters.
+func (n *Node) Tap() *canbus.Tap { return n.tap }
 
 // Global returns the current value of a node global variable (int64,
 // float64, string, []int64, *MsgVal or timer state).

@@ -28,10 +28,31 @@ func (r AssertResult) String() string {
 	return fmt.Sprintf("%s: %s", r.Assert.Text, status)
 }
 
+// Budget carries the checker resource limits for campaign-scale runs;
+// zero fields mean the package defaults (MaxStates) or unbounded
+// (MaxProductStates, MaxSteps).
+type Budget struct {
+	// MaxStates bounds each LTS exploration.
+	MaxStates int
+	// MaxProductStates bounds the (impl, spec) pairs a refinement visits.
+	MaxProductStates int
+	// MaxSteps bounds the transitions examined during the product search.
+	MaxSteps int
+}
+
 // RunAssert checks a single resolved assertion.
 func RunAssert(m *cspm.Model, a cspm.ResolvedAssert, maxStates int) (refine.Result, error) {
+	return RunAssertBudget(m, a, Budget{MaxStates: maxStates})
+}
+
+// RunAssertBudget checks a single resolved assertion under explicit
+// resource budgets. Exhausting a budget returns a *refine.BudgetError
+// (via errors.As) carrying the partial exploration size.
+func RunAssertBudget(m *cspm.Model, a cspm.ResolvedAssert, bgt Budget) (refine.Result, error) {
 	c := refine.NewChecker(m.Env, m.Ctx)
-	c.MaxStates = maxStates
+	c.MaxStates = bgt.MaxStates
+	c.MaxProductStates = bgt.MaxProductStates
+	c.MaxSteps = bgt.MaxSteps
 	switch a.Kind {
 	case cspm.AssertTraceRef:
 		return c.RefinesTraces(a.Spec, a.Impl)

@@ -24,6 +24,25 @@ const (
 // maximum number of states.
 var ErrStateLimit = errors.New("state limit exceeded during LTS exploration")
 
+// LimitError is the concrete error returned when exploration exceeds
+// its state bound. It matches ErrStateLimit under errors.Is and carries
+// the size of the partial exploration, so campaign-scale callers can
+// report how far a check got before its budget ran out.
+type LimitError struct {
+	// Explored is the number of states discovered before the bound hit.
+	Explored int
+	// Limit is the configured bound.
+	Limit int
+}
+
+// Error describes the exhausted bound.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("%v (explored %d states, limit %d)", ErrStateLimit, e.Explored, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrStateLimit) hold.
+func (e *LimitError) Is(target error) bool { return target == ErrStateLimit }
+
 // LTS is an explicit-state labelled transition system.
 type LTS struct {
 	// Init is the index of the initial state.
@@ -95,7 +114,7 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (*LTS, error) {
 			to, fresh := add(tr.To)
 			if fresh {
 				if len(l.Keys) > maxStates {
-					return nil, fmt.Errorf("%w (limit %d)", ErrStateLimit, maxStates)
+					return nil, &LimitError{Explored: len(l.Keys), Limit: maxStates}
 				}
 				queue = append(queue, to)
 			}

@@ -1,0 +1,67 @@
+package ota
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fdr"
+	"repro/internal/refine"
+)
+
+// TestBudgetedVerdictsMatchUnbudgeted runs every assertion of the base
+// case-study script twice — once with the plain state bound and once
+// under generous explicit budgets — and demands identical verdicts:
+// budgets must only ever truncate, never distort.
+func TestBudgetedVerdictsMatchUnbudgeted(t *testing.T) {
+	sys, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgt := fdr.Budget{
+		MaxStates:        1 << 18,
+		MaxProductStates: 1 << 18,
+		MaxSteps:         1 << 22,
+	}
+	for i, a := range sys.Model.Asserts {
+		want, err := fdr.RunAssert(sys.Model, a, 1<<18)
+		if err != nil {
+			t.Fatalf("assertion %d (%s): %v", i, a.Text, err)
+		}
+		got, err := fdr.RunAssertBudget(sys.Model, a, bgt)
+		if err != nil {
+			t.Fatalf("assertion %d (%s) budgeted: %v", i, a.Text, err)
+		}
+		if got.Holds != want.Holds {
+			t.Errorf("assertion %d (%s): budgeted verdict %v != unbudgeted %v",
+				i, a.Text, got.Holds, want.Holds)
+		}
+		if got.Counterexample.String() != want.Counterexample.String() {
+			t.Errorf("assertion %d (%s): budgeted counterexample %v != unbudgeted %v",
+				i, a.Text, got.Counterexample, want.Counterexample)
+		}
+	}
+}
+
+// TestTightBudgetDegradesGracefully exhausts a tiny product budget on a
+// real case-study assertion: the caller gets a typed error with the
+// partial exploration size instead of a hang or a bogus verdict.
+func TestTightBudgetDegradesGracefully(t *testing.T) {
+	sys, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fdr.RunAssertBudget(sys.Model, sys.Model.Asserts[AssertR02], fdr.Budget{
+		MaxStates:        1 << 18,
+		MaxProductStates: 2,
+	})
+	if err == nil {
+		t.Fatal("expected a budget error with MaxProductStates=2")
+	}
+	var be *refine.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a *refine.BudgetError", err)
+	}
+	if be.Explored == 0 {
+		t.Error("budget error should carry the partial exploration size")
+	}
+}

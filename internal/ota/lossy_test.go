@@ -1,0 +1,110 @@
+package ota
+
+import (
+	"strings"
+	"testing"
+)
+
+const lossyMaxStates = 1 << 18
+
+func TestBuildLossyHardened(t *testing.T) {
+	sys, err := BuildLossy(HardenedGateway, DefaultLossBudget)
+	if err != nil {
+		t.Fatalf("BuildLossy(hardened): %v", err)
+	}
+	if got := len(sys.Model.Asserts); got != numLossyAsserts {
+		t.Fatalf("got %d assertions, want %d", got, numLossyAsserts)
+	}
+	// The retransmission variant keeps every property: the delivered
+	// interface stays live despite the loss budget.
+	for i := 0; i < numLossyAsserts; i++ {
+		res, err := CheckAssertion(sys, i, lossyMaxStates)
+		if err != nil {
+			t.Fatalf("assertion %d (%s): %v", i, sys.Model.Asserts[i].Text, err)
+		}
+		if !res.Holds {
+			t.Errorf("assertion %d (%s) = FAIL, want PASS; counterexample %v",
+				i, sys.Model.Asserts[i].Text, res.Counterexample)
+		}
+	}
+}
+
+func TestBuildLossyNaiveFailsWithoutRetries(t *testing.T) {
+	sys, err := BuildLossy(NaiveGateway, DefaultLossBudget)
+	if err != nil {
+		t.Fatalf("BuildLossy(naive): %v", err)
+	}
+	want := map[int]bool{
+		// The trace checks are vacuously satisfied: a protocol stalled by
+		// a lost frame still has only correct prefixes. This is exactly
+		// why the robustness claim needs the failures model.
+		LossyAssertSP02T:  true,
+		LossyAssertSP034T: true,
+		// Without retransmission a single lost frame refuses all further
+		// progress at the delivered interface.
+		LossyAssertSP02F:  false,
+		LossyAssertSP034F: false,
+		// ... and the whole composition can deadlock.
+		LossyAssertDeadlock:   false,
+		LossyAssertDivergence: true,
+	}
+	for i := 0; i < numLossyAsserts; i++ {
+		res, err := CheckAssertion(sys, i, lossyMaxStates)
+		if err != nil {
+			t.Fatalf("assertion %d (%s): %v", i, sys.Model.Asserts[i].Text, err)
+		}
+		if res.Holds != want[i] {
+			t.Errorf("assertion %d (%s): holds=%v, want %v (counterexample %v)",
+				i, sys.Model.Asserts[i].Text, res.Holds, want[i], res.Counterexample)
+		}
+	}
+}
+
+func TestBuildLossyZeroBudgetMatchesLossless(t *testing.T) {
+	// With a zero loss budget even the naive gateway satisfies the
+	// failures checks: the channel degenerates to a reliable buffer.
+	sys, err := BuildLossy(NaiveGateway, 0)
+	if err != nil {
+		t.Fatalf("BuildLossy(naive, 0): %v", err)
+	}
+	for _, i := range []int{LossyAssertSP02F, LossyAssertSP034F, LossyAssertDeadlock} {
+		res, err := CheckAssertion(sys, i, lossyMaxStates)
+		if err != nil {
+			t.Fatalf("assertion %d: %v", i, err)
+		}
+		if !res.Holds {
+			t.Errorf("assertion %d (%s) = FAIL with zero loss budget, want PASS; counterexample %v",
+				i, sys.Model.Asserts[i].Text, res.Counterexample)
+		}
+	}
+}
+
+func TestBuildLossyRejectsNegativeBudget(t *testing.T) {
+	if _, err := BuildLossy(HardenedGateway, -1); err == nil {
+		t.Fatal("expected error for negative loss budget")
+	}
+}
+
+func TestHardenedTranslationShape(t *testing.T) {
+	sys, err := BuildLossy(HardenedGateway, DefaultLossBudget)
+	if err != nil {
+		t.Fatalf("BuildLossy(hardened): %v", err)
+	}
+	// The bounded-retry `if` around setTimer re-arms is the only
+	// data-dependent branch that survives abstraction; it must show up as
+	// internal choice plus a translator warning per retry handler.
+	for _, wantSub := range []string{"timeout.retryDiag", "timeout.retryUpd", "|~|"} {
+		if !strings.Contains(sys.VMGText, wantSub) {
+			t.Errorf("VMG model missing %q:\n%s", wantSub, sys.VMGText)
+		}
+	}
+	if len(sys.Warnings) == 0 {
+		t.Error("expected abstraction warnings for the bounded-retry branches")
+	}
+	// The ECU's duplicate-suppression branch guards only internal state,
+	// so both arms collapse and its model keeps the simple
+	// request/response shape of the paper's Figure 3.
+	if strings.Contains(sys.ECUText, "|~|") {
+		t.Errorf("ECU model should not contain internal choice:\n%s", sys.ECUText)
+	}
+}

@@ -1,0 +1,117 @@
+package refine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/csp"
+)
+
+// counterSystem defines COUNT = send.reqSw -> rec.rptSw -> COUNT — a
+// live two-state loop whose product with SP02 is small but non-trivial.
+func counterSystem(env *csp.Env) csp.Process {
+	env.MustDefine("SYSTEM", nil,
+		csp.Send("send", csp.Send("rec", csp.Call("SYSTEM"), csp.Sym("rptSw")), csp.Sym("reqSw")))
+	return csp.Call("SYSTEM")
+}
+
+func TestStateBudgetExhaustedIsTyped(t *testing.T) {
+	ctx, env := otaContext(t)
+	spec := sp02(env)
+	impl := counterSystem(env)
+	c := NewChecker(env, ctx)
+	c.MaxStates = 1
+	_, err := c.RefinesTraces(spec, impl)
+	if err == nil {
+		t.Fatal("expected a budget error with MaxStates=1")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a *BudgetError", err)
+	}
+	if be.Phase != "explore" {
+		t.Errorf("phase = %q, want explore", be.Phase)
+	}
+	if be.Explored <= be.Limit {
+		t.Errorf("partial result Explored=%d should exceed Limit=%d (the state that broke the bound)",
+			be.Explored, be.Limit)
+	}
+}
+
+func TestProductBudgetExhaustedIsTyped(t *testing.T) {
+	ctx, env := otaContext(t)
+	spec := sp02(env)
+	impl := counterSystem(env)
+	c := NewChecker(env, ctx)
+	c.MaxProductStates = 1
+	_, err := c.RefinesTraces(spec, impl)
+	if err == nil {
+		t.Fatal("expected a budget error with MaxProductStates=1")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a *BudgetError", err)
+	}
+	if be.Phase != "product" {
+		t.Errorf("phase = %q, want product", be.Phase)
+	}
+	if be.Explored == 0 {
+		t.Error("partial exploration size should be non-zero")
+	}
+	if be.Limit != 1 {
+		t.Errorf("limit = %d, want 1", be.Limit)
+	}
+}
+
+func TestStepBudgetExhaustedIsTyped(t *testing.T) {
+	ctx, env := otaContext(t)
+	spec := sp02(env)
+	impl := counterSystem(env)
+	c := NewChecker(env, ctx)
+	c.MaxSteps = 1
+	_, err := c.RefinesTraces(spec, impl)
+	if err == nil {
+		t.Fatal("expected a budget error with MaxSteps=1")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a *BudgetError", err)
+	}
+	if be.Phase != "product-steps" {
+		t.Errorf("phase = %q, want product-steps", be.Phase)
+	}
+	// Explored counts completed steps: exactly the budget when exhausted.
+	if be.Explored != c.MaxSteps {
+		t.Errorf("steps explored = %d, want %d (the completed budget)", be.Explored, c.MaxSteps)
+	}
+}
+
+func TestGenerousBudgetMatchesUnbudgeted(t *testing.T) {
+	ctx, env := otaContext(t)
+	spec := sp02(env)
+	// FLAWED answers with the wrong message type, so the verdict is a
+	// genuine failure that must survive budgeting unchanged.
+	env.MustDefine("FLAWED", nil,
+		csp.Send("send", csp.Send("rec", csp.Call("FLAWED"), csp.Sym("rptUpd")), csp.Sym("reqSw")))
+	impl := csp.Call("FLAWED")
+
+	unbudgeted := NewChecker(env, ctx)
+	want, err := unbudgeted.RefinesTraces(spec, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted := NewChecker(env, ctx)
+	budgeted.MaxStates = 1 << 16
+	budgeted.MaxProductStates = 1 << 16
+	budgeted.MaxSteps = 1 << 20
+	got, err := budgeted.RefinesTraces(spec, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Holds != want.Holds {
+		t.Errorf("budgeted verdict %v != unbudgeted %v", got.Holds, want.Holds)
+	}
+	if got.Counterexample.String() != want.Counterexample.String() {
+		t.Errorf("budgeted counterexample %s != unbudgeted %s", got.Counterexample, want.Counterexample)
+	}
+}

@@ -7,6 +7,7 @@
 package refine
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/csp"
@@ -68,6 +69,35 @@ type Checker struct {
 	Sem *csp.Semantics
 	// MaxStates bounds each LTS exploration; 0 uses the lts default.
 	MaxStates int
+	// MaxProductStates bounds the number of (impl, spec) product pairs
+	// a refinement check may visit; 0 means unbounded. Exhausting it
+	// returns a *BudgetError carrying the partial exploration size, so
+	// campaign-scale checking degrades gracefully instead of hanging.
+	MaxProductStates int
+	// MaxSteps bounds the number of transitions examined during the
+	// product search; 0 means unbounded.
+	MaxSteps int
+}
+
+// BudgetError reports that a check ran out of its resource budget. The
+// verdict is unknown; Explored records how much of the state space was
+// covered before the budget was exhausted (a partial result, usable for
+// sizing retries).
+type BudgetError struct {
+	// Phase names the stage that ran dry: "explore-spec",
+	// "explore-impl", "explore", "product" or "product-steps".
+	Phase string
+	// Explored is the number of states (or steps, for "product-steps")
+	// completed before exhaustion.
+	Explored int
+	// Limit is the configured budget.
+	Limit int
+}
+
+// Error describes the exhausted budget.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("refine: %s budget exhausted after %d (limit %d); verdict unknown",
+		e.Phase, e.Explored, e.Limit)
 }
 
 // NewChecker builds a Checker over the given environment and context.
@@ -76,7 +106,15 @@ func NewChecker(env *csp.Env, ctx *csp.Context) *Checker {
 }
 
 func (c *Checker) explore(p csp.Process) (*lts.LTS, error) {
-	return lts.Explore(c.Sem, p, lts.Options{MaxStates: c.MaxStates})
+	l, err := lts.Explore(c.Sem, p, lts.Options{MaxStates: c.MaxStates})
+	if err != nil {
+		var le *lts.LimitError
+		if errors.As(err, &le) {
+			return nil, &BudgetError{Phase: "explore", Explored: le.Explored, Limit: le.Limit}
+		}
+		return nil, err
+	}
+	return l, nil
 }
 
 // Refines checks spec ⊑ impl in the given model, i.e. FDR's
@@ -114,7 +152,10 @@ func (c *Checker) Refines(spec, impl csp.Process, model Model) (Result, error) {
 		}
 	}
 	norm := lts.Normalize(specLTS)
-	res := c.productCheck(specLTS, norm, implLTS, model)
+	res, err := c.productCheck(specLTS, norm, implLTS, model)
+	if err != nil {
+		return Result{}, err
+	}
 	res.ImplStates = implLTS.NumStates()
 	res.SpecNodes = norm.NumNodes()
 	return res, nil
@@ -147,7 +188,7 @@ type parentEdge struct {
 	ev   int // implementation label ID; -1 for the root
 }
 
-func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *lts.LTS, model Model) Result {
+func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *lts.LTS, model Model) (Result, error) {
 	// Map implementation label IDs to specification label IDs. Labels the
 	// spec has never heard of map to -1 and immediately fail refinement
 	// when performed.
@@ -194,6 +235,7 @@ func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *
 		return trace
 	}
 
+	steps := 0
 	for len(queue) > 0 {
 		ps := queue[0]
 		queue = queue[1:]
@@ -212,14 +254,21 @@ func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *
 						"implementation stable state refuses more than the specification allows (offers %s)",
 						labelNames(implLTS, offered)),
 					ProductStates: len(visited),
-				}
+				}, nil
 			}
 		}
 
 		for _, e := range implLTS.Edges[ps.impl] {
+			steps++
+			if c.MaxSteps > 0 && steps > c.MaxSteps {
+				return Result{}, &BudgetError{Phase: "product-steps", Explored: steps - 1, Limit: c.MaxSteps}
+			}
 			if e.Ev == lts.TauID {
 				next := productState{impl: e.To, spec: ps.spec}
 				if _, seen := visited[next]; !seen {
+					if c.MaxProductStates > 0 && len(visited) >= c.MaxProductStates {
+						return Result{}, &BudgetError{Phase: "product", Explored: len(visited), Limit: c.MaxProductStates}
+					}
 					visited[next] = parentEdge{from: ps, ev: lts.TauID}
 					queue = append(queue, next)
 				}
@@ -239,16 +288,19 @@ func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *
 					BadEvent:       &bad,
 					Reason:         fmt.Sprintf("implementation performs %s, which the specification cannot", bad),
 					ProductStates:  len(visited),
-				}
+				}, nil
 			}
 			next := productState{impl: e.To, spec: specTo}
 			if _, seen := visited[next]; !seen {
+				if c.MaxProductStates > 0 && len(visited) >= c.MaxProductStates {
+					return Result{}, &BudgetError{Phase: "product", Explored: len(visited), Limit: c.MaxProductStates}
+				}
 				visited[next] = parentEdge{from: ps, ev: e.Ev}
 				queue = append(queue, next)
 			}
 		}
 	}
-	return Result{Holds: true, ProductStates: len(visited)}
+	return Result{Holds: true, ProductStates: len(visited)}, nil
 }
 
 func labelNames(l *lts.LTS, labels []int) string {

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 verification: vet + the full test suite under the race
+# detector. CI-style, make-free; referenced from ROADMAP.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
