@@ -1,0 +1,168 @@
+// Command soak runs the conformance soak campaign: seeded randomized
+// perturbation schedules (timer jitter, frame loss, duplication, delayed
+// replay) executed on the simulated OTA network, with every observed bus
+// trace checked for membership in the extracted CSP model composed with
+// a bounded-fault channel. Diverging schedules are shrunk to a minimal
+// replayable reproduction. Campaigns are deterministic: the same seed
+// always produces a byte-identical report.
+//
+// Usage:
+//
+//	soak [-seed 42] [-n 4] [-variants all|naive,hardened,...]
+//	     [-horizon-ms 50] [-format text|json] [-max-states N]
+//	     [-deadline-ms 20000] [-sim-events 300000] [-no-shrink]
+//	soak -replay FILE [-format text|json] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/canbus"
+	"repro/internal/conformance"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "soak:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	seed := fs.Int64("seed", 42, "campaign master seed")
+	n := fs.Int("n", 4, "schedules per variant")
+	variants := fs.String("variants", "all", "comma-separated variants: naive, hardened, flawed (or all)")
+	horizonMS := fs.Int64("horizon-ms", 50, "simulated horizon per schedule in milliseconds")
+	format := fs.String("format", "text", "report format: text or json")
+	maxStates := fs.Int("max-states", 0, "model-state bound of the trace check (0: checker default)")
+	deadlineMS := fs.Int64("deadline-ms", 20_000, "wall-clock watchdog per schedule in milliseconds")
+	simEvents := fs.Int("sim-events", 300_000, "simulator event budget per schedule")
+	noShrink := fs.Bool("no-shrink", false, "skip minimization of diverging schedules")
+	replay := fs.String("replay", "", "replay a schedule JSON file instead of running a campaign")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
+	}
+	if *horizonMS <= 0 {
+		return fmt.Errorf("horizon must be positive, got %dms", *horizonMS)
+	}
+	if *n < 1 {
+		return fmt.Errorf("schedules per variant must be at least 1, got %d", *n)
+	}
+	if *deadlineMS <= 0 {
+		return fmt.Errorf("deadline must be positive, got %dms", *deadlineMS)
+	}
+
+	if *replay != "" {
+		return runReplay(stdout, *replay, *format, *maxStates, *deadlineMS, *simEvents)
+	}
+
+	sel, err := parseVariants(*variants)
+	if err != nil {
+		return err
+	}
+	cfg := conformance.Config{
+		Seed:                *seed,
+		SchedulesPerVariant: *n,
+		Variants:            sel,
+		Gen:                 conformance.GenConfig{Horizon: canbus.Time(*horizonMS) * canbus.Millisecond},
+		MaxStates:           *maxStates,
+		MaxDuration:         time.Duration(*deadlineMS) * time.Millisecond,
+		MaxSimEvents:        *simEvents,
+		NoShrink:            *noShrink,
+	}
+	report, err := conformance.Run(cfg)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "text":
+		_, err = io.WriteString(stdout, report.Text())
+	case "json":
+		var data []byte
+		if data, err = report.JSON(); err == nil {
+			_, err = stdout.Write(append(data, '\n'))
+		}
+	}
+	return err
+}
+
+// parseVariants resolves the -variants flag.
+func parseVariants(s string) ([]conformance.Variant, error) {
+	if s == "" || s == "all" {
+		return nil, nil // Run's default: every variant
+	}
+	var out []conformance.Variant
+	for _, part := range strings.Split(s, ",") {
+		v := conformance.Variant(strings.TrimSpace(part))
+		switch v {
+		case conformance.VariantNaive, conformance.VariantHardened, conformance.VariantFlawed:
+			out = append(out, v)
+		default:
+			return nil, fmt.Errorf("unknown variant %q (want naive, hardened or flawed)", part)
+		}
+	}
+	return out, nil
+}
+
+// runReplay re-executes a single schedule from its JSON reproduction
+// file and prints the verdict.
+func runReplay(stdout io.Writer, path, format string, maxStates int, deadlineMS int64, simEvents int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := conformance.DecodeSchedule(data)
+	if err != nil {
+		return err
+	}
+	r, err := conformance.NewRunner()
+	if err != nil {
+		return err
+	}
+	r.MaxStates = maxStates
+	r.MaxDuration = time.Duration(deadlineMS) * time.Millisecond
+	r.MaxSimEvents = simEvents
+	v := r.RunSchedule(s)
+	v.Name = "replay"
+
+	if format == "json" {
+		out, err := jsonVerdict(v)
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(out)
+		return err
+	}
+	fmt.Fprintf(stdout, "replay %s: %s\n", s, v.Kind)
+	if len(v.AppliedOps) > 0 {
+		fmt.Fprintf(stdout, "applied: %s\n", strings.Join(v.AppliedOps, " "))
+	}
+	if v.Detail != "" {
+		fmt.Fprintf(stdout, "detail: %s\n", v.Detail)
+	}
+	if v.Divergence != nil {
+		fmt.Fprintf(stdout, "diverges at event %d: %s not in model (allowed: %s)\n",
+			v.Divergence.FailedAt, v.Divergence.BadEvent, strings.Join(v.Divergence.Allowed, ", "))
+		if len(v.Divergence.Context) > 0 {
+			fmt.Fprintf(stdout, "context: %s\n", strings.Join(v.Divergence.Context, " "))
+		}
+	}
+	return nil
+}
+
+func jsonVerdict(v conformance.Verdict) ([]byte, error) {
+	data, err := v.JSON()
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quick are the flags keeping test campaigns fast: short horizon, one
+// schedule per variant.
+var quick = []string{"-n", "1", "-horizon-ms", "12"}
+
+func TestByteIdenticalReports(t *testing.T) {
+	args := append([]string{"-seed", "7"}, quick...)
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different text reports")
+	}
+
+	jsonArgs := append(args, "-format", "json")
+	a.Reset()
+	b.Reset()
+	if err := run(jsonArgs, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(jsonArgs, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different JSON reports")
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if decoded["masterSeed"] != float64(7) {
+		t.Errorf("masterSeed = %v, want 7", decoded["masterSeed"])
+	}
+	if decoded["diverges"] == float64(0) {
+		t.Error("campaign found no divergence (the flawed variant should diverge)")
+	}
+}
+
+func TestVariantFilter(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append([]string{"-variants", "naive,flawed", "-format", "json"}, quick...), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schedules int `json:"schedules"`
+		Verdicts  []struct {
+			Name string `json:"name"`
+		} `json:"verdicts"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedules != 2 {
+		t.Fatalf("schedules = %d, want 2", rep.Schedules)
+	}
+	for _, v := range rep.Verdicts {
+		if strings.HasPrefix(v.Name, "hardened") {
+			t.Fatalf("hardened schedule %q ran despite filter", v.Name)
+		}
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	// Run a campaign, extract the shrunk flawed reproduction, replay it.
+	var out bytes.Buffer
+	if err := run(append([]string{"-variants", "flawed", "-format", "json"}, quick...), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Verdicts []struct {
+			Divergence *struct {
+				Shrunk json.RawMessage `json:"shrunk"`
+			} `json:"divergence"`
+		} `json:"verdicts"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Verdicts) == 0 || rep.Verdicts[0].Divergence == nil || rep.Verdicts[0].Divergence.Shrunk == nil {
+		t.Fatalf("no shrunk reproduction in campaign output:\n%s", out.String())
+	}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := os.WriteFile(path, rep.Verdicts[0].Divergence.Shrunk, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var replay bytes.Buffer
+	if err := run([]string{"-replay", path}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(replay.String(), "diverges") {
+		t.Fatalf("replay did not reproduce the divergence:\n%s", replay.String())
+	}
+
+	replay.Reset()
+	if err := run([]string{"-replay", path, "-format", "json"}, &replay); err != nil {
+		t.Fatal(err)
+	}
+	var verdict struct {
+		Verdict string `json:"verdict"`
+	}
+	if err := json.Unmarshal(replay.Bytes(), &verdict); err != nil {
+		t.Fatalf("replay JSON does not parse: %v\n%s", err, replay.String())
+	}
+	if verdict.Verdict != "diverges" {
+		t.Fatalf("replay verdict = %q, want diverges", verdict.Verdict)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	bad := [][]string{
+		{"-format", "xml"},
+		{"-horizon-ms", "0"},
+		{"-n", "0"},
+		{"-deadline-ms", "-5"},
+		{"-variants", "turbo"},
+		{"-replay", "/nonexistent/schedule.json"},
+	}
+	for _, args := range bad {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+func TestReplayRejectsMalformedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"variant":"naive","horizonUs":-1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-replay", path}, &out); err == nil {
+		t.Error("malformed replay file accepted, want error")
+	}
+}

@@ -77,7 +77,8 @@ func nspkM3(key, nonce csp.Value) csp.Value {
 }
 
 // BuildNSPK assembles the bounded NSPK (or NSL) model.
-func BuildNSPK(cfg NSPKConfig) (*NSPKModel, error) {
+func BuildNSPK(cfg NSPKConfig) (m *NSPKModel, err error) {
+	defer csp.RecoverBuild(&err)
 	if cfg.MaxStore <= 0 {
 		cfg.MaxStore = 3
 	}

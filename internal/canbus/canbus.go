@@ -79,6 +79,11 @@ func (fn ReceiverFunc) OnFrame(t Time, f Frame) { fn(t, f) }
 // Injector mutates or drops frames in flight, for failure-injection
 // experiments. All hooks may be nil.
 type Injector struct {
+	// Observe is called for every frame whose transmission completes,
+	// before any drop/corrupt/tamper decision. It is a pure observation
+	// hook: conformance harnesses use it to key scheduled perturbations
+	// off a deterministic per-bus transmission sequence number.
+	Observe func(t Time, f Frame)
 	// Drop returns true to lose the frame entirely (a receiver-side
 	// loss: the transmitter still sees a successful transmission).
 	Drop func(t Time, f Frame) bool
@@ -304,6 +309,9 @@ func (b *Bus) completeTransmission(p pendingFrame) {
 	f := p.frame
 	dropped := false
 	if inj := b.cfg.Injector; inj != nil {
+		if inj.Observe != nil {
+			inj.Observe(b.now, f.Clone())
+		}
 		switch {
 		case inj.Drop != nil && inj.Drop(b.now, f):
 			dropped = true
@@ -403,6 +411,26 @@ func (b *Bus) RunAll(maxEvents int) int {
 		n++
 	}
 	return n
+}
+
+// RunLimited processes events until the clock passes `until`, the queue
+// drains, or maxEvents events have been processed — whichever comes
+// first. It returns the number of events processed and whether the run
+// reached `until` (or drained) within the event budget, so soak
+// harnesses can stop a runaway measurement (e.g. a zero-period timer
+// rearming itself at a fixed timestamp) instead of spinning forever.
+func (b *Bus) RunLimited(until Time, maxEvents int) (n int, done bool) {
+	for len(b.events) > 0 && b.events[0].at <= until {
+		if n >= maxEvents {
+			return n, false
+		}
+		b.Step()
+		n++
+	}
+	if b.now < until {
+		b.now = until
+	}
+	return n, true
 }
 
 // Load returns the fraction of elapsed time the bus spent transmitting.

@@ -489,6 +489,13 @@ func GenerateCSPm(db *Database, opts CSPmOptions) string {
 	return sb.String()
 }
 
+// CtorName returns the CSPm datatype constructor GenerateCSPm derives
+// from a message name (leading letter lowered, matching the CAPL
+// message-variable convention). Exported so trace projectors can map
+// bus identifiers onto model events with the same rule the generated
+// declarations use.
+func CtorName(messageName string) string { return lowerFirst(messageName) }
+
 func lowerFirst(s string) string {
 	if s == "" {
 		return s

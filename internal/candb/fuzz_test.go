@@ -1,0 +1,47 @@
+package candb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse asserts the DBC frontend is total and that everything
+// downstream of a successful parse — CSPm generation and signal
+// decoding — is panic-free too, since those run on whatever a parse
+// accepts.
+func FuzzParse(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.dbc"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no seed files in testdata")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("")
+	f.Add("BO_ 1 M: 8\n SG_ S : 0|64@1+ (1,0) [0|0] \"\" X")
+	f.Add("BO_ 99999999999999999999 M: 8 N")
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if db == nil {
+			t.Fatal("Parse returned nil database without error")
+		}
+		_ = GenerateCSPm(db, CSPmOptions{})
+		var zero [8]byte
+		for _, m := range db.Messages {
+			for i := range m.Signals {
+				_ = m.Signals[i].Decode(zero[:])
+			}
+		}
+	})
+}

@@ -31,6 +31,13 @@ type Node struct {
 	// catch runaway CAPL loops (default 1 << 20).
 	MaxSteps int
 
+	// TimerJitter, when set, perturbs every setTimer duration: it
+	// receives the timer name and the programmed delay in milliseconds
+	// and returns the delay to use instead. Negative results clamp to
+	// zero. Conformance soak harnesses use it to explore schedule
+	// interleavings the nominal timings never exhibit.
+	TimerJitter func(name string, ms int64) int64
+
 	// firstErr latches the first runtime error raised inside an event
 	// callback (callbacks cannot return errors to the scheduler).
 	firstErr error
@@ -216,6 +223,12 @@ func (n *Node) setTimer(name string, ms int64) error {
 	ts, ok := n.timers[name]
 	if !ok {
 		return fmt.Errorf("setTimer: %q is not a declared timer", name)
+	}
+	if n.TimerJitter != nil {
+		ms = n.TimerJitter(name, ms)
+		if ms < 0 {
+			ms = 0
+		}
 	}
 	ts.armed = true
 	ts.gen++

@@ -64,6 +64,15 @@ func (s *Simulation) RunAll(maxEvents int) error {
 	return s.Err()
 }
 
+// RunLimited advances the measurement until the given time under an
+// event budget. It reports whether the horizon was reached within the
+// budget, so callers can convert a runaway measurement into a verdict
+// instead of hanging.
+func (s *Simulation) RunLimited(until canbus.Time, maxEvents int) (bool, error) {
+	_, done := s.Bus.RunLimited(until, maxEvents)
+	return done, s.Err()
+}
+
 // Err returns the first error any node hit during callbacks.
 func (s *Simulation) Err() error {
 	for _, n := range s.Nodes {

@@ -1,0 +1,45 @@
+package capl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// seedCorpus loads every testdata file into the fuzz corpus (and, via
+// the seed-execution pass of plain `go test`, doubles as a regression
+// suite over previously found crashers).
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.can"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(paths) == 0 {
+		f.Fatal("no seed files in testdata")
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// FuzzParse asserts the CAPL frontend is total: any input, however
+// malformed, must produce a program or an error — never a panic, and
+// never a nil program without an error.
+func FuzzParse(f *testing.F) {
+	seedCorpus(f)
+	f.Add("")
+	f.Add("variables { message 0x1 m; }")
+	f.Add("on message m { output(m); } }")
+	f.Add("void f(int x) { f(x); }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned nil program without error")
+		}
+	})
+}

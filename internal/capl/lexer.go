@@ -193,6 +193,9 @@ func (lx *lexer) next() (Token, error) {
 		}
 		c := lx.advance()
 		if c == '\\' {
+			if lx.pos >= len(lx.src) {
+				return Token{}, lx.errf("unterminated escape")
+			}
 			e := lx.advance()
 			switch e {
 			case 'n':

@@ -1,0 +1,86 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/canbus"
+	"repro/internal/candb"
+	"repro/internal/canoe"
+	"repro/internal/csp"
+	"repro/internal/ota"
+)
+
+// Projector maps delivered bus frames onto observed-model events using
+// the CAN database: the identifier names the message, the message name
+// (through the CAPL/X.1373 renaming) names the datatype constructor,
+// and the sending node picks the delivered-side channel.
+type Projector struct {
+	byID map[uint32]csp.Event
+}
+
+// NewProjector builds the projection dictionary from a CAN database.
+// senderChan maps each sending node to the channel its deliveries
+// appear on; rename maps CAPL message-variable names to constructor
+// names (pass nil to use the variable names directly).
+func NewProjector(db *candb.Database, rename map[string]string, senderChan map[string]string) (*Projector, error) {
+	p := &Projector{byID: make(map[uint32]csp.Event, len(db.Messages))}
+	for _, m := range db.Messages {
+		ch, ok := senderChan[m.Sender]
+		if !ok {
+			return nil, fmt.Errorf("conformance: message %s has unmapped sender %q", m.Name, m.Sender)
+		}
+		ctor := candb.CtorName(m.Name)
+		if renamed, ok := rename[ctor]; ok {
+			ctor = renamed
+		}
+		if _, dup := p.byID[m.ID]; dup {
+			return nil, fmt.Errorf("conformance: duplicate identifier 0x%03X in database", m.ID)
+		}
+		p.byID[m.ID] = csp.Event{Chan: ch, Args: []csp.Value{csp.Sym(ctor)}}
+	}
+	return p, nil
+}
+
+// NewOTAProjector builds the projector for the OTA case study: Table II
+// identifiers onto the observed-model channels.
+func NewOTAProjector() (*Projector, error) {
+	db, err := ota.Database()
+	if err != nil {
+		return nil, fmt.Errorf("conformance: parse OTA database: %w", err)
+	}
+	return NewProjector(db, ota.MessageRename, map[string]string{
+		"VMG": ota.ObservedToECU,
+		"ECU": ota.ObservedToVMG,
+	})
+}
+
+// Frame projects a single delivered frame.
+func (p *Projector) Frame(f canbus.Frame) (csp.Event, error) {
+	ev, ok := p.byID[f.ID]
+	if !ok {
+		return csp.Event{}, fmt.Errorf("conformance: identifier 0x%03X not in database", f.ID)
+	}
+	return ev, nil
+}
+
+// Direction returns the delivered-side channel of the identifier, or ""
+// if unknown — used to attribute fault budgets.
+func (p *Projector) Direction(id uint32) string {
+	if ev, ok := p.byID[id]; ok {
+		return ev.Chan
+	}
+	return ""
+}
+
+// Trace projects a monitor trace into the observed event sequence.
+func (p *Projector) Trace(tfs []canoe.TimedFrame) (csp.Trace, error) {
+	out := make(csp.Trace, 0, len(tfs))
+	for i, tf := range tfs {
+		ev, err := p.Frame(tf.Frame)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d at t=%dus: %w", i, int64(tf.At), err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Config parameterises a soak campaign.
+type Config struct {
+	// Seed is the master seed; per-schedule seeds derive from it.
+	Seed int64
+	// SchedulesPerVariant replicates each variant (default 4).
+	SchedulesPerVariant int
+	// Variants restricts the gateway variants (default all three).
+	Variants []Variant
+	// Gen bounds schedule generation.
+	Gen GenConfig
+	// MaxStates, MaxDuration, MaxSimEvents configure the Runner.
+	MaxStates    int
+	MaxDuration  time.Duration
+	MaxSimEvents int
+	// NoShrink skips minimization of diverging schedules.
+	NoShrink bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SchedulesPerVariant <= 0 {
+		c.SchedulesPerVariant = 4
+	}
+	if len(c.Variants) == 0 {
+		c.Variants = Variants
+	}
+	c.Gen = c.Gen.withDefaults()
+	return c
+}
+
+// scheduleSeed derives a per-schedule seed from the master seed (the
+// splitmix64 increment decorrelates neighbouring indices).
+func scheduleSeed(master int64, index int) int64 {
+	return master + int64(index+1)*-0x61c8864680b583eb
+}
+
+// Report is a full soak campaign result: free of wall-clock data and
+// map-ordered collections, so rendering is byte-identical for a fixed
+// configuration.
+type Report struct {
+	MasterSeed int64 `json:"masterSeed"`
+	HorizonUs  int64 `json:"horizonUs"`
+	Schedules  int   `json:"schedules"`
+	// Verdict tallies.
+	Conforms          int `json:"conforms"`
+	Diverges          int `json:"diverges"`
+	BudgetExceeded    int `json:"budgetExceeded"`
+	InterpreterErrors int `json:"interpreterErrors"`
+	// Verdicts holds every schedule result in campaign order.
+	Verdicts []Verdict `json:"verdicts"`
+}
+
+// Run executes the configured campaign: for every variant, generate the
+// seeded schedules, run each through the conformance pipeline, and
+// shrink whatever diverges.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r, err := NewRunner()
+	if err != nil {
+		return nil, err
+	}
+	r.MaxStates = cfg.MaxStates
+	if cfg.MaxDuration > 0 {
+		r.MaxDuration = cfg.MaxDuration
+	}
+	if cfg.MaxSimEvents > 0 {
+		r.MaxSimEvents = cfg.MaxSimEvents
+	}
+
+	rep := &Report{
+		MasterSeed: cfg.Seed,
+		HorizonUs:  int64(cfg.Gen.Horizon),
+	}
+	idx := 0
+	for _, variant := range cfg.Variants {
+		for repNo := 0; repNo < cfg.SchedulesPerVariant; repNo++ {
+			s := GenerateSchedule(variant, scheduleSeed(cfg.Seed, idx), cfg.Gen)
+			idx++
+			v := r.RunSchedule(s)
+			v.Name = fmt.Sprintf("%s-r%d", variant, repNo)
+			if v.Kind == Diverges && !cfg.NoShrink {
+				if shrunk, sv, err := r.Shrink(s); err == nil && v.Divergence != nil {
+					shrunkCopy := shrunk
+					v.Divergence.Shrunk = &shrunkCopy
+					if sv.Divergence != nil {
+						v.Divergence.ShrunkFailedAt = sv.Divergence.FailedAt
+					}
+				}
+			}
+			rep.Verdicts = append(rep.Verdicts, v)
+			switch v.Kind {
+			case Conforms:
+				rep.Conforms++
+			case Diverges:
+				rep.Diverges++
+			case BudgetExceeded:
+				rep.BudgetExceeded++
+			case InterpreterError:
+				rep.InterpreterErrors++
+			}
+		}
+	}
+	rep.Schedules = len(rep.Verdicts)
+	return rep, nil
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Summary is a one-line digest.
+func (r *Report) Summary() string {
+	return fmt.Sprintf("%d schedules: %d conform, %d diverge, %d budget-exceeded, %d errors",
+		r.Schedules, r.Conforms, r.Diverges, r.BudgetExceeded, r.InterpreterErrors)
+}
+
+// Text renders the report as a fixed-width table plus divergence
+// details with the shrunk reproduction.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance soak: %d schedules (seed %d, horizon %dus)\n",
+		r.Schedules, r.MasterSeed, r.HorizonUs)
+	fmt.Fprintf(&b, "verdicts: %d conform, %d diverge, %d budget-exceeded, %d errors\n\n",
+		r.Conforms, r.Diverges, r.BudgetExceeded, r.InterpreterErrors)
+
+	nameW := len("schedule")
+	for _, v := range r.Verdicts {
+		if len(v.Name) > nameW {
+			nameW = len(v.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-16s  %6s  %4s  %s\n", nameW, "schedule", "verdict", "frames", "ops", "detail")
+	for _, v := range r.Verdicts {
+		detail := v.Detail
+		if v.Kind == Diverges && v.Divergence != nil {
+			detail = fmt.Sprintf("event %d: %s not in model (allowed: %s)",
+				v.Divergence.FailedAt, v.Divergence.BadEvent, strings.Join(v.Divergence.Allowed, ", "))
+		}
+		fmt.Fprintf(&b, "%-*s  %-16s  %6d  %4d  %s\n",
+			nameW, v.Name, string(v.Kind), v.DeliveredFrames, len(v.AppliedOps), detail)
+	}
+
+	for _, v := range r.Verdicts {
+		if v.Kind != Diverges || v.Divergence == nil || v.Divergence.Shrunk == nil {
+			continue
+		}
+		s := v.Divergence.Shrunk
+		fmt.Fprintf(&b, "\n%s shrunk reproduction: seed=%d horizon=%dus ops=[", v.Name, s.Seed, s.HorizonUs)
+		for i, op := range s.Ops {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			b.WriteString(op.String())
+		}
+		fmt.Fprintf(&b, "] fails at event %d\n", v.Divergence.ShrunkFailedAt)
+	}
+	return b.String()
+}

@@ -1,0 +1,411 @@
+package conformance
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/canbus"
+	"repro/internal/canoe"
+	"repro/internal/csp"
+	"repro/internal/ota"
+	"repro/internal/refine"
+)
+
+// VerdictKind classifies a schedule outcome.
+type VerdictKind string
+
+// The conformance verdict taxonomy.
+const (
+	// Conforms: the observed trace is a trace of the reference model
+	// under the derived fault budgets.
+	Conforms VerdictKind = "conforms"
+	// Diverges: the model cannot produce the observed trace — either the
+	// implementation does not match its model or the fault abstraction
+	// is too tight. Divergent verdicts carry the failure point and (after
+	// shrinking) a minimal replayable schedule.
+	Diverges VerdictKind = "diverges"
+	// BudgetExceeded: a resource bound (state count, wall-clock
+	// deadline, simulation event budget) fired before a conclusive
+	// answer. Detail names the exhausted budget.
+	BudgetExceeded VerdictKind = "budget-exceeded"
+	// InterpreterError: the simulation, projection or model evaluation
+	// itself failed — including contained panics from the checking core.
+	InterpreterError VerdictKind = "interpreter-error"
+)
+
+// Divergence is the diagnosis attached to a diverging verdict.
+type Divergence struct {
+	// FailedAt is the index of the first inadmissible observed event.
+	FailedAt int `json:"failedAt"`
+	// BadEvent is that event.
+	BadEvent string `json:"badEvent"`
+	// Allowed lists the events the model offered instead (sorted).
+	Allowed []string `json:"allowed,omitempty"`
+	// Context is the observed event window ending at the failure.
+	Context []string `json:"context,omitempty"`
+	// Shrunk is the minimal reproducing schedule (delta-debugged ops,
+	// reduced horizon); replayable via cmd/soak -replay.
+	Shrunk *Schedule `json:"shrunk,omitempty"`
+	// ShrunkFailedAt is the failure index under the shrunk schedule.
+	ShrunkFailedAt int `json:"shrunkFailedAt,omitempty"`
+}
+
+// Verdict is the judged result of one schedule run.
+type Verdict struct {
+	// Name identifies the schedule inside a campaign.
+	Name     string   `json:"name,omitempty"`
+	Schedule Schedule `json:"schedule"`
+	Kind     VerdictKind `json:"verdict"`
+	// DeliveredFrames is the length of the observed (monitor) trace.
+	DeliveredFrames int `json:"deliveredFrames"`
+	// AppliedOps lists the perturbations that actually fired.
+	AppliedOps []string `json:"appliedOps,omitempty"`
+	// Budgets is the fault slack derived from the applied perturbations.
+	Budgets ota.ChannelBudgets `json:"budgets"`
+	// ModelStates is the number of model states the trace check visited.
+	ModelStates int `json:"modelStates,omitempty"`
+	// Detail carries the exhausted budget phase or the error text.
+	Detail     string      `json:"detail,omitempty"`
+	Divergence *Divergence `json:"divergence,omitempty"`
+}
+
+// JSON renders the verdict as indented JSON (the cmd/soak replay
+// output).
+func (v Verdict) JSON() ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}
+
+// Runner executes schedules. It caches reference models per (variant,
+// budgets) pair; a Runner is not safe for concurrent use.
+type Runner struct {
+	// MaxStates bounds the trace-membership frontier (0: checker
+	// default).
+	MaxStates int
+	// MaxDuration is the per-schedule wall-clock watchdog covering
+	// simulation, model build and trace check (default 20s).
+	MaxDuration time.Duration
+	// MaxSimEvents bounds simulator events per run, containing runaway
+	// measurements such as zero-period timer loops (default 300000).
+	MaxSimEvents int
+
+	projector *Projector
+	models    map[modelKey]*ota.System
+}
+
+type modelKey struct {
+	variant Variant
+	budgets ota.ChannelBudgets
+}
+
+// NewRunner builds a runner over the OTA projection.
+func NewRunner() (*Runner, error) {
+	p, err := NewOTAProjector()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		MaxDuration:  20 * time.Second,
+		MaxSimEvents: 300_000,
+		projector:    p,
+		models:       make(map[modelKey]*ota.System),
+	}, nil
+}
+
+// model returns the cached observed-bus reference model for the variant
+// and budget tuple, building it on first use.
+func (r *Runner) model(variant Variant, b ota.ChannelBudgets) (*ota.System, error) {
+	key := modelKey{variant: variant, budgets: b}
+	if sys, ok := r.models[key]; ok {
+		return sys, nil
+	}
+	cfg, err := variant.referenceConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Budgets = b
+	sys, err := ota.BuildObserved(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.models[key] = sys
+	return sys, nil
+}
+
+// appliedOp records a perturbation that fired, with the delivered-side
+// direction of the frame it hit (empty for timer jitter).
+type appliedOp struct {
+	op  Op
+	dir string
+}
+
+// simResult is the raw material of a verdict.
+type simResult struct {
+	trace   []canoe.TimedFrame
+	applied []appliedOp
+}
+
+// maxInjectedReplays caps fabricated retransmissions so a duplicated
+// duplicate cannot cascade.
+const maxInjectedReplays = 64
+
+// errSimEvents marks simulation event-budget exhaustion.
+var errSimEvents = errors.New("simulation event budget exhausted")
+
+// errDeadline marks watchdog expiry during simulation.
+var errDeadline = errors.New("wall-clock deadline exceeded")
+
+// simulate runs the schedule on the simulated bus and collects the
+// monitor trace plus the perturbations that fired.
+func (r *Runner) simulate(s Schedule, deadline time.Time) (simResult, error) {
+	var res simResult
+	ecuSrc, vmgSrc, err := s.Variant.simSources()
+	if err != nil {
+		return res, err
+	}
+	inj := &canbus.Injector{}
+	sim := canoe.NewSimulation(canbus.Config{
+		Injector:         inj,
+		ErrorConfinement: true,
+	})
+	vmg, err := sim.AddNode("VMG", vmgSrc)
+	if err == nil {
+		_, err = sim.AddNode("ECU", ecuSrc)
+	}
+	if err != nil {
+		return res, err
+	}
+	chaos := sim.Bus.Attach("__chaos__", canbus.ReceiverFunc(func(canbus.Time, canbus.Frame) {}))
+
+	frameOps := map[int][]Op{}
+	jitterOps := map[int][]Op{}
+	for _, op := range s.Ops {
+		if op.Kind == OpJitterTimer {
+			jitterOps[op.Nth] = append(jitterOps[op.Nth], op)
+			continue
+		}
+		frameOps[op.Nth] = append(frameOps[op.Nth], op)
+	}
+
+	injected := 0
+	replay := func(at canbus.Time, f canbus.Frame) {
+		if injected >= maxInjectedReplays {
+			return
+		}
+		injected++
+		clone := f.Clone()
+		_ = sim.Bus.Schedule(at, func() { _ = sim.Bus.Transmit(chaos, clone) })
+	}
+
+	// Frame ops key off the completed-transmission sequence number,
+	// counted by the Observe hook (which runs before the drop decision,
+	// so Drop sees index txIndex-1).
+	txIndex := 0
+	inj.Observe = func(t canbus.Time, f canbus.Frame) {
+		i := txIndex
+		txIndex++
+		for _, op := range frameOps[i] {
+			if op.Kind == OpDupFrame {
+				replay(t+canbus.Time(op.DelayUs), f)
+				res.applied = append(res.applied, appliedOp{op: op, dir: r.projector.Direction(f.ID)})
+			}
+		}
+	}
+	inj.Drop = func(t canbus.Time, f canbus.Frame) bool {
+		drop := false
+		for _, op := range frameOps[txIndex-1] {
+			switch op.Kind {
+			case OpDropFrame:
+				drop = true
+				res.applied = append(res.applied, appliedOp{op: op, dir: r.projector.Direction(f.ID)})
+			case OpDelayFrame:
+				drop = true
+				replay(t+canbus.Time(op.DelayUs), f)
+				res.applied = append(res.applied, appliedOp{op: op, dir: r.projector.Direction(f.ID)})
+			}
+		}
+		return drop
+	}
+
+	// Timer jitter keys off the per-node setTimer call sequence.
+	if len(jitterOps) > 0 {
+		timerCalls := 0
+		vmg.TimerJitter = func(name string, ms int64) int64 {
+			i := timerCalls
+			timerCalls++
+			for _, op := range jitterOps[i] {
+				ms += op.DeltaMs
+				res.applied = append(res.applied, appliedOp{op: op})
+			}
+			return ms
+		}
+	}
+
+	if err := sim.Start(); err != nil {
+		return res, err
+	}
+	// Chunked run: watchdog probes between chunks, an overall event
+	// budget contains runaway simulations.
+	const chunk = 20_000
+	maxEvents := r.MaxSimEvents
+	if maxEvents <= 0 {
+		maxEvents = 300_000
+	}
+	for events := 0; ; {
+		if time.Now().After(deadline) {
+			return res, errDeadline
+		}
+		done, err := sim.RunLimited(canbus.Time(s.HorizonUs), chunk)
+		if err != nil {
+			return res, err
+		}
+		if done {
+			break
+		}
+		events += chunk
+		if events >= maxEvents {
+			return res, errSimEvents
+		}
+	}
+	res.trace = sim.Trace()
+	return res, nil
+}
+
+// deriveBudgets converts the perturbations that fired into channel
+// slack: a drop consumes a drop credit in its frame's direction, a
+// duplicate a spurious-delivery credit, a delayed replay one of each
+// (the loss and the late reappearance).
+func deriveBudgets(applied []appliedOp) ota.ChannelBudgets {
+	var b ota.ChannelBudgets
+	bump := func(dir string, drop, spur bool) {
+		switch dir {
+		case ota.ObservedToECU:
+			if drop {
+				b.DropToECU++
+			}
+			if spur {
+				b.SpurToECU++
+			}
+		case ota.ObservedToVMG:
+			if drop {
+				b.DropToVMG++
+			}
+			if spur {
+				b.SpurToVMG++
+			}
+		}
+	}
+	for _, a := range applied {
+		switch a.op.Kind {
+		case OpDropFrame:
+			bump(a.dir, true, false)
+		case OpDupFrame:
+			bump(a.dir, false, true)
+		case OpDelayFrame:
+			bump(a.dir, true, true)
+		}
+	}
+	return b
+}
+
+// divergenceContextLen bounds the observed-event window kept with a
+// divergence diagnosis.
+const divergenceContextLen = 8
+
+// RunSchedule executes one schedule end to end: simulate, project,
+// derive budgets, check trace membership, judge. Panics anywhere in the
+// pipeline are contained into an InterpreterError verdict, and the
+// wall-clock watchdog turns a hung phase into BudgetExceeded.
+func (r *Runner) RunSchedule(s Schedule) (v Verdict) {
+	v = Verdict{Schedule: s}
+	defer func() {
+		if p := recover(); p != nil {
+			v.Kind = InterpreterError
+			v.Detail = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	maxDur := r.MaxDuration
+	if maxDur <= 0 {
+		maxDur = 20 * time.Second
+	}
+	deadline := time.Now().Add(maxDur)
+
+	sres, err := r.simulate(s, deadline)
+	for _, a := range sres.applied {
+		v.AppliedOps = append(v.AppliedOps, a.op.String())
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, errSimEvents):
+			v.Kind = BudgetExceeded
+			v.Detail = "sim-events"
+		case errors.Is(err, errDeadline):
+			v.Kind = BudgetExceeded
+			v.Detail = "sim-deadline"
+		default:
+			v.Kind = InterpreterError
+			v.Detail = err.Error()
+		}
+		return v
+	}
+	v.DeliveredFrames = len(sres.trace)
+	v.Budgets = deriveBudgets(sres.applied)
+
+	trace, err := r.projector.Trace(sres.trace)
+	if err != nil {
+		v.Kind = InterpreterError
+		v.Detail = err.Error()
+		return v
+	}
+	sys, err := r.model(s.Variant, v.Budgets)
+	if err != nil {
+		v.Kind = InterpreterError
+		v.Detail = err.Error()
+		return v
+	}
+
+	checker := refine.NewChecker(sys.Model.Env, sys.Model.Ctx)
+	checker.MaxStates = r.MaxStates
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		v.Kind = BudgetExceeded
+		v.Detail = "check-deadline"
+		return v
+	}
+	checker.MaxDuration = remaining
+	res, err := checker.AcceptsTrace(csp.Call(ota.ObservedProcess), trace)
+	if err != nil {
+		var be *refine.BudgetError
+		if errors.As(err, &be) {
+			v.Kind = BudgetExceeded
+			v.Detail = be.Phase
+			return v
+		}
+		v.Kind = InterpreterError
+		v.Detail = err.Error()
+		return v
+	}
+	v.ModelStates = res.States
+	if res.Accepted {
+		v.Kind = Conforms
+		return v
+	}
+	v.Kind = Diverges
+	div := &Divergence{
+		FailedAt: res.FailedAt,
+		BadEvent: res.BadEvent.String(),
+	}
+	for _, ev := range res.Allowed {
+		div.Allowed = append(div.Allowed, ev.String())
+	}
+	start := res.FailedAt + 1 - divergenceContextLen
+	if start < 0 {
+		start = 0
+	}
+	for _, ev := range trace[start : res.FailedAt+1] {
+		div.Context = append(div.Context, ev.String())
+	}
+	v.Divergence = div
+	return v
+}

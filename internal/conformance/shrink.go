@@ -1,0 +1,50 @@
+package conformance
+
+import "fmt"
+
+// Shrink minimizes a diverging schedule to a small reproducing input:
+// delta-debugging over the perturbation list (greedy removal to a
+// one-minimal op set — every remaining op is necessary for the
+// divergence) followed by binary-search reduction of the simulated-time
+// horizon to the smallest millisecond still diverging. Shrinking is a
+// pure function of the schedule: re-running the shrunk schedule
+// reproduces the divergence exactly.
+//
+// It returns the minimal schedule and its verdict. A schedule that does
+// not diverge is returned unchanged together with its verdict and an
+// error.
+func (r *Runner) Shrink(s Schedule) (Schedule, Verdict, error) {
+	v := r.RunSchedule(s)
+	if v.Kind != Diverges {
+		return s, v, fmt.Errorf("conformance: schedule does not diverge (verdict %s)", v.Kind)
+	}
+	cur, curV := s, v
+
+	// Phase 1: one-minimal perturbation set.
+	for changed := true; changed; {
+		changed = false
+		for i := range cur.Ops {
+			cand := cur.withOps(append(append([]Op(nil), cur.Ops[:i]...), cur.Ops[i+1:]...))
+			if cv := r.RunSchedule(cand); cv.Kind == Diverges {
+				cur, curV = cand, cv
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Phase 2: smallest horizon (in whole milliseconds) still diverging.
+	lo, hi := int64(1), cur.HorizonUs/1000
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		cand := cur
+		cand.HorizonUs = mid * 1000
+		if cv := r.RunSchedule(cand); cv.Kind == Diverges {
+			cur, curV = cand, cv
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return cur, curV, nil
+}

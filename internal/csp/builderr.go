@@ -1,0 +1,48 @@
+package csp
+
+import "fmt"
+
+// BuildError is the typed panic value raised by the Must* construction
+// helpers (MustDefine, MustChannel). Carrying a dedicated type — rather
+// than a bare error — lets API boundaries convert a failed static model
+// build back into an ordinary returned error with RecoverBuild, while
+// unrelated panics keep propagating.
+type BuildError struct {
+	// Op is the construction step that failed: "define" or "channel".
+	Op string
+	// Name is the process or channel name involved.
+	Name string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("csp build: %s %q: %v", e.Op, e.Name, e.Err)
+}
+
+func (e *BuildError) Unwrap() error { return e.Err }
+
+// RecoverBuild converts a *BuildError panic into an assignment to
+// *errp; any other panic value is re-raised. Use it at API boundaries
+// that assemble models with the Must* helpers:
+//
+//	func Build() (m *Model, err error) {
+//	    defer csp.RecoverBuild(&err)
+//	    ...
+//	}
+//
+// If *errp is already non-nil it is left in place, so an earlier
+// explicit error is not masked by the recovery path.
+func RecoverBuild(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	be, ok := r.(*BuildError)
+	if !ok {
+		panic(r)
+	}
+	if *errp == nil {
+		*errp = be
+	}
+}

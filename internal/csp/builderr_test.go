@@ -1,0 +1,75 @@
+package csp
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMustDefinePanicsTyped(t *testing.T) {
+	err := func() (err error) {
+		defer RecoverBuild(&err)
+		env := NewEnv()
+		env.MustDefine("P", nil, Stop())
+		env.MustDefine("P", nil, Stop())
+		return nil
+	}()
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("recovered %v (%T), want *BuildError", err, err)
+	}
+	if be.Op != "define" || be.Name != "P" {
+		t.Errorf("BuildError = %+v, want define/P", be)
+	}
+}
+
+func TestMustChannelPanicsTyped(t *testing.T) {
+	err := func() (err error) {
+		defer RecoverBuild(&err)
+		ctx := NewContext()
+		ctx.MustChannel("c")
+		ctx.MustChannel("c")
+		return nil
+	}()
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("recovered %v (%T), want *BuildError", err, err)
+	}
+	if be.Op != "channel" || be.Name != "c" {
+		t.Errorf("BuildError = %+v, want channel/c", be)
+	}
+}
+
+func TestRecoverBuildPassesForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("foreign panic %v should have propagated", r)
+		}
+	}()
+	var err error
+	func() {
+		defer RecoverBuild(&err)
+		panic("boom")
+	}()
+}
+
+func TestRecoverBuildKeepsEarlierError(t *testing.T) {
+	sentinel := errors.New("first failure")
+	err := func() (err error) {
+		defer RecoverBuild(&err)
+		err = sentinel
+		panic(&BuildError{Op: "define", Name: "Q", Err: errors.New("later")})
+	}()
+	if err != sentinel {
+		t.Fatalf("err = %v, want the earlier explicit error", err)
+	}
+}
+
+func TestRecoverBuildNoPanicNoop(t *testing.T) {
+	var err error
+	func() {
+		defer RecoverBuild(&err)
+	}()
+	if err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}

@@ -35,9 +35,11 @@ func (e *Env) Define(name string, params []string, body Process) error {
 }
 
 // MustDefine is Define that panics on error; for static model building.
+// The panic value is a *BuildError, so builder functions can recover it
+// into a returned error with RecoverBuild.
 func (e *Env) MustDefine(name string, params []string, body Process) {
 	if err := e.Define(name, params, body); err != nil {
-		panic(err)
+		panic(&BuildError{Op: "define", Name: name, Err: err})
 	}
 }
 

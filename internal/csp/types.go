@@ -223,10 +223,12 @@ func (c *Context) DeclareChannel(name string, fields ...Type) error {
 }
 
 // MustChannel is DeclareChannel that panics on duplicates; intended for
-// static model construction in examples and tests.
+// static model construction. The panic value is a *BuildError, so
+// builder functions can recover it into a returned error with
+// RecoverBuild.
 func (c *Context) MustChannel(name string, fields ...Type) {
 	if err := c.DeclareChannel(name, fields...); err != nil {
-		panic(err)
+		panic(&BuildError{Op: "channel", Name: name, Err: err})
 	}
 }
 

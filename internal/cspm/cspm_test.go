@@ -527,3 +527,31 @@ assert P [FD= (P \ {| a |})
 		t.Error("hidden loop accepted under [FD=")
 	}
 }
+
+// TestLoadMalformedIsTotal pins the no-panic contract of the CSPm
+// frontend: garbage and truncated inputs must come back as errors, not
+// panics — the conformance harness feeds Load whatever the extraction
+// pipeline produced and contains failures as interpreter-error verdicts.
+func TestLoadMalformedIsTotal(t *testing.T) {
+	cases := []string{
+		"channel",
+		"channel a : ",
+		"P = ",
+		"P = a -> ",
+		"P = (a -> STOP",
+		"P = STOP [] ",
+		"P Q R",
+		"assert",
+		"assert P [T=",
+		"datatype D =",
+		"P = P [[ a <- ]]",
+		"\x00\xff\xfe",
+		"P = if a then STOP",
+		"channel a\nP = a -> P\nassert P [X= P",
+	}
+	for _, src := range cases {
+		if _, err := Load(src); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -5,6 +5,7 @@ package fdr
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cspm"
 	"repro/internal/refine"
@@ -38,6 +39,10 @@ type Budget struct {
 	MaxProductStates int
 	// MaxSteps bounds the transitions examined during the product search.
 	MaxSteps int
+	// MaxDuration bounds the wall-clock time of one assertion check;
+	// zero means unbounded. Exceeding it yields a *refine.BudgetError
+	// with a "-deadline" phase.
+	MaxDuration time.Duration
 }
 
 // RunAssert checks a single resolved assertion.
@@ -53,6 +58,7 @@ func RunAssertBudget(m *cspm.Model, a cspm.ResolvedAssert, bgt Budget) (refine.R
 	c.MaxStates = bgt.MaxStates
 	c.MaxProductStates = bgt.MaxProductStates
 	c.MaxSteps = bgt.MaxSteps
+	c.MaxDuration = bgt.MaxDuration
 	switch a.Kind {
 	case cspm.AssertTraceRef:
 		return c.RefinesTraces(a.Spec, a.Impl)

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/csp"
 )
@@ -70,7 +71,37 @@ type Edge struct {
 type Options struct {
 	// MaxStates bounds the exploration; 0 means DefaultMaxStates.
 	MaxStates int
+	// MaxDuration bounds the wall-clock time of the exploration; zero
+	// means unbounded. Exceeding it returns a *DeadlineError, so a
+	// pathological state space cannot hang a campaign-scale caller.
+	MaxDuration time.Duration
 }
+
+// ErrDeadline is returned when exploration exceeds its wall-clock
+// budget.
+var ErrDeadline = errors.New("wall-clock deadline exceeded during LTS exploration")
+
+// DeadlineError is the concrete error returned when exploration runs
+// past Options.MaxDuration. It matches ErrDeadline under errors.Is and
+// carries the partial exploration size.
+type DeadlineError struct {
+	// Explored is the number of states discovered before the deadline.
+	Explored int
+	// Limit is the configured wall-clock budget.
+	Limit time.Duration
+}
+
+// Error describes the exceeded deadline.
+func (e *DeadlineError) Error() string {
+	return fmt.Sprintf("%v (explored %d states, limit %v)", ErrDeadline, e.Explored, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrDeadline) hold.
+func (e *DeadlineError) Is(target error) bool { return target == ErrDeadline }
+
+// deadlineCheckInterval is how many states are expanded between
+// wall-clock checks; a power of two keeps the hot-loop test cheap.
+const deadlineCheckInterval = 256
 
 // DefaultMaxStates is the exploration bound used when Options.MaxStates
 // is zero.
@@ -102,9 +133,16 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (*LTS, error) {
 	rootID, _ := add(root)
 	l.Init = rootID
 	queue := []int{rootID}
+	start := time.Now()
+	expanded := 0
 	for len(queue) > 0 {
 		id := queue[0]
 		queue = queue[1:]
+		expanded++
+		if opts.MaxDuration > 0 && expanded%deadlineCheckInterval == 0 &&
+			time.Since(start) > opts.MaxDuration {
+			return nil, &DeadlineError{Explored: len(l.Keys), Limit: opts.MaxDuration}
+		}
 		trs, err := sem.Transitions(l.Procs[id])
 		if err != nil {
 			return nil, fmt.Errorf("state %q: %w", l.Keys[id], err)

@@ -1,0 +1,109 @@
+package ota
+
+import (
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/refine"
+)
+
+func obsEv(ch, msg string) csp.Event {
+	return csp.Event{Chan: ch, Args: []csp.Value{csp.Sym(msg)}}
+}
+
+func acceptsObserved(t *testing.T, cfg ObservedConfig, tr csp.Trace) refine.TraceCheck {
+	t.Helper()
+	sys, err := BuildObserved(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := refine.NewChecker(sys.Model.Env, sys.Model.Ctx)
+	res, err := c.AcceptsTrace(csp.Call(ObservedProcess), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestObservedExactChannelRelays: with zero budgets the composition
+// degenerates to the paper's synchronized system, seen from the
+// delivered side.
+func TestObservedExactChannelRelays(t *testing.T) {
+	cfg := ObservedConfigFor(NaiveGateway, ChannelBudgets{})
+	good := csp.Trace{
+		obsEv(ObservedToECU, "reqSw"),
+		obsEv(ObservedToVMG, "rptSw"),
+		obsEv(ObservedToECU, "reqApp"),
+		obsEv(ObservedToVMG, "rptUpd"),
+		obsEv(ObservedToECU, "reqSw"),
+	}
+	if res := acceptsObserved(t, cfg, good); !res.Accepted {
+		t.Fatalf("protocol cycle should conform, failed at %d (%v, allowed %v)",
+			res.FailedAt, res.BadEvent, res.Allowed)
+	}
+	bad := csp.Trace{
+		obsEv(ObservedToECU, "reqSw"),
+		obsEv(ObservedToVMG, "rptUpd"), // flawed-ECU symptom: wrong reply
+	}
+	res := acceptsObserved(t, cfg, bad)
+	if res.Accepted {
+		t.Fatal("wrong reply type should not conform")
+	}
+	if res.FailedAt != 1 {
+		t.Errorf("FailedAt = %d, want 1", res.FailedAt)
+	}
+}
+
+// TestObservedSpuriousBudget: a duplicated report is rejected by the
+// exact channel and absorbed by one spurious-delivery credit.
+func TestObservedSpuriousBudget(t *testing.T) {
+	dup := csp.Trace{
+		obsEv(ObservedToECU, "reqSw"),
+		obsEv(ObservedToVMG, "rptSw"),
+		obsEv(ObservedToVMG, "rptSw"),
+	}
+	exact := ObservedConfigFor(NaiveGateway, ChannelBudgets{})
+	if res := acceptsObserved(t, exact, dup); res.Accepted {
+		t.Fatal("duplicate report should not conform under the exact channel")
+	}
+	slack := ObservedConfigFor(NaiveGateway, ChannelBudgets{SpurToVMG: 1})
+	if res := acceptsObserved(t, slack, dup); !res.Accepted {
+		t.Fatalf("duplicate report should conform with SpurToVMG=1, failed at %d (allowed %v)",
+			res.FailedAt, res.Allowed)
+	}
+}
+
+// TestObservedDropBudget: the hardened gateway retries an unanswered
+// inventory request. Four delivered requests with no report overflow
+// the exact channel (two queued responses fill the return queue, the
+// third blocks the ECU before it can take request four); drop credits
+// make room by destroying queued responses, exactly what a lossy run
+// did.
+func TestObservedDropBudget(t *testing.T) {
+	retries := csp.Trace{
+		obsEv(ObservedToECU, "reqSw"),
+		obsEv(ObservedToECU, "reqSw"),
+		obsEv(ObservedToECU, "reqSw"),
+		obsEv(ObservedToECU, "reqSw"),
+		obsEv(ObservedToVMG, "rptSw"),
+	}
+	exact := ObservedConfigFor(HardenedGateway, ChannelBudgets{})
+	if res := acceptsObserved(t, exact, retries); res.Accepted {
+		t.Fatal("quadruple retry with lost reports should not conform under the exact channel")
+	} else if res.FailedAt != 3 {
+		t.Errorf("FailedAt = %d, want 3 (the fourth request)", res.FailedAt)
+	}
+	slack := ObservedConfigFor(HardenedGateway, ChannelBudgets{DropToVMG: 2})
+	if res := acceptsObserved(t, slack, retries); !res.Accepted {
+		t.Fatalf("triple retry should conform with DropToVMG=2, failed at %d (allowed %v)",
+			res.FailedAt, res.Allowed)
+	}
+}
+
+// TestObservedBudgetValidation rejects negative budgets.
+func TestObservedBudgetValidation(t *testing.T) {
+	cfg := ObservedConfigFor(NaiveGateway, ChannelBudgets{DropToECU: -1})
+	if _, err := BuildObserved(cfg); err == nil {
+		t.Fatal("negative budget should be rejected")
+	}
+}

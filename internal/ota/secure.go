@@ -80,7 +80,8 @@ func macnPkt(key, payload, nonce string) csp.Value {
 }
 
 // BuildSecure assembles the shared-key model for the given variant.
-func BuildSecure(variant SecureVariant) (*SecureModel, error) {
+func BuildSecure(variant SecureVariant) (m *SecureModel, err error) {
+	defer csp.RecoverBuild(&err)
 	ctx := csp.NewContext()
 	env := csp.NewEnv()
 

@@ -1,0 +1,91 @@
+package refine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/csp"
+)
+
+// bigCounter defines BIG(n) = send.reqSw -> BIG(n+1 mod N) over a large
+// modulus, so exploration visits enough states for the periodic
+// wall-clock probes to fire.
+func bigCounter(t *testing.T, ctx *csp.Context, env *csp.Env) csp.Process {
+	t.Helper()
+	ctx.MustChannel("count", csp.IntRange{Lo: 0, Hi: 1 << 20})
+	env.MustDefine("BIG", []string{"n"},
+		csp.Prefix("count", []csp.CommField{csp.Out(csp.V("n"))},
+			csp.Call("BIG", csp.Binary{Op: csp.OpAdd, L: csp.V("n"), R: csp.LitInt(1)})))
+	return csp.Call("BIG", csp.LitInt(0))
+}
+
+// TestTinyDeadlineYieldsBudgetVerdict is the satellite requirement: a
+// minuscule wall-clock budget must surface as a typed *BudgetError
+// rather than a hang or a panic.
+func TestTinyDeadlineYieldsBudgetVerdict(t *testing.T) {
+	ctx, env := otaContext(t)
+	impl := bigCounter(t, ctx, env)
+	c := NewChecker(env, ctx)
+	c.MaxDuration = time.Nanosecond
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.DivergenceFree(impl)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected a deadline budget error, got a verdict")
+		}
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("error %v is not a *BudgetError", err)
+		}
+		if !strings.HasSuffix(be.Phase, "-deadline") {
+			t.Errorf("phase = %q, want a -deadline phase", be.Phase)
+		}
+		if be.Explored == 0 {
+			t.Error("partial exploration size should be non-zero")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("deadline-bounded check hung")
+	}
+}
+
+// TestDeadlineBoundsRefinement exercises the deadline through the full
+// Refines path (spec + impl exploration and the product search).
+func TestDeadlineBoundsRefinement(t *testing.T) {
+	ctx, env := otaContext(t)
+	spec := sp02(env)
+	impl := bigCounter(t, ctx, env)
+	c := NewChecker(env, ctx)
+	c.MaxDuration = time.Nanosecond
+	_, err := c.RefinesTraces(spec, impl)
+	if err == nil {
+		t.Fatal("expected a deadline budget error")
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a *BudgetError", err)
+	}
+}
+
+// TestGenerousDeadlineLeavesVerdictAlone: a wall-clock budget far above
+// the check's real cost must not perturb the verdict.
+func TestGenerousDeadlineLeavesVerdictAlone(t *testing.T) {
+	ctx, env := otaContext(t)
+	spec := sp02(env)
+	impl := counterSystem(env)
+	c := NewChecker(env, ctx)
+	c.MaxDuration = time.Hour
+	res, err := c.RefinesTraces(spec, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Errorf("SP02 [T= SYSTEM should hold, got %+v", res)
+	}
+}

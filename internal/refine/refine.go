@@ -9,6 +9,7 @@ package refine
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/csp"
 	"repro/internal/lts"
@@ -77,6 +78,12 @@ type Checker struct {
 	// MaxSteps bounds the number of transitions examined during the
 	// product search; 0 means unbounded.
 	MaxSteps int
+	// MaxDuration bounds the wall-clock time of a whole check (all
+	// explorations plus the product search); 0 means unbounded.
+	// Exceeding it yields a *BudgetError with a "-deadline" phase, so a
+	// pathological check degrades into a typed verdict instead of a
+	// hang.
+	MaxDuration time.Duration
 }
 
 // BudgetError reports that a check ran out of its resource budget. The
@@ -85,12 +92,15 @@ type Checker struct {
 // sizing retries).
 type BudgetError struct {
 	// Phase names the stage that ran dry: "explore-spec",
-	// "explore-impl", "explore", "product" or "product-steps".
+	// "explore-impl", "explore", "product", "product-steps", "trace",
+	// or a wall-clock phase "explore-deadline" / "product-deadline" /
+	// "trace-deadline".
 	Phase string
 	// Explored is the number of states (or steps, for "product-steps")
 	// completed before exhaustion.
 	Explored int
-	// Limit is the configured budget.
+	// Limit is the configured budget. For wall-clock phases it is the
+	// deadline in milliseconds.
 	Limit int
 }
 
@@ -100,17 +110,49 @@ func (e *BudgetError) Error() string {
 		e.Phase, e.Explored, e.Limit)
 }
 
+// deadlineCheckInterval is how many loop iterations pass between
+// wall-clock probes in the exploration loops.
+const deadlineCheckInterval = 1024
+
 // NewChecker builds a Checker over the given environment and context.
 func NewChecker(env *csp.Env, ctx *csp.Context) *Checker {
 	return &Checker{Sem: csp.NewSemantics(env, ctx)}
 }
 
+// deadline returns the absolute wall-clock deadline of a check starting
+// now, or the zero time when the checker is unbounded.
+func (c *Checker) deadline() time.Time {
+	if c.MaxDuration <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(c.MaxDuration)
+}
+
 func (c *Checker) explore(p csp.Process) (*lts.LTS, error) {
-	l, err := lts.Explore(c.Sem, p, lts.Options{MaxStates: c.MaxStates})
+	return c.exploreWithin(p, c.deadline())
+}
+
+// exploreWithin explores under the state budget and an absolute
+// wall-clock deadline (zero time means unbounded).
+func (c *Checker) exploreWithin(p csp.Process, deadline time.Time) (*lts.LTS, error) {
+	opts := lts.Options{MaxStates: c.MaxStates}
+	if !deadline.IsZero() {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			remaining = time.Nanosecond
+		}
+		opts.MaxDuration = remaining
+	}
+	l, err := lts.Explore(c.Sem, p, opts)
 	if err != nil {
 		var le *lts.LimitError
 		if errors.As(err, &le) {
 			return nil, &BudgetError{Phase: "explore", Explored: le.Explored, Limit: le.Limit}
+		}
+		var de *lts.DeadlineError
+		if errors.As(err, &de) {
+			return nil, &BudgetError{Phase: "explore-deadline", Explored: de.Explored,
+				Limit: int(c.MaxDuration / time.Millisecond)}
 		}
 		return nil, err
 	}
@@ -121,11 +163,12 @@ func (c *Checker) explore(p csp.Process) (*lts.LTS, error) {
 // `assert SPEC [T= IMPL`, `assert SPEC [F= IMPL` or
 // `assert SPEC [FD= IMPL`.
 func (c *Checker) Refines(spec, impl csp.Process, model Model) (Result, error) {
-	specLTS, err := c.explore(spec)
+	deadline := c.deadline()
+	specLTS, err := c.exploreWithin(spec, deadline)
 	if err != nil {
 		return Result{}, fmt.Errorf("explore specification: %w", err)
 	}
-	implLTS, err := c.explore(impl)
+	implLTS, err := c.exploreWithin(impl, deadline)
 	if err != nil {
 		return Result{}, fmt.Errorf("explore implementation: %w", err)
 	}
@@ -152,7 +195,7 @@ func (c *Checker) Refines(spec, impl csp.Process, model Model) (Result, error) {
 		}
 	}
 	norm := lts.Normalize(specLTS)
-	res, err := c.productCheck(specLTS, norm, implLTS, model)
+	res, err := c.productCheck(specLTS, norm, implLTS, model, deadline)
 	if err != nil {
 		return Result{}, err
 	}
@@ -188,7 +231,7 @@ type parentEdge struct {
 	ev   int // implementation label ID; -1 for the root
 }
 
-func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *lts.LTS, model Model) (Result, error) {
+func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *lts.LTS, model Model, deadline time.Time) (Result, error) {
 	// Map implementation label IDs to specification label IDs. Labels the
 	// spec has never heard of map to -1 and immediately fail refinement
 	// when performed.
@@ -236,9 +279,16 @@ func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *
 	}
 
 	steps := 0
+	visitedProduct := 0
 	for len(queue) > 0 {
 		ps := queue[0]
 		queue = queue[1:]
+		visitedProduct++
+		if !deadline.IsZero() && visitedProduct%deadlineCheckInterval == 0 &&
+			time.Now().After(deadline) {
+			return Result{}, &BudgetError{Phase: "product-deadline", Explored: len(visited),
+				Limit: int(c.MaxDuration / time.Millisecond)}
+		}
 
 		if model == Failures && implLTS.IsStable(ps.impl) {
 			offered := implLTS.Initials(ps.impl)

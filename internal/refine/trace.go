@@ -1,0 +1,171 @@
+package refine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/csp"
+)
+
+// TraceCheck is the outcome of an on-the-fly trace-membership check: is
+// an observed event sequence a trace of the model? Unlike Refines, the
+// check never builds the full LTS of the model — it advances a frontier
+// of process terms event by event, so cost is proportional to the trace
+// length times the local branching, not to the model's state space.
+type TraceCheck struct {
+	// Accepted is true when the whole trace is a trace of the process.
+	Accepted bool
+	// FailedAt is the index of the first event the model could not
+	// perform (meaningful when !Accepted). Every shorter prefix was
+	// accepted — traces are prefix-closed.
+	FailedAt int
+	// BadEvent is the event at FailedAt.
+	BadEvent *csp.Event
+	// Allowed lists the visible events the model offered at the point
+	// of failure, the counterexample diagnosis.
+	Allowed []csp.Event
+	// States is the number of distinct process terms visited.
+	States int
+}
+
+// AcceptsTrace reports whether t is a trace of p (with arbitrary
+// internal activity interleaved): the conformance question "could the
+// extracted model have produced this observed event sequence?". The
+// checker's MaxStates and MaxDuration budgets apply; exhausting either
+// returns a *BudgetError ("trace" / "trace-deadline" phase).
+func (c *Checker) AcceptsTrace(p csp.Process, t csp.Trace) (TraceCheck, error) {
+	maxStates := c.MaxStates
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	deadline := c.deadline()
+
+	// visited interns process terms across the whole check so a tau-rich
+	// model cannot re-expand the same term once per trace event, and
+	// trans memoizes each term's transition list — cyclic protocols
+	// revisit the same states once per protocol round, and recomputing
+	// operational semantics per round dominates the check otherwise.
+	visited := map[string]bool{}
+	trans := map[string][]csp.Transition{}
+	transitions := func(key string, p csp.Process) ([]csp.Transition, error) {
+		if ts, ok := trans[key]; ok {
+			return ts, nil
+		}
+		ts, err := c.Sem.Transitions(p)
+		if err != nil {
+			return nil, fmt.Errorf("transitions of %s: %w", key, err)
+		}
+		trans[key] = ts
+		return ts, nil
+	}
+	probes := 0
+	budgetErr := func(phase string, limit int) *BudgetError {
+		return &BudgetError{Phase: phase, Explored: len(visited), Limit: limit}
+	}
+
+	// closure expands a set of terms to its tau-closure, returning the
+	// stable frontier (every term, whether or not it has tau moves, can
+	// also offer visible events).
+	type frontierEntry struct {
+		key  string
+		proc csp.Process
+	}
+	closure := func(seed []frontierEntry) ([]frontierEntry, error) {
+		out := make([]frontierEntry, 0, len(seed))
+		seen := map[string]bool{}
+		stack := append([]frontierEntry(nil), seed...)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[cur.key] {
+				continue
+			}
+			seen[cur.key] = true
+			out = append(out, cur)
+			if !visited[cur.key] {
+				visited[cur.key] = true
+				if len(visited) > maxStates {
+					return nil, budgetErr("trace", maxStates)
+				}
+			}
+			probes++
+			if !deadline.IsZero() && probes%deadlineCheckInterval == 0 &&
+				time.Now().After(deadline) {
+				return nil, budgetErr("trace-deadline", int(c.MaxDuration/time.Millisecond))
+			}
+			trs, err := transitions(cur.key, cur.proc)
+			if err != nil {
+				return nil, err
+			}
+			for _, tr := range trs {
+				if tr.Ev.IsTau() {
+					k := tr.To.Key()
+					if !seen[k] {
+						stack = append(stack, frontierEntry{key: k, proc: tr.To})
+					}
+				}
+			}
+		}
+		return out, nil
+	}
+
+	frontier, err := closure([]frontierEntry{{key: p.Key(), proc: p}})
+	if err != nil {
+		return TraceCheck{}, err
+	}
+
+	for i, ev := range t {
+		var next []frontierEntry
+		nextSeen := map[string]bool{}
+		allowed := map[string]csp.Event{}
+		for _, fe := range frontier {
+			trs, err := transitions(fe.key, fe.proc)
+			if err != nil {
+				return TraceCheck{}, err
+			}
+			for _, tr := range trs {
+				if tr.Ev.IsTau() {
+					continue
+				}
+				allowed[tr.Ev.String()] = tr.Ev
+				if !tr.Ev.Equal(ev) {
+					continue
+				}
+				k := tr.To.Key()
+				if !nextSeen[k] {
+					nextSeen[k] = true
+					next = append(next, frontierEntry{key: k, proc: tr.To})
+				}
+			}
+		}
+		if len(next) == 0 {
+			bad := ev
+			return TraceCheck{
+				FailedAt: i,
+				BadEvent: &bad,
+				Allowed:  sortedEvents(allowed),
+				States:   len(visited),
+			}, nil
+		}
+		frontier, err = closure(next)
+		if err != nil {
+			return TraceCheck{}, err
+		}
+	}
+	return TraceCheck{Accepted: true, FailedAt: -1, States: len(visited)}, nil
+}
+
+func sortedEvents(m map[string]csp.Event) []csp.Event {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// Deterministic order keeps conformance reports byte-identical.
+	sort.Strings(keys)
+	out := make([]csp.Event, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package refine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/csp"
+)
+
+func ev(ch, msg string) csp.Event {
+	return csp.Event{Chan: ch, Args: []csp.Value{csp.Sym(msg)}}
+}
+
+func TestAcceptsTraceMembership(t *testing.T) {
+	ctx, env := otaContext(t)
+	impl := counterSystem(env)
+	c := NewChecker(env, ctx)
+
+	ok := []csp.Trace{
+		{},
+		{ev("send", "reqSw")},
+		{ev("send", "reqSw"), ev("rec", "rptSw")},
+		{ev("send", "reqSw"), ev("rec", "rptSw"), ev("send", "reqSw")},
+	}
+	for _, tr := range ok {
+		res, err := c.AcceptsTrace(impl, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Errorf("trace %s should be accepted (failed at %d)", tr, res.FailedAt)
+		}
+	}
+
+	res, err := c.AcceptsTrace(impl, csp.Trace{ev("send", "reqSw"), ev("rec", "rptUpd")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted {
+		t.Fatal("wrong reply should be rejected")
+	}
+	if res.FailedAt != 1 {
+		t.Errorf("FailedAt = %d, want 1", res.FailedAt)
+	}
+	if res.BadEvent == nil || res.BadEvent.String() != "rec.rptUpd" {
+		t.Errorf("BadEvent = %v, want rec.rptUpd", res.BadEvent)
+	}
+	if len(res.Allowed) != 1 || res.Allowed[0].String() != "rec.rptSw" {
+		t.Errorf("Allowed = %v, want [rec.rptSw]", res.Allowed)
+	}
+}
+
+func TestAcceptsTraceThroughHiding(t *testing.T) {
+	ctx, env := otaContext(t)
+	// HID = SYSTEM with the send direction hidden: only rec.rptSw is
+	// visible, preceded by a tau for the hidden send.
+	impl := counterSystem(env)
+	sendSet := csp.EventsOf("send")
+	hidden := csp.Hide(impl, sendSet)
+	c := NewChecker(env, ctx)
+	res, err := c.AcceptsTrace(hidden, csp.Trace{ev("rec", "rptSw"), ev("rec", "rptSw")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Errorf("hidden-send trace should be accepted, failed at %d", res.FailedAt)
+	}
+}
+
+func TestAcceptsTraceBudgets(t *testing.T) {
+	ctx, env := otaContext(t)
+	impl := bigCounter(t, ctx, env)
+	c := NewChecker(env, ctx)
+	c.MaxStates = 8
+	long := make(csp.Trace, 0, 32)
+	for i := 0; i < 32; i++ {
+		long = append(long, csp.Event{Chan: "count", Args: []csp.Value{csp.Int(i)}})
+	}
+	_, err := c.AcceptsTrace(impl, long)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %v is not a *BudgetError", err)
+	}
+	if be.Phase != "trace" {
+		t.Errorf("phase = %q, want trace", be.Phase)
+	}
+
+	c2 := NewChecker(env, ctx)
+	c2.MaxDuration = time.Hour
+	res, err := c2.AcceptsTrace(impl, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted {
+		t.Errorf("counter trace should be accepted, failed at %d", res.FailedAt)
+	}
+}

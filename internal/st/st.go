@@ -44,12 +44,46 @@ func (g *Group) Define(name, body string) {
 	g.templates[name] = body
 }
 
+// RenderError is the typed panic value raised by MustRender, so callers
+// that render statically known templates can recover it at an API
+// boundary (see RecoverRender) instead of crashing the process on a
+// template typo.
+type RenderError struct {
+	// Template is the name of the template that failed.
+	Template string
+	// Err is the underlying render failure.
+	Err error
+}
+
+func (e *RenderError) Error() string {
+	return fmt.Sprintf("st render %q: %v", e.Template, e.Err)
+}
+
+func (e *RenderError) Unwrap() error { return e.Err }
+
+// RecoverRender converts a *RenderError panic into an assignment to
+// *errp; other panic values are re-raised. An already-set *errp is not
+// overwritten.
+func RecoverRender(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	re, ok := r.(*RenderError)
+	if !ok {
+		panic(r)
+	}
+	if *errp == nil {
+		*errp = re
+	}
+}
+
 // MustRender renders like Render but panics on error; for statically
-// known templates in tests.
+// known templates. The panic value is a *RenderError.
 func (g *Group) MustRender(name string, attrs Attrs) string {
 	out, err := g.Render(name, attrs)
 	if err != nil {
-		panic(err)
+		panic(&RenderError{Template: name, Err: err})
 	}
 	return out
 }

@@ -1,6 +1,7 @@
 package st
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -144,4 +145,34 @@ func TestSeparatorEscapes(t *testing.T) {
 	if out != "a\n\tb" {
 		t.Errorf("out = %q", out)
 	}
+}
+
+func TestMustRenderPanicsTyped(t *testing.T) {
+	g := NewGroup()
+	g.Define("t", "$missing$")
+	err := func() (err error) {
+		defer RecoverRender(&err)
+		g.MustRender("t", Attrs{})
+		return nil
+	}()
+	var re *RenderError
+	if !errors.As(err, &re) {
+		t.Fatalf("recovered %v (%T), want *RenderError", err, err)
+	}
+	if re.Template != "t" {
+		t.Errorf("Template = %q, want t", re.Template)
+	}
+}
+
+func TestRecoverRenderPassesForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("foreign panic %v should have propagated", r)
+		}
+	}()
+	var err error
+	func() {
+		defer RecoverRender(&err)
+		panic("boom")
+	}()
 }
