@@ -4,15 +4,22 @@
 //
 // Usage:
 //
-//	capl2cspm -node ECU [-in send] [-out rec] [-rename a=b,c=d] [-o file.csp] node.can
+//	capl2cspm -node ECU [-in send] [-out rec] [-rename a=b,c=d] [-strict] [-dbc db.dbc] [-o file.csp] node.can
+//
+// With -strict the caplint static analyzer runs before extraction and
+// any error-severity finding (unknown functions, undeclared messages,
+// signal-width violations, ...) aborts the translation; the generated
+// text on clean input is byte-identical to a non-strict run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/candb"
 	"repro/internal/capl"
 	"repro/internal/translate"
 )
@@ -24,7 +31,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout *os.File) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("capl2cspm", flag.ContinueOnError)
 	node := fs.String("node", "NODE", "name of the generated node process")
 	in := fs.String("in", "send", "channel carrying messages the node receives")
@@ -33,6 +40,8 @@ func run(args []string, stdout *os.File) error {
 	timers := fs.Bool("timers", true, "translate timer interactions into events")
 	timerProc := fs.Bool("timer-process", false, "also emit the TIMER(t) lifecycle process")
 	omitDecls := fs.Bool("omit-decls", false, "emit process definitions only (for composition)")
+	strict := fs.Bool("strict", false, "run the static analyzer first; refuse extraction on error-severity findings")
+	dbcPath := fs.String("dbc", "", "CAN database for the strict cross-check")
 	output := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +57,17 @@ func run(args []string, stdout *os.File) error {
 	if err != nil {
 		return err
 	}
+	var db *candb.Database
+	if *dbcPath != "" {
+		dbSrc, err := os.ReadFile(*dbcPath)
+		if err != nil {
+			return err
+		}
+		db, err = candb.Parse(string(dbSrc))
+		if err != nil {
+			return err
+		}
+	}
 	opts := translate.Options{
 		NodeName:             *node,
 		InChannel:            *in,
@@ -56,16 +76,19 @@ func run(args []string, stdout *os.File) error {
 		IncludeTimers:        *timers,
 		GenerateTimerProcess: *timerProc,
 		OmitDecls:            *omitDecls,
+		SourceFile:           fs.Arg(0),
+		Strict:               *strict,
+		DB:                   db,
 	}
 	res, err := translate.Translate(prog, opts)
 	if err != nil {
 		return err
 	}
-	for _, w := range res.Warnings {
-		fmt.Fprintln(os.Stderr, "warning:", w)
+	for _, d := range res.Diags {
+		fmt.Fprintln(os.Stderr, "warning:", d)
 	}
 	if *output == "" {
-		_, err = stdout.WriteString(res.Text)
+		_, err = io.WriteString(stdout, res.Text)
 		return err
 	}
 	return os.WriteFile(*output, []byte(res.Text), 0o644)

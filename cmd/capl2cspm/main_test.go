@@ -1,10 +1,15 @@
 package main
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/caplint"
+	"repro/internal/translate"
 )
 
 func TestRunExtractsModel(t *testing.T) {
@@ -46,5 +51,45 @@ func TestParseRenames(t *testing.T) {
 	got := parseRenames("a=b,c=d,,bad")
 	if got["a"] != "b" || got["c"] != "d" || len(got) != 2 {
 		t.Errorf("renames = %v", got)
+	}
+}
+
+func TestRunStrictRefusesFlawedInput(t *testing.T) {
+	err := run([]string{
+		"-node", "Gateway",
+		"-strict",
+		"-dbc", "../../testdata/ota.dbc",
+		"../../examples/caplcheck/flawed_gateway.can",
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("strict extraction accepted seeded defects")
+	}
+	var lintErr *translate.LintError
+	if !errors.As(err, &lintErr) {
+		t.Fatalf("err = %T (%v), want *translate.LintError", err, err)
+	}
+	codes := map[string]bool{}
+	for _, d := range lintErr.Diags {
+		codes[d.Code] = true
+	}
+	for _, want := range []string{caplint.CodeUnknownFunc, caplint.CodeBadOutputArg, caplint.CodeDBSignalWidth} {
+		if !codes[want] {
+			t.Errorf("strict refusal missing code %s: %v", want, codes)
+		}
+	}
+}
+
+func TestRunStrictIsByteIdenticalOnCleanInput(t *testing.T) {
+	var plain, strict strings.Builder
+	if err := run([]string{"-node", "VMG", "../../testdata/ecu.can"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-node", "VMG", "-strict", "-dbc", "../../testdata/ota.dbc",
+		"../../testdata/ecu.can"}, &strict); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != strict.String() {
+		t.Errorf("strict output differs from plain output on clean input:\n--- plain ---\n%s\n--- strict ---\n%s",
+			plain.String(), strict.String())
 	}
 }

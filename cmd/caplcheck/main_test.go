@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/caplint"
+)
+
+func TestRunCleanCorpus(t *testing.T) {
+	var out strings.Builder
+	tripped, err := run([]string{
+		"-dbc", "../../testdata/ota.dbc",
+		"-severity", "info",
+		"../../testdata/ecu.can",
+		"../../testdata/vmg_timer.can",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tripped {
+		t.Errorf("clean corpus tripped the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "0 finding(s)") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+}
+
+func TestRunFlawedGateway(t *testing.T) {
+	var out strings.Builder
+	tripped, err := run([]string{
+		"-dbc", "../../testdata/ota.dbc",
+		"../../examples/caplcheck/flawed_gateway.can",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tripped {
+		t.Fatal("seeded defects did not trip the error gate")
+	}
+	for _, code := range []string{
+		caplint.CodeUndeclared,    // output(fwChunk)
+		caplint.CodeUnreachable,   // statement after return
+		caplint.CodeDeadStore,     // budget never read
+		caplint.CodeUnknownFunc,   // logDiagnostics()
+		caplint.CodeOrphanTimer,   // retryTimer has no handler
+		caplint.CodeUnfiredTimer,  // uploadTimer never set
+		caplint.CodeDBUnknownMsg,  // debugTrace not in ota.dbc
+		caplint.CodeDBSignalWidth, // Counter = 300
+	} {
+		if !strings.Contains(out.String(), "["+code+"]") {
+			t.Errorf("missing seeded code %s:\n%s", code, out.String())
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out strings.Builder
+	tripped, err := run([]string{
+		"-json",
+		"../../examples/caplcheck/flawed_gateway.can",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tripped {
+		t.Fatal("gate not tripped")
+	}
+	var diags []caplint.Diagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("empty diagnostic array for seeded input")
+	}
+	for _, d := range diags {
+		if d.Code == "" || d.Line <= 0 || d.File == "" {
+			t.Errorf("incomplete diagnostic %+v", d)
+		}
+	}
+}
+
+func TestRunJSONCleanIsEmptyArray(t *testing.T) {
+	var out strings.Builder
+	if _, err := run([]string{"-json", "../../testdata/ecu.can"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean JSON output = %q, want []", out.String())
+	}
+}
+
+func TestRunSeverityGate(t *testing.T) {
+	// vmg.can is clean at error severity; gating at info must still pass
+	// (zero findings), while the flawed file trips even the default gate.
+	var out strings.Builder
+	tripped, err := run([]string{"-severity", "warning",
+		"../../examples/caplcheck/flawed_gateway.can"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tripped {
+		t.Error("warning gate not tripped by seeded warnings")
+	}
+	if _, err := run([]string{"-severity", "bogus", "../../testdata/ecu.can"}, &out); err == nil {
+		t.Error("bogus severity accepted")
+	}
+}
+
+func TestRunCatalog(t *testing.T) {
+	var out strings.Builder
+	tripped, err := run([]string{"-catalog"}, &out)
+	if err != nil || tripped {
+		t.Fatalf("catalog: tripped=%v err=%v", tripped, err)
+	}
+	for _, e := range caplint.Catalog() {
+		if !strings.Contains(out.String(), e.Code) {
+			t.Errorf("catalog missing %s", e.Code)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(nil, &out); err == nil {
+		t.Error("no files accepted")
+	}
+	if _, err := run([]string{"/nonexistent.can"}, &out); err == nil {
+		t.Error("unreadable file accepted")
+	}
+	if _, err := run([]string{"-dbc", "/nonexistent.dbc", "../../testdata/ecu.can"}, &out); err == nil {
+		t.Error("unreadable dbc accepted")
+	}
+}
+
+func TestRunParseFailure(t *testing.T) {
+	var out strings.Builder
+	tripped, err := run([]string{"../../internal/capl/testdata/malformed.can"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tripped {
+		t.Error("parse failure did not trip the gate")
+	}
+	if !strings.Contains(out.String(), "[CAPL0000]") {
+		t.Errorf("missing CAPL0000:\n%s", out.String())
+	}
+}

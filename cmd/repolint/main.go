@@ -1,0 +1,210 @@
+// Command repolint runs the repo's custom Go static-analysis passes
+// (internal/analyzers) over the module. It is the offline stand-in for
+// a `go vet -vettool` driver: the build environment cannot fetch
+// golang.org/x/tools, so packages are parsed with the standard
+// library's go/parser and each analyzer is applied to the package
+// directories it declares via AppliesTo.
+//
+// Usage:
+//
+//	repolint [-run name,name] [dir ...]
+//
+// Each dir argument is walked recursively (`./...` suffixes are
+// accepted and equivalent); the default is the current directory. The
+// exit status is 1 when any pass reports a finding, 2 on usage or
+// parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	found, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	if found {
+		os.Exit(1)
+	}
+}
+
+// run executes the passes, reporting whether any finding was emitted.
+func run(args []string, stdout io.Writer) (found bool, err error) {
+	fsFlags := flag.NewFlagSet("repolint", flag.ContinueOnError)
+	runList := fsFlags.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fsFlags.Bool("list", false, "list the registered analyzers and exit")
+	if err := fsFlags.Parse(args); err != nil {
+		return false, err
+	}
+	passes, err := selectPasses(*runList)
+	if err != nil {
+		return false, err
+	}
+	if *list {
+		for _, a := range passes {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return false, nil
+	}
+	roots := fsFlags.Args()
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	dirs, err := packageDirs(roots)
+	if err != nil {
+		return false, err
+	}
+
+	fset := token.NewFileSet()
+	var diags []analyzers.Diagnostic
+	for _, dir := range dirs {
+		pkgDir := dir.rel
+		if !anyApplies(passes, pkgDir) {
+			continue
+		}
+		files, testFiles, err := parseDir(fset, dir.abs)
+		if err != nil {
+			return false, err
+		}
+		diags = append(diags, analyzers.RunPackage(fset, pkgDir, files, testFiles, passes)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	return len(diags) > 0, nil
+}
+
+func selectPasses(runList string) ([]*analyzers.Analyzer, error) {
+	all := analyzers.All()
+	if runList == "" {
+		return all, nil
+	}
+	byName := map[string]*analyzers.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analyzers.Analyzer
+	for _, name := range strings.Split(runList, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func anyApplies(passes []*analyzers.Analyzer, pkgDir string) bool {
+	for _, a := range passes {
+		if a.AppliesTo == nil || a.AppliesTo(pkgDir) {
+			return true
+		}
+	}
+	return false
+}
+
+type pkgDir struct{ abs, rel string }
+
+// packageDirs walks the roots and returns every directory containing Go
+// files. Directory paths in diagnostics and AppliesTo scoping are
+// reported relative to the current working directory (the module root
+// in normal use).
+func packageDirs(roots []string) ([]pkgDir, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out []pkgDir
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "...")
+		root = strings.TrimSuffix(root, string(filepath.Separator))
+		if root == "" || root == "."+string(filepath.Separator) {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			dir := filepath.Dir(path)
+			if seen[dir] {
+				return nil
+			}
+			seen[dir] = true
+			abs, err := filepath.Abs(dir)
+			if err != nil {
+				return err
+			}
+			rel, err := filepath.Rel(cwd, abs)
+			if err != nil {
+				rel = dir
+			}
+			out = append(out, pkgDir{abs: abs, rel: filepath.ToSlash(rel)})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].rel < out[j].rel })
+	return out, nil
+}
+
+// parseDir parses the directory's Go files, split into package files
+// and _test.go files.
+func parseDir(fset *token.FileSet, dir string) (files, testFiles []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testFiles = append(testFiles, f)
+		} else {
+			files = append(files, f)
+		}
+	}
+	return files, testFiles, nil
+}

@@ -1,0 +1,101 @@
+// Package analyzers holds the repo's custom Go static-analysis passes
+// in the style of golang.org/x/tools/go/analysis, rebuilt on the
+// standard library's go/ast and go/token only (the build environment is
+// offline, so the x/tools module cannot be vendored). Each Analyzer
+// declares the repo-relative package paths it applies to; cmd/repolint
+// is the driver that parses packages and runs the applicable passes,
+// and scripts/check.sh wires it into CI next to `go vet`.
+//
+// The passes encode project invariants that ordinary vet cannot see:
+//
+//   - mustrecover: the csp/st Must* construction helpers panic with a
+//     typed error; command binaries must convert that panic back into
+//     an ordinary error with a deferred Recover* boundary.
+//   - seededrand: conformance and fault-campaign runs must be
+//     reproducible from a recorded seed, so the implicitly seeded
+//     global math/rand functions are forbidden there.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Diagnostic is one finding from an analyzer pass.
+type Diagnostic struct {
+	// Pos is the resolved source position of the finding.
+	Pos token.Position
+	// Analyzer names the pass that produced the finding.
+	Analyzer string
+	// Msg is the human-readable finding.
+	Msg string
+}
+
+// String renders the conventional file:line:col: msg (analyzer) form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Msg, d.Analyzer)
+}
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph rationale shown by `repolint -help`.
+	Doc string
+	// AppliesTo reports whether the pass runs for the package at the
+	// given repo-relative directory (e.g. "cmd/caplcheck").
+	AppliesTo func(pkgDir string) bool
+	// IncludeTests selects whether _test.go files are analyzed.
+	IncludeTests bool
+	// Run inspects the files of one package and reports findings.
+	Run func(*Pass)
+}
+
+// Pass is the per-package invocation of an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// PkgDir is the repo-relative directory of the package.
+	PkgDir string
+	// Files are the parsed files the pass may inspect (already filtered
+	// by IncludeTests).
+	Files []*ast.File
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every registered analyzer.
+func All() []*Analyzer {
+	return []*Analyzer{MustRecover, SeededRand}
+}
+
+// RunPackage runs each applicable analyzer over one parsed package and
+// returns the combined findings. testFiles must hold the package's
+// _test.go files and files the rest; both may be nil.
+func RunPackage(fset *token.FileSet, pkgDir string, files, testFiles []*ast.File, passes []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range passes {
+		if a.AppliesTo != nil && !a.AppliesTo(pkgDir) {
+			continue
+		}
+		selected := files
+		if a.IncludeTests {
+			selected = append(append([]*ast.File{}, files...), testFiles...)
+		}
+		if len(selected) == 0 {
+			continue
+		}
+		a.Run(&Pass{Analyzer: a, Fset: fset, PkgDir: pkgDir, Files: selected, diags: &diags})
+	}
+	return diags
+}

@@ -1,0 +1,85 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// SeededRand enforces reproducibility in the stochastic subsystems:
+// conformance soaks and fault-injection campaigns must replay exactly
+// from a recorded seed (the shrinking loop and CI triage depend on it),
+// so drawing from the implicitly seeded global math/rand source is
+// forbidden there. Constructing an explicit source with
+// rand.New(rand.NewSource(seed)) remains allowed.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "conformance and fault-campaign randomness must be reproducible " +
+		"from a recorded seed; use rand.New(rand.NewSource(seed)) instead " +
+		"of the global math/rand functions.",
+	AppliesTo: func(pkgDir string) bool {
+		return strings.HasPrefix(pkgDir, "internal/conformance") ||
+			strings.HasPrefix(pkgDir, "internal/faultcampaign")
+	},
+	// Test files draw schedules too; a flaky test that cannot be
+	// replayed is exactly the failure mode this pass exists to prevent.
+	IncludeTests: true,
+	Run:          runSeededRand,
+}
+
+// globalRandFuncs are the package-level math/rand functions that draw
+// from (or mutate) the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+func runSeededRand(p *Pass) {
+	for _, f := range p.Files {
+		pkgName, ok := mathRandName(f)
+		if !ok {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != pkgName || !globalRandFuncs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"%s.%s draws from the implicitly seeded global source; use a rand.New(rand.NewSource(seed)) instance so runs replay from a recorded seed",
+				pkgName, sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// mathRandName returns the local name under which the file imports
+// math/rand, and whether it imports it at all. Dot and blank imports
+// are ignored (a dot import of math/rand does not occur in this repo).
+func mathRandName(f *ast.File) (string, bool) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "math/rand" {
+			continue
+		}
+		if imp.Name == nil {
+			return "rand", true
+		}
+		if imp.Name.Name == "_" || imp.Name.Name == "." {
+			return "", false
+		}
+		return imp.Name.Name, true
+	}
+	return "", false
+}

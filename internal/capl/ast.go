@@ -112,6 +112,7 @@ type VarDecl struct {
 	// MsgName is the database message name for by-name declarations.
 	MsgName string
 	Line    int
+	Col     int
 }
 
 // HandlerKind enumerates CAPL event procedure kinds.
@@ -146,6 +147,7 @@ type Handler struct {
 	TargetID int64
 	Body     *BlockStmt
 	Line     int
+	Col      int
 }
 
 // FuncDecl is a user-defined CAPL function.
@@ -155,6 +157,7 @@ type FuncDecl struct {
 	Params []*VarDecl
 	Body   *BlockStmt
 	Line   int
+	Col    int
 }
 
 // Stmt is a CAPL statement.
@@ -164,6 +167,7 @@ type Stmt interface{ isStmt() }
 type BlockStmt struct {
 	Stmts []Stmt
 	Line  int
+	Col   int
 }
 
 func (*BlockStmt) isStmt() {}
@@ -172,6 +176,8 @@ func (*BlockStmt) isStmt() {}
 // several names, as in `int i, total;`).
 type DeclStmt struct {
 	Decls []*VarDecl
+	Line  int
+	Col   int
 }
 
 func (*DeclStmt) isStmt() {}
@@ -180,6 +186,7 @@ func (*DeclStmt) isStmt() {}
 type ExprStmt struct {
 	X    Expr
 	Line int
+	Col  int
 }
 
 func (*ExprStmt) isStmt() {}
@@ -190,6 +197,7 @@ type IfStmt struct {
 	Then Stmt
 	Else Stmt // may be nil
 	Line int
+	Col  int
 }
 
 func (*IfStmt) isStmt() {}
@@ -199,6 +207,7 @@ type WhileStmt struct {
 	Cond Expr
 	Body Stmt
 	Line int
+	Col  int
 }
 
 func (*WhileStmt) isStmt() {}
@@ -208,6 +217,7 @@ type DoWhileStmt struct {
 	Body Stmt
 	Cond Expr
 	Line int
+	Col  int
 }
 
 func (*DoWhileStmt) isStmt() {}
@@ -219,6 +229,7 @@ type ForStmt struct {
 	Post Expr // may be nil
 	Body Stmt
 	Line int
+	Col  int
 }
 
 func (*ForStmt) isStmt() {}
@@ -228,6 +239,7 @@ type SwitchStmt struct {
 	Tag   Expr
 	Cases []*CaseClause
 	Line  int
+	Col   int
 }
 
 func (*SwitchStmt) isStmt() {}
@@ -238,15 +250,16 @@ type CaseClause struct {
 	Value Expr
 	Stmts []Stmt
 	Line  int
+	Col   int
 }
 
 // BreakStmt is break;.
-type BreakStmt struct{ Line int }
+type BreakStmt struct{ Line, Col int }
 
 func (*BreakStmt) isStmt() {}
 
 // ContinueStmt is continue;.
-type ContinueStmt struct{ Line int }
+type ContinueStmt struct{ Line, Col int }
 
 func (*ContinueStmt) isStmt() {}
 
@@ -254,6 +267,7 @@ func (*ContinueStmt) isStmt() {}
 type ReturnStmt struct {
 	X    Expr // may be nil
 	Line int
+	Col  int
 }
 
 func (*ReturnStmt) isStmt() {}
@@ -266,6 +280,7 @@ type IntLit struct {
 	Val  int64
 	Text string
 	Line int
+	Col  int
 }
 
 func (*IntLit) isExpr() {}
@@ -274,6 +289,7 @@ func (*IntLit) isExpr() {}
 type FloatLit struct {
 	Val  float64
 	Line int
+	Col  int
 }
 
 func (*FloatLit) isExpr() {}
@@ -282,6 +298,7 @@ func (*FloatLit) isExpr() {}
 type StrLit struct {
 	Val  string
 	Line int
+	Col  int
 }
 
 func (*StrLit) isExpr() {}
@@ -290,13 +307,14 @@ func (*StrLit) isExpr() {}
 type Ident struct {
 	Name string
 	Line int
+	Col  int
 }
 
 func (*Ident) isExpr() {}
 
 // ThisExpr is the `this` keyword: the message that triggered the
 // enclosing `on message` handler.
-type ThisExpr struct{ Line int }
+type ThisExpr struct{ Line, Col int }
 
 func (*ThisExpr) isExpr() {}
 
@@ -306,6 +324,7 @@ type BinaryExpr struct {
 	Op   Kind
 	L, R Expr
 	Line int
+	Col  int
 }
 
 func (*BinaryExpr) isExpr() {}
@@ -315,6 +334,7 @@ type UnaryExpr struct {
 	Op   Kind
 	X    Expr
 	Line int
+	Col  int
 }
 
 func (*UnaryExpr) isExpr() {}
@@ -324,6 +344,7 @@ type PostfixExpr struct {
 	Op   Kind // INC or DEC
 	X    Expr
 	Line int
+	Col  int
 }
 
 func (*PostfixExpr) isExpr() {}
@@ -334,6 +355,7 @@ type AssignExpr struct {
 	Op   Kind
 	L, R Expr
 	Line int
+	Col  int
 }
 
 func (*AssignExpr) isExpr() {}
@@ -342,6 +364,7 @@ func (*AssignExpr) isExpr() {}
 type CondExpr struct {
 	Cond, Then, Else Expr
 	Line             int
+	Col              int
 }
 
 func (*CondExpr) isExpr() {}
@@ -352,6 +375,7 @@ type CallExpr struct {
 	Fun  string
 	Args []Expr
 	Line int
+	Col  int
 }
 
 func (*CallExpr) isExpr() {}
@@ -364,6 +388,7 @@ type MemberExpr struct {
 	Args   []Expr
 	IsCall bool
 	Line   int
+	Col    int
 }
 
 func (*MemberExpr) isExpr() {}
@@ -372,6 +397,7 @@ func (*MemberExpr) isExpr() {}
 type IndexExpr struct {
 	X, Index Expr
 	Line     int
+	Col      int
 }
 
 func (*IndexExpr) isExpr() {}

@@ -161,7 +161,7 @@ func (p *parser) parseTypeSpec() (TypeSpec, error) {
 // parseVarDecl parses one declaration line, which may declare several
 // names: `int a = 1, b;` or `message 0x101 req;`.
 func (p *parser) parseVarDecl() ([]*VarDecl, error) {
-	line := p.peek().Line
+	first := p.peek()
 	ts, err := p.parseTypeSpec()
 	if err != nil {
 		return nil, err
@@ -190,7 +190,7 @@ func (p *parser) parseVarDecl() ([]*VarDecl, error) {
 		if err != nil {
 			return nil, err
 		}
-		d := &VarDecl{Type: ts, Name: name.Text, MsgID: msgID, MsgName: msgName, Line: line}
+		d := &VarDecl{Type: ts, Name: name.Text, MsgID: msgID, MsgName: msgName, Line: first.Line, Col: first.Col}
 		for p.peek().Kind == LBRACKET {
 			p.advance()
 			dim := 0
@@ -221,9 +221,9 @@ func (p *parser) parseVarDecl() ([]*VarDecl, error) {
 }
 
 func (p *parser) parseHandler() (*Handler, error) {
-	line := p.peek().Line
+	on := p.peek()
 	p.advance() // on
-	h := &Handler{Line: line, TargetID: -1}
+	h := &Handler{Line: on.Line, Col: on.Col, TargetID: -1}
 	switch p.peek().Kind {
 	case KwMessage:
 		p.advance()
@@ -276,7 +276,7 @@ func (p *parser) parseHandler() (*Handler, error) {
 }
 
 func (p *parser) parseFunc() (*FuncDecl, error) {
-	line := p.peek().Line
+	first := p.peek()
 	ret, err := p.parseTypeSpec()
 	if err != nil {
 		return nil, err
@@ -288,7 +288,7 @@ func (p *parser) parseFunc() (*FuncDecl, error) {
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
-	fn := &FuncDecl{Return: ret, Name: name.Text, Line: line}
+	fn := &FuncDecl{Return: ret, Name: name.Text, Line: first.Line, Col: first.Col}
 	if p.peek().Kind != RPAREN {
 		for {
 			pts, err := p.parseTypeSpec()
@@ -299,7 +299,7 @@ func (p *parser) parseFunc() (*FuncDecl, error) {
 			if err != nil {
 				return nil, err
 			}
-			pd := &VarDecl{Type: pts, Name: pname.Text, MsgID: -1, Line: pname.Line}
+			pd := &VarDecl{Type: pts, Name: pname.Text, MsgID: -1, Line: pname.Line, Col: pname.Col}
 			for p.peek().Kind == LBRACKET {
 				p.advance()
 				dim := 0
@@ -331,11 +331,11 @@ func (p *parser) parseFunc() (*FuncDecl, error) {
 // --- Statements ---------------------------------------------------------
 
 func (p *parser) parseBlock() (*BlockStmt, error) {
-	line := p.peek().Line
+	brace := p.peek()
 	if _, err := p.expect(LBRACE); err != nil {
 		return nil, err
 	}
-	b := &BlockStmt{Line: line}
+	b := &BlockStmt{Line: brace.Line, Col: brace.Col}
 	for p.peek().Kind != RBRACE && p.peek().Kind != EOF {
 		s, err := p.parseStmt()
 		if err != nil {
@@ -369,16 +369,16 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if _, err := p.expect(SEMI); err != nil {
 			return nil, err
 		}
-		return &BreakStmt{Line: t.Line}, nil
+		return &BreakStmt{Line: t.Line, Col: t.Col}, nil
 	case KwContinue:
 		p.advance()
 		if _, err := p.expect(SEMI); err != nil {
 			return nil, err
 		}
-		return &ContinueStmt{Line: t.Line}, nil
+		return &ContinueStmt{Line: t.Line, Col: t.Col}, nil
 	case KwReturn:
 		p.advance()
-		r := &ReturnStmt{Line: t.Line}
+		r := &ReturnStmt{Line: t.Line, Col: t.Col}
 		if p.peek().Kind != SEMI {
 			x, err := p.parseExpr()
 			if err != nil {
@@ -392,14 +392,14 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return r, nil
 	case SEMI:
 		p.advance()
-		return &BlockStmt{Line: t.Line}, nil
+		return &BlockStmt{Line: t.Line, Col: t.Col}, nil
 	}
 	if TypeKinds(t.Kind) {
 		decls, err := p.parseVarDecl()
 		if err != nil {
 			return nil, err
 		}
-		return &DeclStmt{Decls: decls}, nil
+		return &DeclStmt{Decls: decls, Line: t.Line, Col: t.Col}, nil
 	}
 	x, err := p.parseExpr()
 	if err != nil {
@@ -408,11 +408,11 @@ func (p *parser) parseStmt() (Stmt, error) {
 	if _, err := p.expect(SEMI); err != nil {
 		return nil, err
 	}
-	return &ExprStmt{X: x, Line: t.Line}, nil
+	return &ExprStmt{X: x, Line: t.Line, Col: t.Col}, nil
 }
 
 func (p *parser) parseIf() (Stmt, error) {
-	line := p.advance().Line // if
+	kw := p.advance() // if
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
@@ -427,7 +427,7 @@ func (p *parser) parseIf() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &IfStmt{Cond: cond, Then: then, Line: line}
+	s := &IfStmt{Cond: cond, Then: then, Line: kw.Line, Col: kw.Col}
 	if _, ok := p.accept(KwElse); ok {
 		els, err := p.parseStmt()
 		if err != nil {
@@ -439,7 +439,7 @@ func (p *parser) parseIf() (Stmt, error) {
 }
 
 func (p *parser) parseWhile() (Stmt, error) {
-	line := p.advance().Line // while
+	kw := p.advance() // while
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
@@ -454,11 +454,11 @@ func (p *parser) parseWhile() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+	return &WhileStmt{Cond: cond, Body: body, Line: kw.Line, Col: kw.Col}, nil
 }
 
 func (p *parser) parseDoWhile() (Stmt, error) {
-	line := p.advance().Line // do
+	kw := p.advance() // do
 	body, err := p.parseStmt()
 	if err != nil {
 		return nil, err
@@ -479,15 +479,15 @@ func (p *parser) parseDoWhile() (Stmt, error) {
 	if _, err := p.expect(SEMI); err != nil {
 		return nil, err
 	}
-	return &DoWhileStmt{Body: body, Cond: cond, Line: line}, nil
+	return &DoWhileStmt{Body: body, Cond: cond, Line: kw.Line, Col: kw.Col}, nil
 }
 
 func (p *parser) parseFor() (Stmt, error) {
-	line := p.advance().Line // for
+	kw := p.advance() // for
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
-	s := &ForStmt{Line: line}
+	s := &ForStmt{Line: kw.Line, Col: kw.Col}
 	if p.peek().Kind != SEMI {
 		if TypeKinds(p.peek().Kind) {
 			decls, err := p.parseVarDecl() // consumes the semicolon
@@ -500,7 +500,7 @@ func (p *parser) parseFor() (Stmt, error) {
 			if err != nil {
 				return nil, err
 			}
-			s.Init = &ExprStmt{X: x, Line: line}
+			s.Init = &ExprStmt{X: x, Line: kw.Line, Col: kw.Col}
 			if _, err := p.expect(SEMI); err != nil {
 				return nil, err
 			}
@@ -537,7 +537,7 @@ func (p *parser) parseFor() (Stmt, error) {
 }
 
 func (p *parser) parseSwitch() (Stmt, error) {
-	line := p.advance().Line // switch
+	kw := p.advance() // switch
 	if _, err := p.expect(LPAREN); err != nil {
 		return nil, err
 	}
@@ -551,9 +551,9 @@ func (p *parser) parseSwitch() (Stmt, error) {
 	if _, err := p.expect(LBRACE); err != nil {
 		return nil, err
 	}
-	s := &SwitchStmt{Tag: tag, Line: line}
+	s := &SwitchStmt{Tag: tag, Line: kw.Line, Col: kw.Col}
 	for p.peek().Kind == KwCase || p.peek().Kind == KwDefault {
-		c := &CaseClause{Line: p.peek().Line}
+		c := &CaseClause{Line: p.peek().Line, Col: p.peek().Col}
 		if p.peek().Kind == KwCase {
 			p.advance()
 			v, err := p.parseExpr()
@@ -609,7 +609,7 @@ func (p *parser) parseAssignExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &AssignExpr{Op: op.Kind, L: left, R: right, Line: op.Line}, nil
+		return &AssignExpr{Op: op.Kind, L: left, R: right, Line: op.Line, Col: op.Col}, nil
 	}
 	return left, nil
 }
@@ -634,7 +634,7 @@ func (p *parser) parseCond() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CondExpr{Cond: cond, Then: then, Else: els, Line: q.Line}, nil
+	return &CondExpr{Cond: cond, Then: then, Else: els, Line: q.Line, Col: q.Col}, nil
 }
 
 // binLevels lists binary operators from loosest to tightest.
@@ -675,7 +675,7 @@ func (p *parser) parseBinary(level int) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &BinaryExpr{Op: op.Kind, L: left, R: right, Line: op.Line}
+		left = &BinaryExpr{Op: op.Kind, L: left, R: right, Line: op.Line, Col: op.Col}
 	}
 }
 
@@ -691,7 +691,7 @@ func (p *parser) parseUnary() (Expr, error) {
 		if t.Kind == PLUS {
 			return x, nil
 		}
-		return &UnaryExpr{Op: t.Kind, X: x, Line: t.Line}, nil
+		return &UnaryExpr{Op: t.Kind, X: x, Line: t.Line, Col: t.Col}, nil
 	}
 	return p.parsePostfix()
 }
@@ -713,7 +713,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 			if _, err := p.expect(RBRACKET); err != nil {
 				return nil, err
 			}
-			x = &IndexExpr{X: x, Index: idx, Line: t.Line}
+			x = &IndexExpr{X: x, Index: idx, Line: t.Line, Col: t.Col}
 		case DOT:
 			p.advance()
 			var fieldName string
@@ -726,7 +726,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 			default:
 				return nil, p.errf("expected member name after '.', found %s", p.peek())
 			}
-			m := &MemberExpr{X: x, Field: fieldName, Line: t.Line}
+			m := &MemberExpr{X: x, Field: fieldName, Line: t.Line, Col: t.Col}
 			if p.peek().Kind == LPAREN {
 				p.advance()
 				args, err := p.parseArgs()
@@ -739,7 +739,7 @@ func (p *parser) parsePostfix() (Expr, error) {
 			x = m
 		case INC, DEC:
 			p.advance()
-			x = &PostfixExpr{Op: t.Kind, X: x, Line: t.Line}
+			x = &PostfixExpr{Op: t.Kind, X: x, Line: t.Line, Col: t.Col}
 		default:
 			return x, nil
 		}
@@ -771,19 +771,19 @@ func (p *parser) parsePrimary() (Expr, error) {
 	switch t.Kind {
 	case INT:
 		p.advance()
-		return &IntLit{Val: t.Int, Text: t.Text, Line: t.Line}, nil
+		return &IntLit{Val: t.Int, Text: t.Text, Line: t.Line, Col: t.Col}, nil
 	case CHAR:
 		p.advance()
-		return &IntLit{Val: t.Int, Text: "'" + t.Text + "'", Line: t.Line}, nil
+		return &IntLit{Val: t.Int, Text: "'" + t.Text + "'", Line: t.Line, Col: t.Col}, nil
 	case FLOAT:
 		p.advance()
-		return &FloatLit{Val: t.Flt, Line: t.Line}, nil
+		return &FloatLit{Val: t.Flt, Line: t.Line, Col: t.Col}, nil
 	case STRING:
 		p.advance()
-		return &StrLit{Val: t.Text, Line: t.Line}, nil
+		return &StrLit{Val: t.Text, Line: t.Line, Col: t.Col}, nil
 	case KwThis:
 		p.advance()
-		return &ThisExpr{Line: t.Line}, nil
+		return &ThisExpr{Line: t.Line, Col: t.Col}, nil
 	case IDENT:
 		p.advance()
 		if p.peek().Kind == LPAREN {
@@ -792,9 +792,9 @@ func (p *parser) parsePrimary() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &CallExpr{Fun: t.Text, Args: args, Line: t.Line}, nil
+			return &CallExpr{Fun: t.Text, Args: args, Line: t.Line, Col: t.Col}, nil
 		}
-		return &Ident{Name: t.Text, Line: t.Line}, nil
+		return &Ident{Name: t.Text, Line: t.Line, Col: t.Col}, nil
 	case LPAREN:
 		p.advance()
 		x, err := p.parseExpr()

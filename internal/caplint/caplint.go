@@ -1,0 +1,120 @@
+// Package caplint is a multi-pass static analyzer for CAPL programs,
+// the missing front gate of the paper's Figure 1 pipeline: extraction
+// of a CSP model from CAPL is only sound when the source has been
+// validated against the abstraction first (cf. Aizatulin's
+// model-extraction soundness argument). The analyzer runs
+//
+//  1. symbol resolution over a typed symbol table (variables, messages,
+//     timers, functions) with duplicate-declaration, undeclared-name
+//     and use-before-declare diagnostics;
+//  2. a per-handler control-flow graph with dataflow passes:
+//     unreachable statements, dead stores and reads of locals before
+//     any assignment;
+//  3. timer-protocol checks (timers set with no `on timer` handler,
+//     handlers for timers never set);
+//  4. optional cross-checks against a CANdb .dbc database (messages
+//     sent or handled but not declared there, signal writes exceeding
+//     the declared bit width); and
+//  5. translation-soundness lints that statically flag every construct
+//     internal/translate would abstract or drop (unknown function
+//     calls, data-dependent branching, approximated loops, dropped
+//     handlers), so a model consumer can gate on them before trusting
+//     the extracted model.
+//
+// Every diagnostic carries a stable code (CAPL0001…), a severity and a
+// source position. cmd/caplcheck is the CLI; translate.Translate runs
+// the analyzer first when Options.Strict is set.
+package caplint
+
+import (
+	"fmt"
+
+	"repro/internal/candb"
+	"repro/internal/capl"
+)
+
+// Options configures an analysis.
+type Options struct {
+	// File is the source filename reported in diagnostics.
+	File string
+	// DB enables CANdb cross-checking when non-nil.
+	DB *candb.Database
+}
+
+// Analyze runs all passes over a parsed program and returns the
+// findings sorted by position. It never panics on any parseable input
+// (see FuzzAnalyze) and never modifies the program.
+func Analyze(prog *capl.Program, opts Options) []Diagnostic {
+	a := &analysis{prog: prog, opts: opts}
+	a.collectDecls()
+	a.resolveAll()
+	a.checkFlow()
+	a.checkTimers()
+	a.checkDB()
+	a.checkSoundness()
+	Sort(a.diags)
+	return dedupe(a.diags)
+}
+
+// dedupe drops exact repeats (a function inlined into several handlers
+// would otherwise report its own findings once per call site).
+func dedupe(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// AnalyzeSource parses and analyzes CAPL source text. A parse failure
+// is reported as a single CAPL0000 diagnostic rather than an error, so
+// callers can treat "does not parse" uniformly with other findings.
+func AnalyzeSource(file, src string, opts Options) []Diagnostic {
+	opts.File = file
+	prog, err := capl.Parse(src)
+	if err != nil {
+		d := Diagnostic{Code: CodeParse, Severity: SevError, File: file, Msg: err.Error()}
+		if pe, ok := err.(*capl.Error); ok {
+			d.Line, d.Col, d.Msg = pe.Line, pe.Col, pe.Msg
+		}
+		return []Diagnostic{d}
+	}
+	return Analyze(prog, opts)
+}
+
+// analysis carries shared state across the passes.
+type analysis struct {
+	prog  *capl.Program
+	opts  Options
+	diags []Diagnostic
+
+	syms *symtab
+
+	// Facts gathered during resolution, consumed by later passes.
+	timersSet     map[string][]pos // setTimer sites per timer name
+	timersHandled map[string][]pos // `on timer` handlers per timer name
+	signalWrites  []signalWrite    // msgVar.Field = expr sites
+}
+
+type pos struct{ line, col int }
+
+type signalWrite struct {
+	msgVar string
+	field  string
+	value  capl.Expr
+	at     pos
+}
+
+func (a *analysis) report(code string, sev Severity, line, col int, format string, args ...any) {
+	a.diags = append(a.diags, Diagnostic{
+		Code:     code,
+		Severity: sev,
+		File:     a.opts.File,
+		Line:     line,
+		Col:      col,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}

@@ -1,0 +1,140 @@
+package caplint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDefectClasses exercises each diagnostic code on a minimal
+// program, complementing the corpus golden tests with targeted cases
+// for the codes the corpus does not reach.
+func TestDefectClasses(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // codes that must appear
+	}{
+		{"duplicate-global", `variables { int x; int x; }`,
+			[]string{CodeDuplicateDecl}},
+		{"duplicate-local", `on start { int x; int x; x = 1; }`,
+			[]string{CodeDuplicateDecl}},
+		{"undeclared", `on start { x = 1; }`,
+			[]string{CodeUndeclared}},
+		{"use-before-decl", `on start { x = 1; int x; }`,
+			[]string{CodeUseBeforeDecl}},
+		{"unreachable", `variables { message 0x1 m; }
+			on start { return; output(m); }`,
+			[]string{CodeUnreachable}},
+		{"unreachable-const-branch", `variables { int x; }
+			on start { if (0) { x = 1; } }`,
+			[]string{CodeUnreachable}},
+		{"dead-store", `on start { int x; x = 1; x = 2; write("%d", x); }`,
+			[]string{CodeDeadStore}},
+		{"uninit-read", `on start { int x; int y; y = x + 1; write("%d", y); }`,
+			[]string{CodeUninitRead}},
+		{"unknown-func", `on start { frobnicate(); }`,
+			[]string{CodeUnknownFunc}},
+		{"orphan-timer", `variables { msTimer t; }
+			on start { setTimer(t, 10); }`,
+			[]string{CodeOrphanTimer}},
+		{"unfired-timer", `variables { msTimer t; }
+			on timer t { write("tick"); }`,
+			[]string{CodeUnfiredTimer}},
+		{"bad-timer-arg", `variables { int x; }
+			on start { setTimer(x, 10); }`,
+			[]string{CodeBadTimerArg}},
+		{"bad-output-arg", `variables { int x; }
+			on start { output(x); }`,
+			[]string{CodeBadOutputArg}},
+		{"bad-output-arity", `variables { message 0x1 m; }
+			on start { output(m, m); }`,
+			[]string{CodeBadOutputArity}},
+		{"unknown-msg-target", `on message ghost { write("x"); }`,
+			[]string{CodeUnknownMsgVar}},
+		{"abstracted-cond", `variables { message 0x1 m; int x; }
+			on start { if (x > 0) { output(m); } }`,
+			[]string{CodeAbstractedCond}},
+		{"abstracted-loop", `variables { message 0x1 m; int i; }
+			on start { while (i < 3) { output(m); i = i + 1; } }`,
+			[]string{CodeAbstractedLoop}},
+		{"dropped-handler", `on key 'a' { write("key"); }`,
+			[]string{CodeDroppedHandler}},
+		{"inexact-duration", `variables { msTimer t; int d; }
+			on timer t { setTimer(t, d); }`,
+			[]string{CodeInexactDuration}},
+		{"recursive", `void f() { f(); }
+			on start { f(); }`,
+			[]string{CodeRecursiveFunc}},
+		{"this-outside-msg", `on start { this.byte(0) = 1; }`,
+			[]string{CodeThisOutsideMsg}},
+		{"parse-error", "'\\", []string{CodeParse}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := AnalyzeSource(tc.name+".can", tc.src, Options{})
+			got := map[string]bool{}
+			for _, d := range diags {
+				got[d.Code] = true
+			}
+			for _, code := range tc.want {
+				if !got[code] {
+					t.Errorf("missing %s; got %v", code, diags)
+				}
+			}
+		})
+	}
+}
+
+// TestCleanSnippets pins programs that must NOT trip specific lints:
+// the analyzer's value depends as much on its silence as its noise.
+func TestCleanSnippets(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		notWant string
+	}{
+		// `this` inside an on message handler is the idiomatic reply form.
+		{"this-in-msg", `variables { message 0x1 m; }
+			on message m { output(this); }`, CodeThisOutsideMsg},
+		// A constant condition is folded, not abstracted.
+		{"const-cond", `variables { message 0x1 m; }
+			on start { if (1) { output(m); } }`, CodeAbstractedCond},
+		// Zero-initialisation via declaration is not a dead store.
+		{"decl-init-zero", `on start { int x = 0; x = 1; write("%d", x); }`,
+			CodeDeadStore},
+		// Globals keep state across handlers: never dataflow-checked.
+		{"global-state", `variables { int seen; }
+			on start { seen = seen + 1; }`, CodeUninitRead},
+		// A set timer with a matching handler is the intended protocol.
+		{"timer-pair", `variables { msTimer t; }
+			on start { setTimer(t, 10); }
+			on timer t { write("tick"); }`, CodeOrphanTimer},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, d := range AnalyzeSource(tc.name+".can", tc.src, Options{}) {
+				if d.Code == tc.notWant {
+					t.Errorf("false positive %v", d)
+				}
+			}
+		})
+	}
+}
+
+// TestDiagnosticsAreDeduped: a helper inlined at two call sites must
+// report its own findings once.
+func TestDiagnosticsAreDeduped(t *testing.T) {
+	src := `void helper() { frobnicate(); }
+		on start { helper(); }
+		on stopMeasurement { helper(); }`
+	diags := AnalyzeSource("dedupe.can", src, Options{})
+	n := 0
+	for _, d := range diags {
+		if d.Code == CodeUnknownFunc && strings.Contains(d.Msg, "frobnicate") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("frobnicate reported %d times, want 1:\n%v", n, diags)
+	}
+}

@@ -1,0 +1,96 @@
+package caplint
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, s := range []Severity{SevInfo, SevWarning, SevError} {
+		parsed, err := ParseSeverity(s.String())
+		if err != nil || parsed != s {
+			t.Errorf("ParseSeverity(%q) = %v, %v", s, parsed, err)
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil || back != s {
+			t.Errorf("JSON round trip of %v = %v, %v", s, back, err)
+		}
+	}
+	if _, err := ParseSeverity("fatal"); err == nil {
+		t.Error("unknown severity accepted")
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"bogus"`), &s); err == nil {
+		t.Error("bogus JSON severity accepted")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Code: CodeDeadStore, Severity: SevWarning,
+		File: "a.can", Line: 3, Col: 7, Msg: "dead"}
+	if got, want := d.String(), "a.can:3:7: warning: dead [CAPL0005]"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	d = Diagnostic{Code: CodeEmptyNode, Severity: SevWarning, Msg: "empty"}
+	if got, want := d.String(), "warning: empty [CAPL0023]"; got != want {
+		t.Errorf("positionless String() = %q, want %q", got, want)
+	}
+}
+
+func TestSortAndFilter(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "b.can", Line: 1, Code: "CAPL0002", Severity: SevError},
+		{File: "a.can", Line: 9, Code: "CAPL0005", Severity: SevWarning},
+		{File: "a.can", Line: 2, Col: 5, Code: "CAPL0016", Severity: SevInfo},
+		{File: "a.can", Line: 2, Col: 1, Code: "CAPL0004", Severity: SevWarning},
+	}
+	Sort(diags)
+	var order []string
+	for _, d := range diags {
+		order = append(order, d.Code)
+	}
+	if got := strings.Join(order, ","); got != "CAPL0004,CAPL0016,CAPL0005,CAPL0002" {
+		t.Errorf("sort order = %s", got)
+	}
+	if n := len(Filter(diags, SevWarning)); n != 3 {
+		t.Errorf("Filter(warning) = %d findings, want 3", n)
+	}
+	if n := ErrorCount(diags); n != 1 {
+		t.Errorf("ErrorCount = %d, want 1", n)
+	}
+}
+
+// TestCatalogIsComplete pins the catalog's shape: codes are unique,
+// ordered, and SeverityOf agrees with the table.
+func TestCatalogIsComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 24 {
+		t.Errorf("catalog has %d entries, want 24 (CAPL0000..CAPL0023)", len(cat))
+	}
+	seen := map[string]bool{}
+	prev := ""
+	for _, e := range cat {
+		if seen[e.Code] {
+			t.Errorf("duplicate code %s", e.Code)
+		}
+		seen[e.Code] = true
+		if e.Code <= prev {
+			t.Errorf("catalog out of order at %s", e.Code)
+		}
+		prev = e.Code
+		if SeverityOf(e.Code) != e.Severity {
+			t.Errorf("SeverityOf(%s) = %v, want %v", e.Code, SeverityOf(e.Code), e.Severity)
+		}
+		if e.Title == "" {
+			t.Errorf("%s has no title", e.Code)
+		}
+	}
+	if SeverityOf("CAPL9999") != SevWarning {
+		t.Error("unknown code should default to warning")
+	}
+}

@@ -1,0 +1,56 @@
+package caplint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzAnalyze asserts analyzer totality: for any input — however
+// malformed — AnalyzeSource must terminate without panicking and
+// return well-formed diagnostics (a known code, a valid severity, a
+// non-negative position). The seeds cover the full corpus plus the
+// parser's previously found crashers, so plain `go test` replays them
+// as a regression suite.
+func FuzzAnalyze(f *testing.F) {
+	for _, glob := range []string{
+		filepath.Join("..", "capl", "testdata", "*.can"),
+		filepath.Join("..", "..", "testdata", "*.can"),
+		filepath.Join("..", "..", "examples", "caplcheck", "*.can"),
+	} {
+		paths, err := filepath.Glob(glob)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(data))
+		}
+	}
+	f.Add("")
+	f.Add("'\\")                                 // historical FuzzParse crasher
+	f.Add("variables { int x; int x; }")         // duplicate decl
+	f.Add("on message m { output(m); }")         // undeclared target
+	f.Add("void f() { f(); } on start { f(); }") // recursion
+	f.Add("on start { for (;;) { break; } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		known := map[string]bool{}
+		for _, e := range Catalog() {
+			known[e.Code] = true
+		}
+		for _, d := range AnalyzeSource("fuzz.can", src, Options{}) {
+			if !known[d.Code] {
+				t.Errorf("unknown diagnostic code %q", d.Code)
+			}
+			if d.Severity != SevInfo && d.Severity != SevWarning && d.Severity != SevError {
+				t.Errorf("invalid severity %v in %v", d.Severity, d)
+			}
+			if d.Line < 0 || d.Col < 0 {
+				t.Errorf("negative position in %v", d)
+			}
+		}
+	})
+}

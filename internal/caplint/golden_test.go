@@ -1,0 +1,108 @@
+package caplint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/candb"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden diagnostic files")
+
+// TestGolden pins the analyzer's exact findings — code, severity,
+// position and message — over the whole CAPL corpus. The clean files
+// must stay clean (the strict-extraction gate depends on it) and the
+// seeded files must keep every defect class visible.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		dbc  string
+	}{
+		{"ecu", "../../testdata/ecu.can", "../../testdata/ota.dbc"},
+		{"flawed_ecu", "../../testdata/flawed_ecu.can", "../../testdata/ota.dbc"},
+		{"vmg", "../../testdata/vmg.can", "../../testdata/ota.dbc"},
+		{"vmg_timer", "../../testdata/vmg_timer.can", "../../testdata/ota.dbc"},
+		{"capl_ecu", "../capl/testdata/ecu.can", ""},
+		{"capl_timer", "../capl/testdata/timer.can", ""},
+		{"malformed", "../capl/testdata/malformed.can", ""},
+		{"flawed_gateway", "../../examples/caplcheck/flawed_gateway.can", "../../testdata/ota.dbc"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := os.ReadFile(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var opts Options
+			if tc.dbc != "" {
+				dbSrc, err := os.ReadFile(tc.dbc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.DB, err = candb.Parse(string(dbSrc))
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Report positions under the base name so golden files do not
+			// depend on the test's relative path layout.
+			diags := AnalyzeSource(filepath.Base(tc.src), string(src), opts)
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(d.String())
+				b.WriteByte('\n')
+			}
+			got := b.String()
+
+			goldenPath := filepath.Join("testdata", "golden", tc.name+".diag")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./internal/caplint -update` to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed:\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestCleanCorpusStaysClean is the load-bearing invariant behind
+// `capl2cspm -strict`: the paper's extraction corpus must produce zero
+// findings, or strict mode would refuse valid models.
+func TestCleanCorpusStaysClean(t *testing.T) {
+	dbSrc, err := os.ReadFile("../../testdata/ota.dbc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := candb.Parse(string(dbSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{
+		"../../testdata/ecu.can",
+		"../../testdata/flawed_ecu.can", // flawed at the protocol level, lint-clean
+		"../../testdata/vmg.can",
+		"../../testdata/vmg_timer.can",
+	} {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := AnalyzeSource(path, string(src), Options{DB: db}); len(diags) != 0 {
+			t.Errorf("%s: unexpected findings: %v", path, diags)
+		}
+	}
+}

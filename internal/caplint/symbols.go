@@ -1,0 +1,410 @@
+package caplint
+
+import "repro/internal/capl"
+
+// symKind classifies a symbol for resolution and later passes.
+type symKind int
+
+const (
+	symScalar symKind = iota + 1 // int/long/byte/word/dword/char/float/double
+	symMessage
+	symTimer
+	symFunc
+	symParam
+)
+
+func kindOf(t capl.TypeSpec) symKind {
+	switch t.Base {
+	case capl.TypeMessage:
+		return symMessage
+	case capl.TypeMsTimer, capl.TypeTimer:
+		return symTimer
+	}
+	return symScalar
+}
+
+// symbol is one declared name.
+type symbol struct {
+	name string
+	kind symKind
+	typ  capl.TypeSpec
+	decl *capl.VarDecl // nil for functions
+	at   pos
+}
+
+// symtab is the program-level symbol table: the variables section plus
+// user-defined functions. Locals live in the scope stack during the
+// resolution walk, not here.
+type symtab struct {
+	globals map[string]*symbol
+	funcs   map[string]*capl.FuncDecl
+}
+
+// builtinFuncs are the CAPL intrinsics the interpreter and translator
+// understand; calls to them never produce CAPL0007.
+var builtinFuncs = map[string]bool{
+	"output": true, "setTimer": true, "cancelTimer": true,
+	"write": true, "writeEx": true, "writeLineEx": true,
+}
+
+// builtinMsgFields are the message member selectors with translator/
+// interpreter support; other selectors are treated as .dbc signals.
+var builtinMsgFields = map[string]bool{
+	"ID": true, "id": true, "DLC": true, "dlc": true,
+	"byte": true, "word": true, "dword": true, "long": true, "int": true, "char": true,
+}
+
+// collectDecls builds the global symbol table, reporting duplicate
+// declarations (CAPL0001).
+func (a *analysis) collectDecls() {
+	st := &symtab{globals: map[string]*symbol{}, funcs: map[string]*capl.FuncDecl{}}
+	for _, v := range a.prog.Variables {
+		if prev, ok := st.globals[v.Name]; ok {
+			a.report(CodeDuplicateDecl, SevError, v.Line, v.Col,
+				"%s %q redeclared (first declared at line %d)", v.Type, v.Name, prev.at.line)
+			continue
+		}
+		st.globals[v.Name] = &symbol{
+			name: v.Name, kind: kindOf(v.Type), typ: v.Type, decl: v,
+			at: pos{v.Line, v.Col},
+		}
+	}
+	for _, f := range a.prog.Functions {
+		if prev, ok := st.funcs[f.Name]; ok {
+			a.report(CodeDuplicateDecl, SevError, f.Line, f.Col,
+				"function %q redeclared (first declared at line %d)", f.Name, prev.Line)
+			continue
+		}
+		if builtinFuncs[f.Name] {
+			a.report(CodeDuplicateDecl, SevError, f.Line, f.Col,
+				"function %q shadows a CAPL built-in", f.Name)
+		}
+		st.funcs[f.Name] = f
+	}
+	a.syms = st
+	a.timersSet = map[string][]pos{}
+	a.timersHandled = map[string][]pos{}
+}
+
+// scope is one lexical block during the resolution walk.
+type scope struct {
+	parent *scope
+	names  map[string]*symbol
+}
+
+func (s *scope) lookup(name string) (*symbol, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			return sym, true
+		}
+	}
+	return nil, false
+}
+
+// resolver walks one handler or function body.
+type resolver struct {
+	a *analysis
+	// inMessageHandler enables `this`.
+	inMessageHandler bool
+	// laterLocals maps names declared later in a block currently being
+	// walked to their declaration line, for use-before-declare reports.
+	laterLocals map[string]pos
+}
+
+// resolveAll resolves every handler and function body, reporting
+// undeclared identifiers (CAPL0002), use-before-declare (CAPL0003),
+// `this` misuse (CAPL0022) and misdeclared handler targets
+// (CAPL0009/0010/0012 facts are gathered here too).
+func (a *analysis) resolveAll() {
+	for _, h := range a.prog.Handlers {
+		r := &resolver{a: a, inMessageHandler: h.Kind == capl.OnMessage, laterLocals: map[string]pos{}}
+		top := &scope{names: map[string]*symbol{}}
+		switch h.Kind {
+		case capl.OnMessage:
+			a.checkMessageTarget(h)
+		case capl.OnTimer:
+			if sym, ok := a.syms.globals[h.Target]; !ok || sym.kind != symTimer {
+				a.report(CodeBadTimerArg, SevError, h.Line, h.Col,
+					"on timer %s: timer not declared in variables section", h.Target)
+			}
+			a.timersHandled[h.Target] = append(a.timersHandled[h.Target], pos{h.Line, h.Col})
+		}
+		r.block(h.Body, top)
+	}
+	for _, f := range a.prog.Functions {
+		r := &resolver{a: a, laterLocals: map[string]pos{}}
+		top := &scope{names: map[string]*symbol{}}
+		for _, p := range f.Params {
+			if _, ok := top.names[p.Name]; ok {
+				a.report(CodeDuplicateDecl, SevError, p.Line, p.Col,
+					"parameter %q redeclared", p.Name)
+				continue
+			}
+			top.names[p.Name] = &symbol{name: p.Name, kind: symParam, typ: p.Type, decl: p, at: pos{p.Line, p.Col}}
+		}
+		r.block(f.Body, top)
+	}
+}
+
+// checkMessageTarget validates the target of an `on message` handler
+// against the declared message variables.
+func (a *analysis) checkMessageTarget(h *capl.Handler) {
+	if h.Target == "*" {
+		return
+	}
+	if h.TargetID >= 0 {
+		for _, v := range a.prog.MessageDecls() {
+			if v.MsgID == h.TargetID {
+				return
+			}
+		}
+		a.report(CodeUnknownMsgVar, SevError, h.Line, h.Col,
+			"on message 0x%x: no message with that identifier declared", h.TargetID)
+		return
+	}
+	if sym, ok := a.syms.globals[h.Target]; !ok || sym.kind != symMessage {
+		a.report(CodeUnknownMsgVar, SevError, h.Line, h.Col,
+			"on message %s: message variable not declared", h.Target)
+	}
+}
+
+// block walks a block statement in a fresh child scope.
+func (r *resolver) block(b *capl.BlockStmt, parent *scope) {
+	sc := &scope{parent: parent, names: map[string]*symbol{}}
+	r.stmtList(b.Stmts, sc)
+}
+
+// stmtList walks statements in order, registering declarations as they
+// appear so earlier statements cannot see later locals. Names declared
+// later in this same list are recorded first, so a premature use is
+// reported as use-before-declare rather than undeclared.
+func (r *resolver) stmtList(list []capl.Stmt, sc *scope) {
+	declared := collectLocalDecls(list)
+	added := make([]string, 0, len(declared))
+	for name, at := range declared {
+		if _, ok := r.laterLocals[name]; !ok {
+			r.laterLocals[name] = at
+			added = append(added, name)
+		}
+	}
+	for _, s := range list {
+		r.stmt(s, sc)
+	}
+	for _, name := range added {
+		delete(r.laterLocals, name)
+	}
+}
+
+// collectLocalDecls maps names declared directly in the list (not in
+// nested blocks) to their positions.
+func collectLocalDecls(list []capl.Stmt) map[string]pos {
+	out := map[string]pos{}
+	for _, s := range list {
+		if ds, ok := s.(*capl.DeclStmt); ok {
+			for _, d := range ds.Decls {
+				if _, dup := out[d.Name]; !dup {
+					out[d.Name] = pos{d.Line, d.Col}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (r *resolver) stmt(s capl.Stmt, sc *scope) {
+	switch x := s.(type) {
+	case *capl.BlockStmt:
+		r.block(x, sc)
+	case *capl.DeclStmt:
+		for _, d := range x.Decls {
+			if d.Init != nil {
+				r.expr(d.Init, sc)
+			}
+			if _, ok := sc.names[d.Name]; ok {
+				r.a.report(CodeDuplicateDecl, SevError, d.Line, d.Col,
+					"%s %q redeclared in this block", d.Type, d.Name)
+				continue
+			}
+			sc.names[d.Name] = &symbol{name: d.Name, kind: kindOf(d.Type), typ: d.Type, decl: d, at: pos{d.Line, d.Col}}
+			delete(r.laterLocals, d.Name)
+		}
+	case *capl.ExprStmt:
+		r.expr(x.X, sc)
+	case *capl.IfStmt:
+		r.expr(x.Cond, sc)
+		r.stmt(x.Then, sc)
+		if x.Else != nil {
+			r.stmt(x.Else, sc)
+		}
+	case *capl.WhileStmt:
+		r.expr(x.Cond, sc)
+		r.stmt(x.Body, sc)
+	case *capl.DoWhileStmt:
+		r.stmt(x.Body, sc)
+		r.expr(x.Cond, sc)
+	case *capl.ForStmt:
+		inner := &scope{parent: sc, names: map[string]*symbol{}}
+		if x.Init != nil {
+			r.stmt(x.Init, inner)
+		}
+		if x.Cond != nil {
+			r.expr(x.Cond, inner)
+		}
+		if x.Post != nil {
+			r.expr(x.Post, inner)
+		}
+		r.stmt(x.Body, inner)
+	case *capl.SwitchStmt:
+		r.expr(x.Tag, sc)
+		for _, c := range x.Cases {
+			if c.Value != nil {
+				r.expr(c.Value, sc)
+			}
+			inner := &scope{parent: sc, names: map[string]*symbol{}}
+			r.stmtList(c.Stmts, inner)
+		}
+	case *capl.ReturnStmt:
+		if x.X != nil {
+			r.expr(x.X, sc)
+		}
+	case *capl.BreakStmt, *capl.ContinueStmt:
+	}
+}
+
+// resolveIdent looks a name up through locals then globals, reporting
+// CAPL0002/0003 on failure. The returned symbol is nil if unresolved.
+func (r *resolver) resolveIdent(id *capl.Ident, sc *scope) *symbol {
+	if sym, ok := sc.lookup(id.Name); ok {
+		return sym
+	}
+	if sym, ok := r.a.syms.globals[id.Name]; ok {
+		return sym
+	}
+	if at, ok := r.laterLocals[id.Name]; ok {
+		r.a.report(CodeUseBeforeDecl, SevError, id.Line, id.Col,
+			"%q used before its declaration at line %d", id.Name, at.line)
+		return nil
+	}
+	r.a.report(CodeUndeclared, SevError, id.Line, id.Col,
+		"undeclared identifier %q", id.Name)
+	return nil
+}
+
+func (r *resolver) expr(e capl.Expr, sc *scope) {
+	switch x := e.(type) {
+	case *capl.Ident:
+		r.resolveIdent(x, sc)
+	case *capl.ThisExpr:
+		if !r.inMessageHandler {
+			r.a.report(CodeThisOutsideMsg, SevError, x.Line, x.Col,
+				"`this` is only defined inside an `on message` handler")
+		}
+	case *capl.BinaryExpr:
+		r.expr(x.L, sc)
+		r.expr(x.R, sc)
+	case *capl.UnaryExpr:
+		r.expr(x.X, sc)
+	case *capl.PostfixExpr:
+		r.expr(x.X, sc)
+	case *capl.AssignExpr:
+		r.assign(x, sc)
+	case *capl.CondExpr:
+		r.expr(x.Cond, sc)
+		r.expr(x.Then, sc)
+		r.expr(x.Else, sc)
+	case *capl.CallExpr:
+		r.call(x, sc)
+	case *capl.MemberExpr:
+		r.expr(x.X, sc)
+		for _, arg := range x.Args {
+			r.expr(arg, sc)
+		}
+	case *capl.IndexExpr:
+		r.expr(x.X, sc)
+		r.expr(x.Index, sc)
+	case *capl.IntLit, *capl.FloatLit, *capl.StrLit, nil:
+	}
+}
+
+// assign resolves both sides and records signal-write facts for the
+// CANdb cross-check: `msgVar.Field = expr` with a non-builtin field is
+// a candidate .dbc signal write.
+func (r *resolver) assign(x *capl.AssignExpr, sc *scope) {
+	r.expr(x.L, sc)
+	r.expr(x.R, sc)
+	m, ok := x.L.(*capl.MemberExpr)
+	if !ok || m.IsCall || builtinMsgFields[m.Field] {
+		return
+	}
+	base, ok := m.X.(*capl.Ident)
+	if !ok {
+		return
+	}
+	if sym, found := r.lookupQuiet(base.Name, sc); found && sym.kind == symMessage {
+		r.a.signalWrites = append(r.a.signalWrites, signalWrite{
+			msgVar: base.Name, field: m.Field, value: x.R, at: pos{m.Line, m.Col},
+		})
+	}
+}
+
+// lookupQuiet resolves without reporting (the operand walk already
+// reported any failure).
+func (r *resolver) lookupQuiet(name string, sc *scope) (*symbol, bool) {
+	if sym, ok := sc.lookup(name); ok {
+		return sym, true
+	}
+	sym, ok := r.a.syms.globals[name]
+	return sym, ok
+}
+
+// call resolves a call's arguments and records timer/output facts.
+// Function-name resolution itself is the soundness pass's job
+// (CAPL0007/0020); argument shape checks happen here because they need
+// the scope.
+func (r *resolver) call(x *capl.CallExpr, sc *scope) {
+	for _, arg := range x.Args {
+		r.expr(arg, sc)
+	}
+	switch x.Fun {
+	case "output":
+		if len(x.Args) != 1 {
+			r.a.report(CodeBadOutputArity, SevError, x.Line, x.Col,
+				"output() expects exactly one argument, got %d", len(x.Args))
+			return
+		}
+		id, ok := x.Args[0].(*capl.Ident)
+		if !ok {
+			if _, isThis := x.Args[0].(*capl.ThisExpr); isThis && r.inMessageHandler {
+				return // output(this) re-emits the triggering message
+			}
+			r.a.report(CodeBadOutputArg, SevError, x.Line, x.Col,
+				"output() argument must be a message variable")
+			return
+		}
+		if sym, found := r.lookupQuiet(id.Name, sc); !found || sym.kind != symMessage {
+			r.a.report(CodeBadOutputArg, SevError, id.Line, id.Col,
+				"output(%s): not a declared message variable", id.Name)
+		}
+	case "setTimer", "cancelTimer":
+		if len(x.Args) < 1 {
+			r.a.report(CodeBadTimerArg, SevError, x.Line, x.Col,
+				"%s() expects a timer argument", x.Fun)
+			return
+		}
+		id, ok := x.Args[0].(*capl.Ident)
+		if !ok {
+			r.a.report(CodeBadTimerArg, SevError, x.Line, x.Col,
+				"%s(): first argument must be a declared timer", x.Fun)
+			return
+		}
+		sym, found := r.lookupQuiet(id.Name, sc)
+		if !found || sym.kind != symTimer {
+			r.a.report(CodeBadTimerArg, SevError, id.Line, id.Col,
+				"%s(%s): not a declared timer", x.Fun, id.Name)
+			return
+		}
+		if x.Fun == "setTimer" {
+			r.a.timersSet[id.Name] = append(r.a.timersSet[id.Name], pos{x.Line, x.Col})
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/capl"
+	"repro/internal/caplint"
 	"repro/internal/cspm"
 )
 
@@ -105,7 +106,7 @@ func (t *translator) exprStmt(s *capl.ExprStmt, cont cspm.ProcExpr, inlining []s
 				if v, ok := constEval(call.Args[1]); ok {
 					ms = v
 				} else {
-					t.warnf("line %d: non-constant timer duration approximated as one tock", s.Line)
+					t.diag(caplint.CodeInexactDuration, s.Line, "non-constant timer duration approximated as one tock")
 				}
 			}
 			return t.tockSetTimerEvent(id.Name, ms, cont)
@@ -128,7 +129,7 @@ func (t *translator) exprStmt(s *capl.ExprStmt, cont cspm.ProcExpr, inlining []s
 	// User-defined function: inline its body.
 	fn, ok := t.prog.Function(call.Fun)
 	if !ok {
-		t.warnf("line %d: call to unknown function %s() abstracted away", s.Line, call.Fun)
+		t.diag(caplint.CodeUnknownFunc, s.Line, "call to unknown function %s() abstracted away", call.Fun)
 		return cont, nil
 	}
 	for _, active := range inlining {
@@ -164,7 +165,7 @@ func (t *translator) ifStmt(s *capl.IfStmt, cont cspm.ProcExpr, inlining []strin
 	if sameProc(thenP, elseP) {
 		return thenP, nil
 	}
-	t.warnf("line %d: data-dependent condition abstracted to internal choice", s.Line)
+	t.diag(caplint.CodeAbstractedCond, s.Line, "data-dependent condition abstracted to internal choice")
 	return cspm.BinProcE{Op: cspm.OpIntChoice, L: thenP, R: elseP}, nil
 }
 
@@ -185,7 +186,7 @@ func (t *translator) loop(body capl.Stmt, cont cspm.ProcExpr, inlining []string,
 		Name: aux,
 		Body: cspm.BinProcE{Op: cspm.OpIntChoice, L: bodyP, R: cont},
 	})
-	t.warnf("line %d: loop approximated as zero-or-more iterations (%s)", line, aux)
+	t.diag(caplint.CodeAbstractedLoop, line, "loop approximated as zero-or-more iterations (%s)", aux)
 	if atLeastOnce {
 		return t.stmt(body, cspm.CallE{Name: aux}, inlining)
 	}
@@ -228,7 +229,7 @@ func (t *translator) switchStmt(s *capl.SwitchStmt, cont cspm.ProcExpr, inlining
 	if !sawDefault {
 		arms = append(arms, cont)
 	}
-	t.warnf("line %d: switch on runtime data abstracted to internal choice over %d arm(s)", s.Line, len(arms))
+	t.diag(caplint.CodeAbstractedCond, s.Line, "switch on runtime data abstracted to internal choice over %d arm(s)", len(arms))
 	out := arms[0]
 	for _, a := range arms[1:] {
 		if sameProc(out, a) {

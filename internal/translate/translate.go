@@ -24,8 +24,11 @@ package translate
 import (
 	"fmt"
 	"sort"
+	"strings"
 
+	"repro/internal/candb"
 	"repro/internal/capl"
+	"repro/internal/caplint"
 	"repro/internal/cspm"
 	"repro/internal/st"
 )
@@ -71,6 +74,17 @@ type Options struct {
 	TockMs int
 	// Templates overrides the output template group.
 	Templates *st.Group
+	// SourceFile labels diagnostics with the CAPL filename.
+	SourceFile string
+	// Strict runs the caplint static analyzer before extraction and
+	// refuses to translate when it reports any error-severity finding
+	// (returning a *LintError). The extracted text is byte-identical to
+	// a non-strict run on clean input: the analyzer only gates, it
+	// never rewrites.
+	Strict bool
+	// DB is the optional CAN database for the strict pre-translation
+	// cross-check (messages and signal widths).
+	DB *candb.Database
 }
 
 // DefaultOptions returns the configuration used for the paper's ECU
@@ -92,8 +106,11 @@ type Result struct {
 	// Text is the rendered CSPm source.
 	Text string
 	// Warnings lists the abstractions applied (state dropped, conditions
-	// over-approximated, loops approximated).
+	// over-approximated, loops approximated) as plain strings; Diags
+	// carries the same findings with stable codes, severities and
+	// positions.
 	Warnings []string
+	Diags    []caplint.Diagnostic
 }
 
 // Translate extracts a CSPm implementation model from a CAPL program.
@@ -111,6 +128,12 @@ func Translate(prog *capl.Program, opts Options) (*Result, error) {
 		opts.IncludeTimers = true
 		if opts.TockMs <= 0 {
 			opts.TockMs = 100
+		}
+	}
+	if opts.Strict {
+		findings := caplint.Analyze(prog, caplint.Options{File: opts.SourceFile, DB: opts.DB})
+		if errs := caplint.Filter(findings, caplint.SevError); len(errs) > 0 {
+			return nil, &LintError{Diags: errs}
 		}
 	}
 	tr := &translator{prog: prog, opts: opts, msgCtor: map[string]string{}, msgByID: map[int64]string{}}
@@ -132,7 +155,23 @@ func Translate(prog *capl.Program, opts Options) (*Result, error) {
 	if _, err := cspm.Parse(text); err != nil {
 		return nil, fmt.Errorf("generated CSPm does not parse (translator bug): %w\n%s", err, text)
 	}
-	return &Result{Script: script, Text: text, Warnings: tr.warnings}, nil
+	return &Result{Script: script, Text: text, Warnings: tr.warnings, Diags: tr.diags}, nil
+}
+
+// LintError is returned by strict translation when the pre-extraction
+// static analysis finds error-severity defects. Callers can print the
+// individual findings.
+type LintError struct {
+	Diags []caplint.Diagnostic
+}
+
+func (e *LintError) Error() string {
+	lines := make([]string, 0, len(e.Diags)+1)
+	lines = append(lines, fmt.Sprintf("strict mode: %d error(s) found by static analysis; refusing extraction", len(e.Diags)))
+	for _, d := range e.Diags {
+		lines = append(lines, "  "+d.String())
+	}
+	return strings.Join(lines, "\n")
 }
 
 // Timer channel names used by the untimed timer abstraction.
@@ -155,12 +194,27 @@ type translator struct {
 
 	defs     []cspm.ProcDef
 	warnings []string
+	diags    []caplint.Diagnostic
 	auxCount int
 	maxDur   int // largest setTimer duration in tocks (TockTime)
 }
 
-func (t *translator) warnf(format string, args ...any) {
-	t.warnings = append(t.warnings, fmt.Sprintf(format, args...))
+// diag records one abstraction as both a structured diagnostic (stable
+// code, severity from the lint catalog, position) and a legacy warning
+// string ("line N: msg" when a position is known).
+func (t *translator) diag(code string, line int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	t.diags = append(t.diags, caplint.Diagnostic{
+		Code:     code,
+		Severity: caplint.SeverityOf(code),
+		File:     t.opts.SourceFile,
+		Line:     line,
+		Msg:      msg,
+	})
+	if line > 0 {
+		msg = fmt.Sprintf("line %d: %s", line, msg)
+	}
+	t.warnings = append(t.warnings, msg)
 }
 
 func (t *translator) ctorFor(varName string) string {
@@ -232,7 +286,7 @@ func (t *translator) buildProcesses() error {
 			branches = append(branches, branch)
 		case capl.OnTimer:
 			if !t.opts.IncludeTimers {
-				t.warnf("on timer %s dropped (timers disabled)", h.Target)
+				t.diag(caplint.CodeDroppedHandler, h.Line, "on timer %s dropped (timers disabled)", h.Target)
 				continue
 			}
 			if !t.timerSet[h.Target] {
@@ -248,7 +302,7 @@ func (t *translator) buildProcesses() error {
 				Cont:   body,
 			})
 		case capl.OnKey, capl.OnStopMeasurement:
-			t.warnf("on %s handler dropped (not part of the network model)", h.Kind)
+			t.diag(caplint.CodeDroppedHandler, h.Line, "on %s handler dropped (not part of the network model)", h.Kind)
 		case capl.OnStart:
 			// Handled below.
 		}
@@ -258,7 +312,7 @@ func (t *translator) buildProcesses() error {
 	switch len(branches) {
 	case 0:
 		mainBody = cspm.StopE{}
-		t.warnf("node has no message or timer handlers; main process is STOP")
+		t.diag(caplint.CodeEmptyNode, 0, "node has no message or timer handlers; main process is STOP")
 	case 1:
 		mainBody = branches[0]
 	default:

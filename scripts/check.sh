@@ -8,6 +8,21 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
+# Custom analyzer passes (internal/analyzers). The environment is
+# offline, so this is a go/parser driver instead of `go vet -vettool`.
+echo "==> repolint ./..."
+go run ./cmd/repolint ./...
+
+echo "==> caplcheck (CAPL corpus must be lint-clean)"
+go run ./cmd/caplcheck -severity warning -dbc testdata/ota.dbc \
+    testdata/ecu.can testdata/flawed_ecu.can testdata/vmg.can testdata/vmg_timer.can
+
+echo "==> caplcheck (seeded defects must trip the gate)"
+if go run ./cmd/caplcheck -dbc testdata/ota.dbc examples/caplcheck/flawed_gateway.can >/dev/null; then
+    echo "caplcheck failed to reject examples/caplcheck/flawed_gateway.can" >&2
+    exit 1
+fi
+
 echo "==> go test -race ./..."
 go test -race ./...
 
