@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/attack"
@@ -284,20 +285,79 @@ func BenchmarkCSPMLoad(b *testing.B) {
 	}
 }
 
-// BenchmarkLTSExplore measures LTS construction for the composed system.
-func BenchmarkLTSExplore(b *testing.B) {
-	sys, err := ota.Build()
+// BenchmarkExplore measures LTS construction for the composed lossy
+// system (the largest state space of the case study), sequentially and
+// with the level-parallel worker pool. The two sub-benchmarks produce
+// byte-identical LTSs; on a multi-core host the parallel variant should
+// win, on a single core it measures the synchronization overhead.
+func BenchmarkExplore(b *testing.B) {
+	sys, err := ota.BuildLossy(ota.HardenedGateway, ota.DefaultLossBudget)
 	if err != nil {
 		b.Fatal(err)
 	}
 	sem := csp.NewSemantics(sys.Model.Env, sys.Model.Ctx)
-	system := csp.Call("SYSTEM")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := lts.Explore(sem, system, lts.Options{}); err != nil {
-			b.Fatal(err)
-		}
+	system := csp.Call("SYSTEML")
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{fmt.Sprintf("par-%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				l, err := lts.Explore(sem, system, lts.Options{Workers: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = l.NumStates()
+			}
+			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+		})
 	}
+}
+
+// BenchmarkRefines measures a full trace-refinement check of the R02
+// assertion, cold (every iteration explores both terms afresh) and
+// cached (a shared lts.Cache serves the explorations after the first
+// iteration) — the campaign-scale speedup of the model cache.
+func BenchmarkRefines(b *testing.B) {
+	sys, err := ota.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := sys.Model.Asserts[ota.AssertR02].Spec
+	impl := sys.Model.Asserts[ota.AssertR02].Impl
+	b.Run("cold", func(b *testing.B) {
+		c := refine.NewChecker(sys.Model.Env, sys.Model.Ctx)
+		for i := 0; i < b.N; i++ {
+			res, err := c.RefinesTraces(spec, impl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Holds {
+				b.Fatal("check failed")
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		c := refine.NewChecker(sys.Model.Env, sys.Model.Ctx)
+		c.Cache = lts.NewCache()
+		if _, err := c.RefinesTraces(spec, impl); err != nil {
+			b.Fatal(err) // prime the cache outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := c.RefinesTraces(spec, impl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Holds {
+				b.Fatal("check failed")
+			}
+		}
+	})
 }
 
 // BenchmarkNormalize measures the subset construction.
@@ -383,26 +443,37 @@ func BenchmarkSignalCodec(b *testing.B) {
 
 // BenchmarkFaultCampaign measures end-to-end fault-campaign throughput:
 // a fixed-seed 32-scenario sweep (every fault kind, both protocol
-// variants, 500 ms horizon per scenario) so future PRs can track how
-// scenario cost evolves.
+// variants, 500 ms horizon per scenario), sequentially and with the
+// scenario worker pool. Reports are byte-identical in both modes.
 func BenchmarkFaultCampaign(b *testing.B) {
-	cfg := faultcampaign.Config{
-		Seed:         42,
-		SeedsPerCase: 1,
-		Horizon:      500 * canbus.Millisecond,
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{fmt.Sprintf("workers=%d", runtime.GOMAXPROCS(0)), 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := faultcampaign.Config{
+				Seed:         42,
+				SeedsPerCase: 1,
+				Horizon:      500 * canbus.Millisecond,
+				Workers:      bc.workers,
+			}
+			n := len(faultcampaign.Matrix(cfg))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep := faultcampaign.Run(cfg)
+				if rep.Scenarios != n {
+					b.Fatalf("ran %d scenarios, want %d", rep.Scenarios, n)
+				}
+				if rep.Errored != 0 {
+					b.Fatalf("%d scenarios errored", rep.Errored)
+				}
+			}
+			b.ReportMetric(float64(n), "scenarios/op")
+		})
 	}
-	n := len(faultcampaign.Matrix(cfg))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rep := faultcampaign.Run(cfg)
-		if rep.Scenarios != n {
-			b.Fatalf("ran %d scenarios, want %d", rep.Scenarios, n)
-		}
-		if rep.Errored != 0 {
-			b.Fatalf("%d scenarios errored", rep.Errored)
-		}
-	}
-	b.ReportMetric(float64(n), "scenarios/op")
 }
 
 func otaDBC() string {

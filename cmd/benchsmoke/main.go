@@ -1,0 +1,207 @@
+// Command benchsmoke runs the refinement-centric benchmark suite once
+// via testing.Benchmark and writes the measurements as machine-readable
+// JSON (BENCH_refine.json) — the artefact CI publishes so performance
+// regressions in exploration, refinement checking and campaign
+// throughput are visible per commit. The paired entries measure the
+// same work sequentially and in parallel (Explore, FaultCampaign) or
+// cold versus cached (Refines); on a single-core host the parallel
+// numbers measure synchronization overhead, not speedup, so readers
+// must interpret the table together with goMaxProcs.
+//
+// Usage:
+//
+//	benchsmoke [-o BENCH_refine.json] [-bench regexp] [-benchtime 2s|10x]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"repro/internal/canbus"
+	"repro/internal/csp"
+	"repro/internal/faultcampaign"
+	"repro/internal/lts"
+	"repro/internal/ota"
+	"repro/internal/refine"
+)
+
+// Measurement is one benchmark result.
+type Measurement struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    int64   `json:"nsPerOp"`
+	// StatesPerSec reports exploration throughput where it applies.
+	StatesPerSec float64 `json:"statesPerSec,omitempty"`
+}
+
+// Output is the BENCH_refine.json document.
+type Output struct {
+	GoVersion  string        `json:"goVersion"`
+	GoMaxProcs int           `json:"goMaxProcs"`
+	Benchmarks []Measurement `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_refine.json", "output path (- for stdout)")
+	pattern := flag.String("bench", ".", "regexp selecting benchmarks by name")
+	benchtime := flag.String("benchtime", "", `per-benchmark budget, a duration ("2s") or count ("10x"); empty uses the testing default`)
+	flag.Parse()
+	if err := run(*out, *pattern, *benchtime, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outPath, pattern, benchtime string, stdout io.Writer) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -bench pattern: %w", err)
+	}
+	if benchtime != "" {
+		// testing.Init is idempotent, so this also works from tests.
+		testing.Init()
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return fmt.Errorf("bad -benchtime: %w", err)
+		}
+	}
+	benches, err := suite()
+	if err != nil {
+		return err
+	}
+	var ms []Measurement
+	for _, bm := range benches {
+		if !re.MatchString(bm.name) {
+			continue
+		}
+		res := testing.Benchmark(bm.fn)
+		if res.N == 0 {
+			return fmt.Errorf("benchmark %s failed", bm.name)
+		}
+		m := Measurement{Name: bm.name, Iterations: res.N, NsPerOp: res.NsPerOp()}
+		if v, ok := res.Extra["states/s"]; ok {
+			m.StatesPerSec = v
+		}
+		fmt.Fprintf(stdout, "%-24s %6d iterations  %12d ns/op\n", m.Name, m.Iterations, m.NsPerOp)
+		ms = append(ms, m)
+	}
+	if len(ms) == 0 {
+		return fmt.Errorf("no benchmarks match %q", pattern)
+	}
+	doc := Output{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: ms,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	return nil
+}
+
+// namedBench pairs a stable measurement name with its benchmark body.
+// Names are fixed across host configurations (seq/par, cold/cached) so
+// committed BENCH_refine.json files stay diffable; goMaxProcs carries
+// the host parallelism instead.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// suite builds the benchmark list: exploration of the largest
+// case-study state space (sequential vs parallel), a full refinement
+// check (cold vs cached), and the fault-injection campaign (sequential
+// vs parallel scenarios).
+func suite() ([]namedBench, error) {
+	lossy, err := ota.BuildLossy(ota.HardenedGateway, ota.DefaultLossBudget)
+	if err != nil {
+		return nil, fmt.Errorf("build lossy system: %w", err)
+	}
+	sem := csp.NewSemantics(lossy.Model.Env, lossy.Model.Ctx)
+	system := csp.Call("SYSTEML")
+
+	plain, err := ota.Build()
+	if err != nil {
+		return nil, fmt.Errorf("build system: %w", err)
+	}
+	spec := plain.Model.Asserts[ota.AssertR02].Spec
+	impl := plain.Model.Asserts[ota.AssertR02].Impl
+
+	explore := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				l, err := lts.Explore(sem, system, lts.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = l.NumStates()
+			}
+			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+		}
+	}
+	refines := func(cache *lts.Cache) func(b *testing.B) {
+		return func(b *testing.B) {
+			c := refine.NewChecker(plain.Model.Env, plain.Model.Ctx)
+			c.Cache = cache
+			if cache != nil {
+				// Prime outside the timed loop: "cached" measures the
+				// steady state of a campaign, not the first assertion.
+				if _, err := c.RefinesTraces(spec, impl); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := c.RefinesTraces(spec, impl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Holds {
+					b.Fatal("R02 check failed")
+				}
+			}
+		}
+	}
+	campaign := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := faultcampaign.Config{
+				Seed:         42,
+				SeedsPerCase: 1,
+				Horizon:      200 * canbus.Millisecond,
+				Workers:      workers,
+			}
+			for i := 0; i < b.N; i++ {
+				rep := faultcampaign.Run(cfg)
+				if rep.Errored != 0 {
+					b.Fatalf("%d scenarios errored", rep.Errored)
+				}
+			}
+		}
+	}
+
+	primed := lts.NewCache()
+	return []namedBench{
+		{"Explore/seq", explore(1)},
+		{"Explore/par", explore(0)},
+		{"Refines/cold", refines(nil)},
+		{"Refines/cached", refines(primed)},
+		{"FaultCampaign/seq", campaign(1)},
+		{"FaultCampaign/par", campaign(0)},
+	}, nil
+}

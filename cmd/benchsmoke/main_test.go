@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestRunEmitsWellFormedJSON runs a one-iteration smoke of the cheap
+// benchmarks and validates the BENCH_refine.json shape.
+func TestRunEmitsWellFormedJSON(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_refine.json")
+	var stdout bytes.Buffer
+	if err := run(out, "^Refines/", "1x", &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Output
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, data)
+	}
+	if doc.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Errorf("goMaxProcs = %d, want %d", doc.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	if doc.GoVersion == "" {
+		t.Error("goVersion missing")
+	}
+	want := map[string]bool{"Refines/cold": true, "Refines/cached": true}
+	if len(doc.Benchmarks) != len(want) {
+		t.Fatalf("got %d benchmarks, want %d: %+v", len(doc.Benchmarks), len(want), doc.Benchmarks)
+	}
+	for _, m := range doc.Benchmarks {
+		if !want[m.Name] {
+			t.Errorf("unexpected benchmark %q", m.Name)
+		}
+		if m.Iterations < 1 || m.NsPerOp <= 0 {
+			t.Errorf("%s: implausible measurement %+v", m.Name, m)
+		}
+	}
+}
+
+func TestRunRejectsUnmatchedPattern(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run("-", "^NoSuchBenchmark$", "1x", &stdout); err == nil {
+		t.Fatal("pattern matching nothing should be an error")
+	}
+}
+
+func TestRunRejectsBadPattern(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run("-", "(", "1x", &stdout); err == nil {
+		t.Fatal("invalid regexp accepted")
+	}
+}

@@ -8,7 +8,7 @@
 //
 //	faultcheck [-seed 42] [-format text|json] [-horizon-ms 3000]
 //	           [-cycles 3] [-reps 2] [-variant both|naive|hardened]
-//	           [-model] [-loss 2] [-max-states 262144]
+//	           [-model] [-loss 2] [-max-states 262144] [-workers 0]
 package main
 
 import (
@@ -19,6 +19,8 @@ import (
 
 	"repro/internal/canbus"
 	"repro/internal/faultcampaign"
+	"repro/internal/fdr"
+	"repro/internal/lts"
 	"repro/internal/ota"
 )
 
@@ -40,6 +42,7 @@ func run(args []string, stdout io.Writer) error {
 	model := fs.Bool("model", false, "also run the lossy-channel refinement checks")
 	loss := fs.Int("loss", ota.DefaultLossBudget, "per-direction loss budget of the model checks")
 	maxStates := fs.Int("max-states", 1<<18, "state bound for the refinement checks")
+	workers := fs.Int("workers", 0, "concurrent scenarios (0: all cores); reports are byte-identical at any worker count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,12 +59,16 @@ func run(args []string, stdout io.Writer) error {
 	if *loss < 0 {
 		return fmt.Errorf("loss budget must be >= 0, got %d", *loss)
 	}
+	if *workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", *workers)
+	}
 
 	cfg := faultcampaign.Config{
 		Seed:         *seed,
 		SeedsPerCase: *reps,
 		Horizon:      canbus.Time(*horizonMS) * canbus.Millisecond,
 		TargetCycles: *cycles,
+		Workers:      *workers,
 	}
 	switch *variant {
 	case "both", "":
@@ -90,7 +97,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *model {
-		if err := runModelChecks(stdout, *loss, *maxStates); err != nil {
+		if err := runModelChecks(stdout, *loss, *maxStates, *workers); err != nil {
 			return err
 		}
 	}
@@ -99,17 +106,20 @@ func run(args []string, stdout io.Writer) error {
 
 // runModelChecks runs the lossy-channel assertions for both gateway
 // variants and prints the pass/fail table that turns the campaign's
-// simulation evidence into a refinement-checked robustness claim.
-func runModelChecks(stdout io.Writer, lossBudget, maxStates int) error {
+// simulation evidence into a refinement-checked robustness claim. One
+// LTS cache is shared per variant, so the spec and system terms the six
+// assertions have in common are explored once.
+func runModelChecks(stdout io.Writer, lossBudget, maxStates, workers int) error {
 	fmt.Fprintf(stdout, "\nlossy-channel refinement checks (loss budget %d per direction):\n", lossBudget)
 	for _, variant := range []ota.LossyVariant{ota.NaiveGateway, ota.HardenedGateway} {
 		sys, err := ota.BuildLossy(variant, lossBudget)
 		if err != nil {
 			return err
 		}
+		bgt := fdr.Budget{MaxStates: maxStates, Workers: workers, Cache: lts.NewCache()}
 		fmt.Fprintf(stdout, "\n%s:\n", variant)
 		for i, a := range sys.Model.Asserts {
-			res, err := ota.CheckAssertion(sys, i, maxStates)
+			res, err := ota.CheckAssertionBudget(sys, i, bgt)
 			if err != nil {
 				return fmt.Errorf("%s: assertion %d: %w", variant, i, err)
 			}

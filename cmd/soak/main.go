@@ -11,6 +11,7 @@
 //	soak [-seed 42] [-n 4] [-variants all|naive,hardened,...]
 //	     [-horizon-ms 50] [-format text|json] [-max-states N]
 //	     [-deadline-ms 20000] [-sim-events 300000] [-no-shrink]
+//	     [-workers 0]
 //	soak -replay FILE [-format text|json] ...
 package main
 
@@ -44,6 +45,7 @@ func run(args []string, stdout io.Writer) error {
 	deadlineMS := fs.Int64("deadline-ms", 20_000, "wall-clock watchdog per schedule in milliseconds")
 	simEvents := fs.Int("sim-events", 300_000, "simulator event budget per schedule")
 	noShrink := fs.Bool("no-shrink", false, "skip minimization of diverging schedules")
+	workers := fs.Int("workers", 0, "concurrent schedules (0: all cores); reports are byte-identical at any worker count")
 	replay := fs.String("replay", "", "replay a schedule JSON file instead of running a campaign")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +61,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *deadlineMS <= 0 {
 		return fmt.Errorf("deadline must be positive, got %dms", *deadlineMS)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", *workers)
 	}
 
 	if *replay != "" {
@@ -78,6 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		MaxDuration:         time.Duration(*deadlineMS) * time.Millisecond,
 		MaxSimEvents:        *simEvents,
 		NoShrink:            *noShrink,
+		Workers:             *workers,
 	}
 	report, err := conformance.Run(cfg)
 	if err != nil {

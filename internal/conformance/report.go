@@ -3,7 +3,10 @@ package conformance
 import (
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +26,11 @@ type Config struct {
 	MaxSimEvents int
 	// NoShrink skips minimization of diverging schedules.
 	NoShrink bool
+	// Workers is the number of schedules run concurrently; 0 means
+	// GOMAXPROCS, 1 forces sequential execution. Schedules are pure
+	// functions of their seeds and verdicts are aggregated in campaign
+	// order, so the report is byte-identical at any worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -59,8 +67,10 @@ type Report struct {
 }
 
 // Run executes the configured campaign: for every variant, generate the
-// seeded schedules, run each through the conformance pipeline, and
-// shrink whatever diverges.
+// seeded schedules, run each through the conformance pipeline (on a
+// pool of cfg.Workers goroutines), and shrink whatever diverges.
+// Verdicts are aggregated in campaign order, so the report is identical
+// to a sequential run.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	r, err := NewRunner()
@@ -75,37 +85,83 @@ func Run(cfg Config) (*Report, error) {
 		r.MaxSimEvents = cfg.MaxSimEvents
 	}
 
-	rep := &Report{
-		MasterSeed: cfg.Seed,
-		HorizonUs:  int64(cfg.Gen.Horizon),
+	// The schedule list is fully determined by the seed before any run
+	// starts; workers only fill verdict slots.
+	type job struct {
+		s    Schedule
+		name string
 	}
+	var jobs []job
 	idx := 0
 	for _, variant := range cfg.Variants {
 		for repNo := 0; repNo < cfg.SchedulesPerVariant; repNo++ {
 			s := GenerateSchedule(variant, scheduleSeed(cfg.Seed, idx), cfg.Gen)
 			idx++
-			v := r.RunSchedule(s)
-			v.Name = fmt.Sprintf("%s-r%d", variant, repNo)
-			if v.Kind == Diverges && !cfg.NoShrink {
-				if shrunk, sv, err := r.Shrink(s); err == nil && v.Divergence != nil {
-					shrunkCopy := shrunk
-					v.Divergence.Shrunk = &shrunkCopy
-					if sv.Divergence != nil {
-						v.Divergence.ShrunkFailedAt = sv.Divergence.FailedAt
-					}
+			jobs = append(jobs, job{s: s, name: fmt.Sprintf("%s-r%d", variant, repNo)})
+		}
+	}
+
+	runJob := func(j job) Verdict {
+		v := r.RunSchedule(j.s)
+		v.Name = j.name
+		if v.Kind == Diverges && !cfg.NoShrink {
+			if shrunk, sv, err := r.Shrink(j.s); err == nil && v.Divergence != nil {
+				shrunkCopy := shrunk
+				v.Divergence.Shrunk = &shrunkCopy
+				if sv.Divergence != nil {
+					v.Divergence.ShrunkFailedAt = sv.Divergence.FailedAt
 				}
 			}
-			rep.Verdicts = append(rep.Verdicts, v)
-			switch v.Kind {
-			case Conforms:
-				rep.Conforms++
-			case Diverges:
-				rep.Diverges++
-			case BudgetExceeded:
-				rep.BudgetExceeded++
-			case InterpreterError:
-				rep.InterpreterErrors++
-			}
+		}
+		return v
+	}
+
+	verdicts := make([]Verdict, len(jobs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			verdicts[i] = runJob(j)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					verdicts[i] = runJob(jobs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	rep := &Report{
+		MasterSeed: cfg.Seed,
+		HorizonUs:  int64(cfg.Gen.Horizon),
+		Verdicts:   verdicts,
+	}
+	for _, v := range rep.Verdicts {
+		switch v.Kind {
+		case Conforms:
+			rep.Conforms++
+		case Diverges:
+			rep.Diverges++
+		case BudgetExceeded:
+			rep.BudgetExceeded++
+		case InterpreterError:
+			rep.InterpreterErrors++
 		}
 	}
 	rep.Schedules = len(rep.Verdicts)

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/canbus"
 	"repro/internal/canoe"
 	"repro/internal/csp"
+	"repro/internal/lts"
 	"repro/internal/ota"
 	"repro/internal/refine"
 )
@@ -78,7 +80,10 @@ func (v Verdict) JSON() ([]byte, error) {
 }
 
 // Runner executes schedules. It caches reference models per (variant,
-// budgets) pair; a Runner is not safe for concurrent use.
+// budgets) pair and explored model LTSs in a shared lts.Cache. A Runner
+// is safe for concurrent use: campaign workers running RunSchedule in
+// parallel share both caches, so each reference model is built and
+// explored exactly once per campaign.
 type Runner struct {
 	// MaxStates bounds the trace-membership frontier (0: checker
 	// default).
@@ -91,12 +96,23 @@ type Runner struct {
 	MaxSimEvents int
 
 	projector *Projector
-	models    map[modelKey]*ota.System
+	ltsCache  *lts.Cache
+
+	mu     sync.Mutex
+	models map[modelKey]*modelEntry
 }
 
 type modelKey struct {
 	variant Variant
 	budgets ota.ChannelBudgets
+}
+
+// modelEntry is a once-built reference model; concurrent schedules
+// asking for the same (variant, budgets) tuple share one build.
+type modelEntry struct {
+	once sync.Once
+	sys  *ota.System
+	err  error
 }
 
 // NewRunner builds a runner over the OTA projection.
@@ -109,28 +125,33 @@ func NewRunner() (*Runner, error) {
 		MaxDuration:  20 * time.Second,
 		MaxSimEvents: 300_000,
 		projector:    p,
-		models:       make(map[modelKey]*ota.System),
+		ltsCache:     lts.NewCache(),
+		models:       make(map[modelKey]*modelEntry),
 	}, nil
 }
 
 // model returns the cached observed-bus reference model for the variant
-// and budget tuple, building it on first use.
+// and budget tuple, building it on first use. Model builds are
+// deterministic, so errors are cached alongside successes.
 func (r *Runner) model(variant Variant, b ota.ChannelBudgets) (*ota.System, error) {
 	key := modelKey{variant: variant, budgets: b}
-	if sys, ok := r.models[key]; ok {
-		return sys, nil
+	r.mu.Lock()
+	e, ok := r.models[key]
+	if !ok {
+		e = &modelEntry{}
+		r.models[key] = e
 	}
-	cfg, err := variant.referenceConfig()
-	if err != nil {
-		return nil, err
-	}
-	cfg.Budgets = b
-	sys, err := ota.BuildObserved(cfg)
-	if err != nil {
-		return nil, err
-	}
-	r.models[key] = sys
-	return sys, nil
+	r.mu.Unlock()
+	e.once.Do(func() {
+		cfg, err := variant.referenceConfig()
+		if err != nil {
+			e.err = err
+			return
+		}
+		cfg.Budgets = b
+		e.sys, e.err = ota.BuildObserved(cfg)
+	})
+	return e.sys, e.err
 }
 
 // appliedOp records a perturbation that fired, with the delivered-side
@@ -367,6 +388,9 @@ func (r *Runner) RunSchedule(s Schedule) (v Verdict) {
 
 	checker := refine.NewChecker(sys.Model.Env, sys.Model.Ctx)
 	checker.MaxStates = r.MaxStates
+	// The shared cache persists each model term's transition list across
+	// schedules, so a campaign expands the reference model once.
+	checker.Cache = r.ltsCache
 	remaining := time.Until(deadline)
 	if remaining <= 0 {
 		v.Kind = BudgetExceeded

@@ -1,0 +1,41 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSoakReportByteIdenticalAcrossWorkerCounts pins the parallelism
+// contract: schedules are generated from the master seed before any
+// worker starts and verdicts are aggregated in campaign order, so the
+// soak report never depends on scheduling.
+func TestSoakReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	base := Config{Seed: 42, SchedulesPerVariant: 2, Gen: shortGen(), Workers: 1}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4} {
+		cfg := base
+		cfg.Workers = workers
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := got.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refJSON, gotJSON) {
+			t.Errorf("workers=%d JSON differs from sequential run:\n%s\n----\n%s",
+				workers, refJSON, gotJSON)
+		}
+		if ref.Text() != got.Text() {
+			t.Errorf("workers=%d text report differs from sequential run", workers)
+		}
+	}
+}

@@ -13,6 +13,9 @@ package faultcampaign
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/canbus"
 	"repro/internal/canoe"
@@ -201,6 +204,11 @@ type Config struct {
 	TargetCycles int
 	// Variants restricts the protocol variants (default both).
 	Variants []Variant
+	// Workers is the number of scenarios simulated concurrently; 0 means
+	// GOMAXPROCS, 1 forces sequential execution. Each scenario is a pure
+	// function of its seed and outcomes are aggregated in matrix order,
+	// so the report is byte-identical at any worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -447,9 +455,9 @@ func tapState(sim *canoe.Simulation, node string) string {
 	return n.Tap().State().String()
 }
 
-// Run executes every scenario of the configured matrix in order and
-// assembles the campaign report. Identical configurations produce
-// byte-identical reports.
+// Run executes every scenario of the configured matrix and assembles
+// the campaign report. Identical configurations produce byte-identical
+// reports regardless of Workers.
 func Run(cfg Config) *Report {
 	cfg = cfg.withDefaults()
 	scenarios := Matrix(cfg)
@@ -457,7 +465,9 @@ func Run(cfg Config) *Report {
 }
 
 // RunScenarios executes an explicit scenario list under the given
-// configuration header.
+// configuration header. Scenarios run on a pool of cfg.Workers
+// goroutines; outcomes are slotted by scenario index and tallied in
+// list order, so the report is identical to a sequential run.
 func RunScenarios(cfg Config, scenarios []Scenario) *Report {
 	cfg = cfg.withDefaults()
 	rep := &Report{
@@ -465,9 +475,8 @@ func RunScenarios(cfg Config, scenarios []Scenario) *Report {
 		HorizonUs:    int64(cfg.Horizon),
 		TargetCycles: cfg.TargetCycles,
 	}
-	for _, sc := range scenarios {
-		out := RunScenario(sc)
-		rep.Outcomes = append(rep.Outcomes, out)
+	rep.Outcomes = runPool(scenarios, cfg.Workers)
+	for _, out := range rep.Outcomes {
 		switch out.Verdict {
 		case Converged:
 			rep.Converged++
@@ -481,4 +490,39 @@ func RunScenarios(cfg Config, scenarios []Scenario) *Report {
 	}
 	rep.Scenarios = len(rep.Outcomes)
 	return rep
+}
+
+// runPool executes the scenarios on a worker pool and returns their
+// outcomes in input order.
+func runPool(scenarios []Scenario, workers int) []Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	outcomes := make([]Outcome, len(scenarios))
+	if workers <= 1 {
+		for i, sc := range scenarios {
+			outcomes[i] = RunScenario(sc)
+		}
+		return outcomes
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scenarios) {
+					return
+				}
+				outcomes[i] = RunScenario(scenarios[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return outcomes
 }

@@ -1,0 +1,35 @@
+package faultcampaign
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReportByteIdenticalAcrossWorkerCounts pins the parallelism
+// contract: the scenario matrix is derived from the seed before any
+// worker starts and outcomes are aggregated in matrix order, so the
+// report never depends on scheduling.
+func TestReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	base := Config{Seed: 42, SeedsPerCase: 1, Workers: 1}
+	ref := Run(base)
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4} {
+		cfg := base
+		cfg.Workers = workers
+		got := Run(cfg)
+		gotJSON, err := got.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refJSON, gotJSON) {
+			t.Errorf("workers=%d JSON differs from sequential run:\n%s\n----\n%s",
+				workers, refJSON, gotJSON)
+		}
+		if ref.Text() != got.Text() {
+			t.Errorf("workers=%d text report differs from sequential run", workers)
+		}
+	}
+}

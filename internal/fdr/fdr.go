@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cspm"
+	"repro/internal/lts"
 	"repro/internal/refine"
 )
 
@@ -43,6 +44,15 @@ type Budget struct {
 	// zero means unbounded. Exceeding it yields a *refine.BudgetError
 	// with a "-deadline" phase.
 	MaxDuration time.Duration
+	// Workers is the exploration parallelism (0: GOMAXPROCS, 1:
+	// sequential). Verdicts and counterexamples are identical at any
+	// worker count.
+	Workers int
+	// Cache, when non-nil, shares explored LTSs and normalisations
+	// across assertions and across checkers — campaign runs should pass
+	// one cache for the whole campaign so each distinct spec/impl term
+	// is explored exactly once.
+	Cache *lts.Cache
 }
 
 // RunAssert checks a single resolved assertion.
@@ -59,6 +69,8 @@ func RunAssertBudget(m *cspm.Model, a cspm.ResolvedAssert, bgt Budget) (refine.R
 	c.MaxProductStates = bgt.MaxProductStates
 	c.MaxSteps = bgt.MaxSteps
 	c.MaxDuration = bgt.MaxDuration
+	c.Workers = bgt.Workers
+	c.Cache = bgt.Cache
 	switch a.Kind {
 	case cspm.AssertTraceRef:
 		return c.RefinesTraces(a.Spec, a.Impl)
@@ -74,11 +86,24 @@ func RunAssertBudget(m *cspm.Model, a cspm.ResolvedAssert, bgt Budget) (refine.R
 	return refine.Result{}, fmt.Errorf("unknown assertion kind %v", a.Kind)
 }
 
-// RunAll checks every assertion of the model in order.
+// RunAll checks every assertion of the model in order. The assertions
+// share one LTS cache, so a process term referenced by several
+// assertions (the usual shape: one SYSTEM against many specs) is
+// explored once.
 func RunAll(m *cspm.Model, maxStates int) ([]AssertResult, error) {
+	return RunAllBudget(m, Budget{MaxStates: maxStates})
+}
+
+// RunAllBudget checks every assertion of the model in order under the
+// given budgets. When the budget carries no cache, a fresh one is
+// created for the run so assertions still share explorations.
+func RunAllBudget(m *cspm.Model, bgt Budget) ([]AssertResult, error) {
+	if bgt.Cache == nil {
+		bgt.Cache = lts.NewCache()
+	}
 	out := make([]AssertResult, 0, len(m.Asserts))
 	for _, a := range m.Asserts {
-		res, err := RunAssert(m, a, maxStates)
+		res, err := RunAssertBudget(m, a, bgt)
 		if err != nil {
 			return nil, fmt.Errorf("assertion %q: %w", a.Text, err)
 		}

@@ -1,0 +1,170 @@
+package lts
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/csp"
+)
+
+// Cache is a concurrency-safe memo of explored LTSs and their
+// normalisations. Campaign-scale checking re-explores the same
+// specification and implementation terms once per assertion and once
+// per scenario; a shared Cache collapses that to one exploration per
+// distinct (semantics, process, bound) triple, and one subset
+// construction per distinct LTS.
+//
+// Entries are keyed by the process's canonical Key() plus the identity
+// of the definition environment and channel context (the same textual
+// term means different things under different definitions), plus the
+// effective state bound. Only successful explorations are cached: a
+// budget or semantic error is returned to every concurrent waiter of
+// that computation and then forgotten, so a later call with a larger
+// wall-clock budget can retry.
+//
+// The zero value is not usable; construct with NewCache. All methods
+// are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	norms   map[*LTS]*normEntry
+
+	tmu   sync.RWMutex
+	trans map[transKey][]csp.Transition
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// cacheKey identifies one exploration: the semantic identity (both the
+// definition environment and the channel context pointers) plus the
+// canonical process term and the effective state bound.
+type cacheKey struct {
+	env       *csp.Env
+	ctx       *csp.Context
+	proc      string
+	maxStates int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	lts  *LTS
+	err  error
+}
+
+type normEntry struct {
+	once sync.Once
+	norm *Normalized
+}
+
+// transKey identifies one term's transition list within a semantics.
+type transKey struct {
+	env  *csp.Env
+	ctx  *csp.Context
+	proc string
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[cacheKey]*cacheEntry),
+		norms:   make(map[*LTS]*normEntry),
+		trans:   make(map[transKey][]csp.Transition),
+	}
+}
+
+// Explore is a caching front end to Explore: concurrent callers asking
+// for the same (semantics, process, bound) share one exploration, and
+// later callers reuse its result. Options.MaxDuration and
+// Options.Workers only influence how a miss is computed, never whether
+// an entry hits.
+func (c *Cache) Explore(sem *csp.Semantics, p csp.Process, opts Options) (*LTS, error) {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	key := cacheKey{env: sem.Env, ctx: sem.Ctx, proc: p.Key(), maxStates: maxStates}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	fresh := false
+	e.once.Do(func() {
+		fresh = true
+		c.misses.Add(1)
+		e.lts, e.err = Explore(sem, p, opts)
+	})
+	if !fresh {
+		c.hits.Add(1)
+	}
+	if e.err != nil {
+		// Do not poison the key: drop the failed flight so a retry (for
+		// example with a fresh wall-clock budget) can recompute.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, e.err
+	}
+	return e.lts, nil
+}
+
+// Normalize memoizes the subset construction per explored LTS. The
+// argument is expected to be an LTS returned by this cache's Explore
+// (keyed by pointer identity), but any LTS works — an unknown one is
+// normalised and remembered.
+func (c *Cache) Normalize(l *LTS) *Normalized {
+	c.mu.Lock()
+	e, ok := c.norms[l]
+	if !ok {
+		e = &normEntry{}
+		c.norms[l] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.norm = Normalize(l) })
+	return e.norm
+}
+
+// Transitions memoizes one term's transition list across checks — the
+// on-the-fly trace checker's analogue of a cached exploration: a
+// campaign re-checking traces against the same model re-expands the
+// same terms once per schedule otherwise. key must be p.Key() (callers
+// always have it already, so it is taken as an argument rather than
+// recomputed). The returned slice is shared and must not be mutated.
+// Errors are not cached; the semantics is deterministic, so a failing
+// term simply fails again on retry.
+func (c *Cache) Transitions(sem *csp.Semantics, key string, p csp.Process) ([]csp.Transition, error) {
+	tk := transKey{env: sem.Env, ctx: sem.Ctx, proc: key}
+	c.tmu.RLock()
+	ts, ok := c.trans[tk]
+	c.tmu.RUnlock()
+	if ok {
+		return ts, nil
+	}
+	ts, err := sem.Transitions(p)
+	if err != nil {
+		return nil, err
+	}
+	c.tmu.Lock()
+	c.trans[tk] = ts
+	c.tmu.Unlock()
+	return ts, nil
+}
+
+// Stats reports cache effectiveness: hits is the number of Explore
+// calls answered from memory, misses the number of fresh explorations
+// performed.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached explorations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

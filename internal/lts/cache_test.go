@@ -1,0 +1,167 @@
+package lts
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/csp"
+)
+
+func TestCacheExploreSharesOneExploration(t *testing.T) {
+	sem := testSem(t)
+	p := csp.DoEvent("a", csp.DoEvent("b", csp.Stop()))
+	c := NewCache()
+
+	l1, err := c.Explore(sem, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := c.Explore(sem, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 {
+		t.Error("second Explore returned a different LTS pointer")
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheKeysOnEffectiveBound(t *testing.T) {
+	sem := testSem(t)
+	p := csp.DoEvent("a", csp.Stop())
+	c := NewCache()
+	if _, err := c.Explore(sem, p, Options{MaxStates: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Explore(sem, p, Options{MaxStates: 32}); err != nil {
+		t.Fatal(err)
+	}
+	// Different bounds are different computations: both must be misses.
+	if _, misses := c.Stats(); misses != 2 {
+		t.Errorf("misses = %d, want 2 (distinct bounds)", misses)
+	}
+	// Zero and DefaultMaxStates are the same effective bound.
+	if _, err := c.Explore(sem, p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Explore(sem, p, Options{MaxStates: DefaultMaxStates}); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if misses != 3 || hits != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/3", hits, misses)
+	}
+}
+
+func TestCacheErrorIsNotPoisoned(t *testing.T) {
+	ctx := csp.NewContext()
+	ctx.MustChannel("count", csp.IntRange{Lo: 0, Hi: 100})
+	env := csp.NewEnv()
+	env.MustDefine("C", []string{"n"},
+		csp.Guard(csp.Binary{Op: csp.OpLt, L: csp.V("n"), R: csp.LitInt(100)},
+			csp.Prefix("count", []csp.CommField{csp.Out(csp.V("n"))},
+				csp.Call("C", csp.Binary{Op: csp.OpAdd, L: csp.V("n"), R: csp.LitInt(1)}))))
+	sem := csp.NewSemantics(env, ctx)
+	p := csp.Call("C", csp.LitInt(0))
+
+	c := NewCache()
+	if _, err := c.Explore(sem, p, Options{MaxStates: 5}); !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("err = %v, want ErrStateLimit", err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed exploration left %d cache entries", c.Len())
+	}
+	// The same key must be recomputed, not replay the stale failure.
+	if _, err := c.Explore(sem, p, Options{MaxStates: 5}); !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("retry err = %v, want ErrStateLimit", err)
+	}
+	if _, misses := c.Stats(); misses != 2 {
+		t.Errorf("misses = %d, want 2 (failures are forgotten)", misses)
+	}
+	// A larger bound succeeds and is cached.
+	if _, err := c.Explore(sem, p, Options{MaxStates: 1 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheNormalizeMemoized(t *testing.T) {
+	sem := testSem(t)
+	p := csp.IntChoice(csp.DoEvent("a", csp.Stop()), csp.DoEvent("b", csp.Stop()))
+	c := NewCache()
+	l, err := c.Explore(sem, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := c.Normalize(l)
+	n2 := c.Normalize(l)
+	if n1 != n2 {
+		t.Error("Normalize recomputed for the same LTS")
+	}
+	if len(n1.Nodes[n1.Init].MinAcceptances) != 2 {
+		t.Errorf("memoized normalisation is wrong: %v", n1.Nodes[n1.Init].MinAcceptances)
+	}
+}
+
+func TestCacheTransitionsMemoized(t *testing.T) {
+	sem := testSem(t)
+	p := csp.ExtChoice(csp.DoEvent("a", csp.Stop()), csp.DoEvent("b", csp.Stop()))
+	c := NewCache()
+	ts1, err := c.Transitions(sem, p.Key(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := c.Transitions(sem, p.Key(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts1) != 2 || len(ts2) != 2 {
+		t.Fatalf("transition counts %d/%d, want 2/2", len(ts1), len(ts2))
+	}
+	if &ts1[0] != &ts2[0] {
+		t.Error("Transitions recomputed for the same term")
+	}
+}
+
+// TestCacheConcurrentExploreSingleFlight hammers one key from many
+// goroutines: exactly one exploration must run, and every caller must
+// see the same result. Run under -race this also validates the locking.
+func TestCacheConcurrentExploreSingleFlight(t *testing.T) {
+	sem := testSem(t)
+	p := csp.DoEvent("a", csp.DoEvent("b", csp.DoEvent("c", csp.Stop())))
+	c := NewCache()
+	const goroutines = 16
+	results := make([]*LTS, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			l, err := c.Explore(sem, p, Options{})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			results[g] = l
+		}(g)
+	}
+	wg.Wait()
+	_, misses := c.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (single flight)", misses)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d saw a different LTS", g)
+		}
+	}
+}

@@ -8,7 +8,10 @@ package lts
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/csp"
@@ -69,12 +72,20 @@ type Edge struct {
 
 // Options configures exploration.
 type Options struct {
-	// MaxStates bounds the exploration; 0 means DefaultMaxStates.
+	// MaxStates bounds the exploration; 0 means DefaultMaxStates. The
+	// bound is exact: at most MaxStates states are ever materialised, and
+	// a *LimitError reports Explored <= Limit.
 	MaxStates int
 	// MaxDuration bounds the wall-clock time of the exploration; zero
 	// means unbounded. Exceeding it returns a *DeadlineError, so a
 	// pathological state space cannot hang a campaign-scale caller.
 	MaxDuration time.Duration
+	// Workers is the number of goroutines evaluating transitions
+	// concurrently. 0 means GOMAXPROCS; 1 forces sequential exploration.
+	// Exploration is level-synchronized, so the resulting LTS (state
+	// numbering, Keys, Edges, Events) is byte-identical to the
+	// sequential result at any worker count.
+	Workers int
 }
 
 // ErrDeadline is returned when exploration exceeds its wall-clock
@@ -107,60 +118,156 @@ const deadlineCheckInterval = 256
 // is zero.
 const DefaultMaxStates = 1 << 20
 
+// parallelLevelThreshold is the smallest BFS level worth fanning out to
+// a worker pool; below it the goroutine hand-off costs more than the
+// transition evaluations it saves.
+const parallelLevelThreshold = 16
+
 // Explore builds the LTS reachable from root under the given semantics.
+//
+// Exploration is a level-synchronized BFS: the transition lists of a
+// whole frontier level are evaluated concurrently by Options.Workers
+// goroutines (the operational semantics is pure, so concurrent
+// evaluation is safe), then merged sequentially in level order. The
+// merge performs all state interning and event-ID assignment, so the
+// resulting LTS is byte-identical to a sequential exploration at any
+// worker count — deterministic reports stay deterministic.
 func Explore(sem *csp.Semantics, root csp.Process, opts Options) (*LTS, error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	l := &LTS{
 		Events:   []csp.Event{csp.Tau(), csp.Tick()},
 		eventIDs: map[string]int{},
 	}
 	index := map[string]int{}
-	add := func(p csp.Process) (int, bool) {
+	// add interns a state, enforcing the exact bound: a state beyond
+	// MaxStates is never materialised, so LimitError.Explored <= Limit.
+	add := func(p csp.Process) (int, bool, error) {
 		k := p.Key()
 		if id, ok := index[k]; ok {
-			return id, false
+			return id, false, nil
+		}
+		if len(l.Keys) >= maxStates {
+			return 0, false, &LimitError{Explored: len(l.Keys), Limit: maxStates}
 		}
 		id := len(l.Keys)
 		index[k] = id
 		l.Keys = append(l.Keys, k)
 		l.Procs = append(l.Procs, p)
 		l.Edges = append(l.Edges, nil)
-		return id, true
+		return id, true, nil
 	}
-	rootID, _ := add(root)
+	rootID, _, err := add(root)
+	if err != nil {
+		return nil, err
+	}
 	l.Init = rootID
-	queue := []int{rootID}
+	level := []int{rootID}
 	start := time.Now()
 	expanded := 0
-	for len(queue) > 0 {
-		id := queue[0]
-		queue = queue[1:]
-		expanded++
-		if opts.MaxDuration > 0 && expanded%deadlineCheckInterval == 0 &&
-			time.Since(start) > opts.MaxDuration {
-			return nil, &DeadlineError{Explored: len(l.Keys), Limit: opts.MaxDuration}
-		}
-		trs, err := sem.Transitions(l.Procs[id])
+	for len(level) > 0 {
+		trs, err := expandLevel(sem, l, level, workers, opts.MaxDuration, start)
 		if err != nil {
-			return nil, fmt.Errorf("state %q: %w", l.Keys[id], err)
+			return nil, err
 		}
-		edges := make([]Edge, 0, len(trs))
-		for _, tr := range trs {
-			to, fresh := add(tr.To)
-			if fresh {
-				if len(l.Keys) > maxStates {
-					return nil, &LimitError{Explored: len(l.Keys), Limit: maxStates}
-				}
-				queue = append(queue, to)
+		var next []int
+		for i, id := range level {
+			expanded++
+			if opts.MaxDuration > 0 && expanded%deadlineCheckInterval == 0 &&
+				time.Since(start) > opts.MaxDuration {
+				return nil, &DeadlineError{Explored: len(l.Keys), Limit: opts.MaxDuration}
 			}
-			edges = append(edges, Edge{Ev: l.eventID(tr.Ev), To: to})
+			edges := make([]Edge, 0, len(trs[i]))
+			for _, tr := range trs[i] {
+				to, fresh, err := add(tr.To)
+				if err != nil {
+					return nil, err
+				}
+				if fresh {
+					next = append(next, to)
+				}
+				edges = append(edges, Edge{Ev: l.eventID(tr.Ev), To: to})
+			}
+			l.Edges[id] = edges
 		}
-		l.Edges[id] = edges
+		level = next
 	}
 	return l, nil
+}
+
+// expandLevel evaluates the transition lists of one BFS level,
+// concurrently when the level and worker count warrant it. Results are
+// slotted by level index, and on error the lowest-index failure is
+// returned — exactly the state a sequential exploration would have
+// failed on — so parallel runs report identical errors.
+func expandLevel(sem *csp.Semantics, l *LTS, level []int, workers int, maxDur time.Duration, start time.Time) ([][]csp.Transition, error) {
+	out := make([][]csp.Transition, len(level))
+	if workers > len(level) {
+		workers = len(level)
+	}
+	if workers <= 1 || len(level) < parallelLevelThreshold {
+		for i, id := range level {
+			trs, err := sem.Transitions(l.Procs[id])
+			if err != nil {
+				return nil, fmt.Errorf("state %q: %w", l.Keys[id], err)
+			}
+			out[i] = trs
+		}
+		return out, nil
+	}
+	errs := make([]error, len(level))
+	var next atomic.Int64
+	var abort atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			evaluated := 0
+			for {
+				if abort.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(level) {
+					return
+				}
+				evaluated++
+				if maxDur > 0 && evaluated%deadlineCheckInterval == 0 &&
+					time.Since(start) > maxDur {
+					abort.Store(true)
+					return
+				}
+				id := level[i]
+				trs, err := sem.Transitions(l.Procs[id])
+				if err != nil {
+					errs[i] = fmt.Errorf("state %q: %w", l.Keys[id], err)
+					abort.Store(true)
+					return
+				}
+				out[i] = trs
+			}
+		}()
+	}
+	wg.Wait()
+	// Indices are claimed monotonically, so any slot skipped after an
+	// abort lies beyond every evaluated one: the first recorded error is
+	// the error of the lowest failing state.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if maxDur > 0 && time.Since(start) > maxDur {
+		return nil, &DeadlineError{Explored: len(l.Keys), Limit: maxDur}
+	}
+	return out, nil
 }
 
 func (l *LTS) eventID(e csp.Event) int {

@@ -1,0 +1,184 @@
+// Equivalence tests for the parallel frontier expansion: at any worker
+// count, Explore must produce a byte-identical LTS — same state
+// numbering, same interned keys, same event table, same edge lists —
+// because downstream verdicts, counterexamples and reports are rendered
+// from those exact indices. The corpus is the case-study itself: every
+// assertion term of every OTA system variant, with and without the
+// lossy-channel composition.
+package lts_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/lts"
+	"repro/internal/ota"
+)
+
+// corpusSystem names one built System of the OTA corpus.
+type corpusSystem struct {
+	name string
+	sys  *ota.System
+}
+
+func otaCorpus(t *testing.T) []corpusSystem {
+	t.Helper()
+	var out []corpusSystem
+	add := func(name string, sys *ota.System, err error) {
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		out = append(out, corpusSystem{name: name, sys: sys})
+	}
+	sys, err := ota.Build()
+	add("naive", sys, err)
+	sys, err = ota.BuildFlawed()
+	add("flawed", sys, err)
+	sys, err = ota.BuildDeadlocked()
+	add("deadlocked", sys, err)
+	sys, err = ota.BuildLossy(ota.NaiveGateway, ota.DefaultLossBudget)
+	add("lossy-naive", sys, err)
+	sys, err = ota.BuildLossy(ota.HardenedGateway, ota.DefaultLossBudget)
+	add("lossy-hardened", sys, err)
+	return out
+}
+
+// requireSameLTS fails unless a and b are structurally byte-identical.
+func requireSameLTS(t *testing.T, label string, a, b *lts.LTS) {
+	t.Helper()
+	if a.Init != b.Init {
+		t.Fatalf("%s: init %d vs %d", label, a.Init, b.Init)
+	}
+	if len(a.Keys) != len(b.Keys) {
+		t.Fatalf("%s: %d states vs %d", label, len(a.Keys), len(b.Keys))
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			t.Fatalf("%s: state %d key %q vs %q", label, i, a.Keys[i], b.Keys[i])
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("%s: %d events vs %d", label, len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i].String() != b.Events[i].String() {
+			t.Fatalf("%s: event %d = %s vs %s", label, i, a.Events[i], b.Events[i])
+		}
+	}
+	for s := range a.Edges {
+		ea, eb := a.Edges[s], b.Edges[s]
+		if len(ea) != len(eb) {
+			t.Fatalf("%s: state %d has %d edges vs %d", label, s, len(ea), len(eb))
+		}
+		for j := range ea {
+			if ea[j] != eb[j] {
+				t.Fatalf("%s: state %d edge %d = %+v vs %+v", label, s, j, ea[j], eb[j])
+			}
+		}
+	}
+}
+
+func TestParallelExploreMatchesSequentialOTACorpus(t *testing.T) {
+	for _, cs := range otaCorpus(t) {
+		m := cs.sys.Model
+		sem := csp.NewSemantics(m.Env, m.Ctx)
+		// Collect the distinct terms the assertions actually explore.
+		terms := map[string]csp.Process{}
+		for _, a := range m.Asserts {
+			if a.Spec != nil {
+				terms[a.Spec.Key()] = a.Spec
+			}
+			terms[a.Impl.Key()] = a.Impl
+		}
+		for key, p := range terms {
+			seq, err := lts.Explore(sem, p, lts.Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("%s: sequential explore %s: %v", cs.name, key, err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				par, err := lts.Explore(sem, p, lts.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s: %d-worker explore %s: %v", cs.name, workers, key, err)
+				}
+				requireSameLTS(t, fmt.Sprintf("%s/%s workers=%d", cs.name, key, workers), seq, par)
+			}
+		}
+	}
+}
+
+// TestParallelExploreErrorMatchesSequential pins the error-determinism
+// contract: the state bound trips at the same exploration size whether
+// the level was expanded by one worker or many.
+func TestParallelExploreErrorMatchesSequential(t *testing.T) {
+	ctx := csp.NewContext()
+	ctx.MustChannel("count", csp.IntRange{Lo: 0, Hi: 5000})
+	env := csp.NewEnv()
+	env.MustDefine("C", []string{"n"},
+		csp.Guard(csp.Binary{Op: csp.OpLt, L: csp.V("n"), R: csp.LitInt(5000)},
+			csp.Prefix("count", []csp.CommField{csp.Out(csp.V("n"))},
+				csp.Call("C", csp.Binary{Op: csp.OpAdd, L: csp.V("n"), R: csp.LitInt(1)}))))
+	sem := csp.NewSemantics(env, ctx)
+	p := csp.Call("C", csp.LitInt(0))
+
+	_, seqErr := lts.Explore(sem, p, lts.Options{MaxStates: 100, Workers: 1})
+	var seqLim *lts.LimitError
+	if !errors.As(seqErr, &seqLim) {
+		t.Fatalf("sequential error = %v, want *LimitError", seqErr)
+	}
+	for _, workers := range []int{2, 4} {
+		_, parErr := lts.Explore(sem, p, lts.Options{MaxStates: 100, Workers: workers})
+		var parLim *lts.LimitError
+		if !errors.As(parErr, &parLim) {
+			t.Fatalf("workers=%d error = %v, want *LimitError", workers, parErr)
+		}
+		if *parLim != *seqLim {
+			t.Errorf("workers=%d limit error %+v, sequential %+v", workers, *parLim, *seqLim)
+		}
+	}
+}
+
+// TestExploreMaxStatesBoundIsExact is the regression test for the
+// off-by-one: a bound of N must never materialise state N+1, and the
+// reported partial size must not exceed the limit.
+func TestExploreMaxStatesBoundIsExact(t *testing.T) {
+	ctx := csp.NewContext()
+	ctx.MustChannel("count", csp.IntRange{Lo: 0, Hi: 1000})
+	env := csp.NewEnv()
+	env.MustDefine("C", []string{"n"},
+		csp.Guard(csp.Binary{Op: csp.OpLt, L: csp.V("n"), R: csp.LitInt(1000)},
+			csp.Prefix("count", []csp.CommField{csp.Out(csp.V("n"))},
+				csp.Call("C", csp.Binary{Op: csp.OpAdd, L: csp.V("n"), R: csp.LitInt(1)}))))
+	sem := csp.NewSemantics(env, ctx)
+	p := csp.Call("C", csp.LitInt(0))
+
+	for _, workers := range []int{1, 4} {
+		_, err := lts.Explore(sem, p, lts.Options{MaxStates: 10, Workers: workers})
+		var le *lts.LimitError
+		if !errors.As(err, &le) {
+			t.Fatalf("workers=%d: err = %v, want *LimitError", workers, err)
+		}
+		if le.Explored > le.Limit {
+			t.Errorf("workers=%d: Explored=%d exceeds Limit=%d (off-by-one)",
+				workers, le.Explored, le.Limit)
+		}
+	}
+
+	// A process with exactly N states must fit in a bound of N.
+	ctx2 := csp.NewContext()
+	ctx2.MustChannel("a")
+	ctx2.MustChannel("b")
+	sem2 := csp.NewSemantics(csp.NewEnv(), ctx2)
+	three := csp.DoEvent("a", csp.DoEvent("b", csp.Stop()))
+	l, err := lts.Explore(sem2, three, lts.Options{MaxStates: 3})
+	if err != nil {
+		t.Fatalf("3-state process rejected by MaxStates=3: %v", err)
+	}
+	if l.NumStates() != 3 {
+		t.Fatalf("states = %d, want 3", l.NumStates())
+	}
+	if _, err := lts.Explore(sem2, three, lts.Options{MaxStates: 2}); err == nil {
+		t.Fatal("3-state process accepted by MaxStates=2")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fdr"
+	"repro/internal/lts"
 	"repro/internal/refine"
 )
 
@@ -85,6 +86,9 @@ type ReqResult struct {
 // with an explanatory detail; their real check lives in the secure-model
 // experiments.
 func CheckRequirements(sys *System, maxStates int) ([]ReqResult, error) {
+	// One cache for the whole table: R02/R03/R04 all check the same
+	// SYSTEM term, which is therefore explored once.
+	bgt := fdr.Budget{MaxStates: maxStates, Cache: lts.NewCache()}
 	out := make([]ReqResult, 0, len(TableIII))
 	for _, req := range TableIII {
 		if req.Kind == Assumption {
@@ -95,7 +99,7 @@ func CheckRequirements(sys *System, maxStates int) ([]ReqResult, error) {
 			})
 			continue
 		}
-		res, err := fdr.RunAssert(sys.Model, sys.Model.Asserts[req.AssertIndex], maxStates)
+		res, err := fdr.RunAssertBudget(sys.Model, sys.Model.Asserts[req.AssertIndex], bgt)
 		if err != nil {
 			return nil, fmt.Errorf("requirement %s: %w", req.ID, err)
 		}
@@ -107,8 +111,16 @@ func CheckRequirements(sys *System, maxStates int) ([]ReqResult, error) {
 
 // CheckAssertion runs one of the combined script's assertions by index.
 func CheckAssertion(sys *System, index, maxStates int) (refine.Result, error) {
+	return CheckAssertionBudget(sys, index, fdr.Budget{MaxStates: maxStates})
+}
+
+// CheckAssertionBudget runs one assertion by index under explicit
+// checker budgets. Campaign callers should thread one fdr.Budget.Cache
+// through every call for a system, so the shared spec and impl LTSs are
+// explored once rather than once per assertion.
+func CheckAssertionBudget(sys *System, index int, bgt fdr.Budget) (refine.Result, error) {
 	if index < 0 || index >= len(sys.Model.Asserts) {
 		return refine.Result{}, fmt.Errorf("assertion index %d out of range", index)
 	}
-	return fdr.RunAssert(sys.Model, sys.Model.Asserts[index], maxStates)
+	return fdr.RunAssertBudget(sys.Model, sys.Model.Asserts[index], bgt)
 }

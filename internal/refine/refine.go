@@ -84,12 +84,26 @@ type Checker struct {
 	// pathological check degrades into a typed verdict instead of a
 	// hang.
 	MaxDuration time.Duration
+	// Workers is the exploration parallelism handed to lts.Explore; 0
+	// means GOMAXPROCS, 1 forces sequential exploration. Results are
+	// byte-identical at any worker count.
+	Workers int
+	// Cache, when non-nil, memoizes explorations and normalisations
+	// across checks. Checkers sharing one cache (and one Env/Ctx) reuse
+	// each other's spec and impl LTSs — the campaign-scale win: a spec
+	// explored for one assertion is free for every later assertion. The
+	// cache is safe for concurrent use, so checkers running in parallel
+	// may share it.
+	Cache *lts.Cache
 }
 
 // BudgetError reports that a check ran out of its resource budget. The
 // verdict is unknown; Explored records how much of the state space was
 // covered before the budget was exhausted (a partial result, usable for
-// sizing retries).
+// sizing retries). For the product-search phases ("product" and
+// "product-deadline") Explored counts fully-visited (dequeued) product
+// pairs — discovered-but-unexamined frontier states are excluded — so
+// the number means the same thing regardless of which budget fired.
 type BudgetError struct {
 	// Phase names the stage that ran dry: "explore-spec",
 	// "explore-impl", "explore", "product", "product-steps", "trace",
@@ -133,9 +147,10 @@ func (c *Checker) explore(p csp.Process) (*lts.LTS, error) {
 }
 
 // exploreWithin explores under the state budget and an absolute
-// wall-clock deadline (zero time means unbounded).
+// wall-clock deadline (zero time means unbounded), consulting the
+// shared cache when one is configured.
 func (c *Checker) exploreWithin(p csp.Process, deadline time.Time) (*lts.LTS, error) {
-	opts := lts.Options{MaxStates: c.MaxStates}
+	opts := lts.Options{MaxStates: c.MaxStates, Workers: c.Workers}
 	if !deadline.IsZero() {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -143,7 +158,13 @@ func (c *Checker) exploreWithin(p csp.Process, deadline time.Time) (*lts.LTS, er
 		}
 		opts.MaxDuration = remaining
 	}
-	l, err := lts.Explore(c.Sem, p, opts)
+	var l *lts.LTS
+	var err error
+	if c.Cache != nil {
+		l, err = c.Cache.Explore(c.Sem, p, opts)
+	} else {
+		l, err = lts.Explore(c.Sem, p, opts)
+	}
 	if err != nil {
 		var le *lts.LimitError
 		if errors.As(err, &le) {
@@ -177,9 +198,10 @@ func (c *Checker) Refines(spec, impl csp.Process, model Model) (Result, error) {
 		// product is then decisive.
 		if diverges, witness := implLTS.HasTauCycle(); diverges {
 			return Result{
-				Holds:      false,
-				Reason:     "implementation diverges: tau cycle at " + implLTS.Keys[witness],
-				ImplStates: implLTS.NumStates(),
+				Holds:          false,
+				Counterexample: shortestTraceTo(implLTS, witness),
+				Reason:         "implementation diverges: tau cycle at " + implLTS.Keys[witness],
+				ImplStates:     implLTS.NumStates(),
 			}, nil
 		}
 		model = Failures
@@ -194,7 +216,7 @@ func (c *Checker) Refines(spec, impl csp.Process, model Model) (Result, error) {
 				specLTS.Keys[witness])
 		}
 	}
-	norm := lts.Normalize(specLTS)
+	norm := c.normalize(specLTS)
 	res, err := c.productCheck(specLTS, norm, implLTS, model, deadline)
 	if err != nil {
 		return Result{}, err
@@ -202,6 +224,14 @@ func (c *Checker) Refines(spec, impl csp.Process, model Model) (Result, error) {
 	res.ImplStates = implLTS.NumStates()
 	res.SpecNodes = norm.NumNodes()
 	return res, nil
+}
+
+// normalize runs (or, with a cache, reuses) the subset construction.
+func (c *Checker) normalize(l *lts.LTS) *lts.Normalized {
+	if c.Cache != nil {
+		return c.Cache.Normalize(l)
+	}
+	return lts.Normalize(l)
 }
 
 // RefinesFD checks failures-divergences refinement spec ⊑FD impl.
@@ -286,7 +316,7 @@ func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *
 		visitedProduct++
 		if !deadline.IsZero() && visitedProduct%deadlineCheckInterval == 0 &&
 			time.Now().After(deadline) {
-			return Result{}, &BudgetError{Phase: "product-deadline", Explored: len(visited),
+			return Result{}, &BudgetError{Phase: "product-deadline", Explored: visitedProduct,
 				Limit: int(c.MaxDuration / time.Millisecond)}
 		}
 
@@ -317,7 +347,7 @@ func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *
 				next := productState{impl: e.To, spec: ps.spec}
 				if _, seen := visited[next]; !seen {
 					if c.MaxProductStates > 0 && len(visited) >= c.MaxProductStates {
-						return Result{}, &BudgetError{Phase: "product", Explored: len(visited), Limit: c.MaxProductStates}
+						return Result{}, &BudgetError{Phase: "product", Explored: visitedProduct, Limit: c.MaxProductStates}
 					}
 					visited[next] = parentEdge{from: ps, ev: lts.TauID}
 					queue = append(queue, next)
@@ -343,7 +373,7 @@ func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *
 			next := productState{impl: e.To, spec: specTo}
 			if _, seen := visited[next]; !seen {
 				if c.MaxProductStates > 0 && len(visited) >= c.MaxProductStates {
-					return Result{}, &BudgetError{Phase: "product", Explored: len(visited), Limit: c.MaxProductStates}
+					return Result{}, &BudgetError{Phase: "product", Explored: visitedProduct, Limit: c.MaxProductStates}
 				}
 				visited[next] = parentEdge{from: ps, ev: e.Ev}
 				queue = append(queue, next)
@@ -400,6 +430,8 @@ func (c *Checker) DeadlockFree(p csp.Process) (Result, error) {
 }
 
 // DivergenceFree checks that p has no reachable tau cycle (livelock).
+// A failed check carries the shortest trace leading to the divergent
+// state as its counterexample.
 func (c *Checker) DivergenceFree(p csp.Process) (Result, error) {
 	l, err := c.explore(p)
 	if err != nil {
@@ -407,12 +439,40 @@ func (c *Checker) DivergenceFree(p csp.Process) (Result, error) {
 	}
 	if diverges, witness := l.HasTauCycle(); diverges {
 		return Result{
-			Holds:      false,
-			Reason:     "divergent state (tau cycle) reachable: " + l.Keys[witness],
-			ImplStates: l.NumStates(),
+			Holds:          false,
+			Counterexample: shortestTraceTo(l, witness),
+			Reason:         "divergent state (tau cycle) reachable: " + l.Keys[witness],
+			ImplStates:     l.NumStates(),
 		}, nil
 	}
 	return Result{Holds: true, ImplStates: l.NumStates()}, nil
+}
+
+// shortestTraceTo reconstructs the visible-event trace of a shortest
+// path from the initial state to the target — the witness trace for
+// divergence counterexamples. Every state of an explored LTS is
+// reachable from its initial state by construction.
+func shortestTraceTo(l *lts.LTS, target int) csp.Trace {
+	parents := make([]parentEdge, l.NumStates())
+	seen := make([]bool, l.NumStates())
+	seen[l.Init] = true
+	parents[l.Init] = parentEdge{ev: -1}
+	queue := []int{l.Init}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if s == target {
+			break
+		}
+		for _, e := range l.Edges[s] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				parents[e.To] = parentEdge{from: productState{impl: s}, ev: e.Ev}
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return rebuildLinear(l, parents, target)
 }
 
 func rebuildLinear(l *lts.LTS, parents []parentEdge, state int) csp.Trace {

@@ -46,13 +46,22 @@ func (c *Checker) AcceptsTrace(p csp.Process, t csp.Trace) (TraceCheck, error) {
 	// trans memoizes each term's transition list — cyclic protocols
 	// revisit the same states once per protocol round, and recomputing
 	// operational semantics per round dominates the check otherwise.
+	// With a shared Cache the memo additionally persists across checks,
+	// so a campaign expands each model term once, not once per schedule;
+	// the local map stays as a lock-free first level.
 	visited := map[string]bool{}
 	trans := map[string][]csp.Transition{}
 	transitions := func(key string, p csp.Process) ([]csp.Transition, error) {
 		if ts, ok := trans[key]; ok {
 			return ts, nil
 		}
-		ts, err := c.Sem.Transitions(p)
+		var ts []csp.Transition
+		var err error
+		if c.Cache != nil {
+			ts, err = c.Cache.Transitions(c.Sem, key, p)
+		} else {
+			ts, err = c.Sem.Transitions(p)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("transitions of %s: %w", key, err)
 		}

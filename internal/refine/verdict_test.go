@@ -1,0 +1,156 @@
+package refine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/lts"
+)
+
+// divergesAfterReqSw builds send.reqSw -> (LOOP \ {other}): a process
+// that diverges only after one visible event, so a correct divergence
+// witness trace is exactly {send.reqSw}.
+func divergesAfterReqSw(env *csp.Env) csp.Process {
+	env.MustDefine("LOOP", nil, csp.DoEvent("other", csp.Call("LOOP")))
+	return csp.Send("send",
+		csp.Hide(csp.Call("LOOP"), csp.EventsOf("other")), csp.Sym("reqSw"))
+}
+
+// TestDivergenceCounterexampleTracesToCycle is the regression test for
+// the empty-witness bug: DivergenceFree must return the trace leading
+// to the tau cycle, not an empty counterexample.
+func TestDivergenceCounterexampleTracesToCycle(t *testing.T) {
+	ctx, env := otaContext(t)
+	c := NewChecker(env, ctx)
+	res, err := c.DivergenceFree(divergesAfterReqSw(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("process diverging after send.reqSw reported divergence-free")
+	}
+	want := csp.Trace{csp.Ev("send", csp.Sym("reqSw"))}
+	if !res.Counterexample.Equal(want) {
+		t.Errorf("counterexample = %s, want %s (witness trace to the tau cycle)",
+			res.Counterexample, want)
+	}
+}
+
+// TestFDDivergenceCounterexampleTracesToCycle covers the same bug on
+// the [FD= path: when the implementation diverges, the verdict must
+// carry the witness trace.
+func TestFDDivergenceCounterexampleTracesToCycle(t *testing.T) {
+	ctx, env := otaContext(t)
+	env.MustDefine("SPEC", nil, csp.Send("send", csp.Call("SPEC"), csp.Sym("reqSw")))
+	c := NewChecker(env, ctx)
+	res, err := c.RefinesFD(csp.Call("SPEC"), divergesAfterReqSw(env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("divergent implementation accepted under [FD=")
+	}
+	want := csp.Trace{csp.Ev("send", csp.Sym("reqSw"))}
+	if !res.Counterexample.Equal(want) {
+		t.Errorf("counterexample = %s, want %s (witness trace to the tau cycle)",
+			res.Counterexample, want)
+	}
+}
+
+// TestImmediateDivergenceHasEmptyWitness pins the boundary case: a
+// process divergent from its initial state is witnessed by the empty
+// trace — legitimately empty, unlike the bug above.
+func TestImmediateDivergenceHasEmptyWitness(t *testing.T) {
+	ctx, env := otaContext(t)
+	env.MustDefine("LOOP0", nil, csp.DoEvent("other", csp.Call("LOOP0")))
+	c := NewChecker(env, ctx)
+	res, err := c.DivergenceFree(csp.Hide(csp.Call("LOOP0"), csp.EventsOf("other")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds {
+		t.Fatal("immediately divergent process reported divergence-free")
+	}
+	if len(res.Counterexample) != 0 {
+		t.Errorf("counterexample = %s, want the empty trace", res.Counterexample)
+	}
+}
+
+// TestProductBudgetExploredCountsVisitedPairs is the regression test
+// for the inconsistent BudgetError.Explored: every "product" budget
+// trip must report fully-visited (dequeued) pairs, not the discovered
+// frontier. The implementation branches at its root, so the frontier
+// outgrows the visit count: with a bound of 2, exactly one pair has
+// been visited when the second discovery trips the budget.
+func TestProductBudgetExploredCountsVisitedPairs(t *testing.T) {
+	ctx, env := otaContext(t)
+	env.MustDefine("BSPEC", nil, csp.ExtChoice(
+		csp.Send("send", csp.Call("BSPEC"), csp.Sym("reqSw")),
+		csp.Send("send", csp.Call("BSPEC"), csp.Sym("reqApp"))))
+	impl := csp.ExtChoice(
+		csp.Send("send", csp.Send("send", csp.Stop(), csp.Sym("reqSw")), csp.Sym("reqSw")),
+		csp.Send("send", csp.Stop(), csp.Sym("reqApp")))
+	c := NewChecker(env, ctx)
+	c.MaxProductStates = 2
+	_, err := c.RefinesTraces(csp.Call("BSPEC"), impl)
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BudgetError", err)
+	}
+	if be.Phase != "product" {
+		t.Fatalf("phase = %q, want product", be.Phase)
+	}
+	if be.Explored != 1 {
+		t.Errorf("Explored = %d, want 1 visited pair (the discovered frontier must not count)",
+			be.Explored)
+	}
+}
+
+// TestRefinesCacheSecondCheckIsFree: with a shared cache, repeating a
+// refinement performs zero fresh explorations — the campaign-scale
+// contract of the model cache.
+func TestRefinesCacheSecondCheckIsFree(t *testing.T) {
+	ctx, env := otaContext(t)
+	spec := sp02(env)
+	env.MustDefine("SYSTEM", nil,
+		csp.Send("send", csp.Send("rec", csp.Call("SYSTEM"), csp.Sym("rptSw")), csp.Sym("reqSw")))
+	impl := csp.Call("SYSTEM")
+
+	c := NewChecker(env, ctx)
+	c.Cache = lts.NewCache()
+	first, err := c.RefinesTraces(spec, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesAfterFirst := c.Cache.Stats()
+	if missesAfterFirst != 2 {
+		t.Fatalf("first check performed %d explorations, want 2 (spec + impl)", missesAfterFirst)
+	}
+
+	second, err := c.RefinesTraces(spec, impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, missesAfterSecond := c.Cache.Stats()
+	if missesAfterSecond != missesAfterFirst {
+		t.Errorf("second check performed %d fresh explorations, want 0",
+			missesAfterSecond-missesAfterFirst)
+	}
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2 (spec + impl served from cache)", hits)
+	}
+	if first.Holds != second.Holds || first.Counterexample.String() != second.Counterexample.String() {
+		t.Error("cached check changed the verdict")
+	}
+
+	// A second checker sharing the cache also pays nothing.
+	c2 := NewChecker(env, ctx)
+	c2.Cache = c.Cache
+	if _, err := c2.RefinesTraces(spec, impl); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Cache.Stats(); misses != missesAfterFirst {
+		t.Error("a second checker sharing the cache re-explored the same terms")
+	}
+}
