@@ -8,9 +8,16 @@
 // numbers measure synchronization overhead, not speedup, so readers
 // must interpret the table together with goMaxProcs.
 //
+// With -gate, a previously committed BENCH_refine.json acts as the
+// reference: any benchmark whose fresh ns/op exceeds the reference by
+// more than -gate-factor fails the run, which is how CI turns the
+// artefact into a regression gate.
+//
 // Usage:
 //
 //	benchsmoke [-o BENCH_refine.json] [-bench regexp] [-benchtime 2s|10x]
+//	           [-gate BENCH_refine.json] [-gate-factor 2]
+//	           [-metrics] [-tracefile trace.jsonl] [-progress]
 package main
 
 import (
@@ -21,56 +28,83 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/canbus"
 	"repro/internal/csp"
 	"repro/internal/faultcampaign"
 	"repro/internal/lts"
+	"repro/internal/obs"
 	"repro/internal/ota"
 	"repro/internal/refine"
 )
 
 // Measurement is one benchmark result.
 type Measurement struct {
-	Name       string  `json:"name"`
-	Iterations int     `json:"iterations"`
-	NsPerOp    int64   `json:"nsPerOp"`
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	NsPerOp    int64  `json:"nsPerOp"`
 	// StatesPerSec reports exploration throughput where it applies.
 	StatesPerSec float64 `json:"statesPerSec,omitempty"`
 }
 
-// Output is the BENCH_refine.json document.
+// Output is the BENCH_refine.json document. Metrics carries the
+// observer snapshot of the whole suite when -metrics is on, so the
+// published artefact records cache hit rates and explored-state counts
+// alongside the timings they explain.
 type Output struct {
 	GoVersion  string        `json:"goVersion"`
 	GoMaxProcs int           `json:"goMaxProcs"`
 	Benchmarks []Measurement `json:"benchmarks"`
+	Metrics    *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// runConfig bundles the command's flags.
+type runConfig struct {
+	outPath    string
+	pattern    string
+	benchtime  string
+	gatePath   string    // reference BENCH_refine.json; empty disables the gate
+	gateFactor float64   // max allowed fresh/reference ns/op ratio
+	obs        obs.Flags // -metrics / -tracefile / -progress
 }
 
 func main() {
-	out := flag.String("o", "BENCH_refine.json", "output path (- for stdout)")
-	pattern := flag.String("bench", ".", "regexp selecting benchmarks by name")
-	benchtime := flag.String("benchtime", "", `per-benchmark budget, a duration ("2s") or count ("10x"); empty uses the testing default`)
+	var cfg runConfig
+	flag.StringVar(&cfg.outPath, "o", "BENCH_refine.json", "output path (- for stdout)")
+	flag.StringVar(&cfg.pattern, "bench", ".", "regexp selecting benchmarks by name")
+	flag.StringVar(&cfg.benchtime, "benchtime", "", `per-benchmark budget, a duration ("2s") or count ("10x"); empty uses the testing default`)
+	flag.StringVar(&cfg.gatePath, "gate", "", "reference BENCH_refine.json to gate against (empty: no gate)")
+	flag.Float64Var(&cfg.gateFactor, "gate-factor", 2, "fail when fresh ns/op exceeds the reference by more than this factor")
+	cfg.obs.AddFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(*out, *pattern, *benchtime, os.Stdout); err != nil {
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outPath, pattern, benchtime string, stdout io.Writer) error {
-	re, err := regexp.Compile(pattern)
+func run(cfg runConfig, stdout io.Writer) error {
+	re, err := regexp.Compile(cfg.pattern)
 	if err != nil {
 		return fmt.Errorf("bad -bench pattern: %w", err)
 	}
-	if benchtime != "" {
+	if cfg.gateFactor <= 0 {
+		return fmt.Errorf("gate factor must be positive, got %v", cfg.gateFactor)
+	}
+	if cfg.benchtime != "" {
 		// testing.Init is idempotent, so this also works from tests.
 		testing.Init()
-		if err := flag.Set("test.benchtime", benchtime); err != nil {
+		if err := flag.Set("test.benchtime", cfg.benchtime); err != nil {
 			return fmt.Errorf("bad -benchtime: %w", err)
 		}
 	}
-	benches, err := suite()
+	observer, finishObs, err := cfg.obs.Build(os.Stderr)
+	if err != nil {
+		return err
+	}
+	benches, err := suite(observer)
 	if err != nil {
 		return err
 	}
@@ -91,26 +125,80 @@ func run(outPath, pattern, benchtime string, stdout io.Writer) error {
 		ms = append(ms, m)
 	}
 	if len(ms) == 0 {
-		return fmt.Errorf("no benchmarks match %q", pattern)
+		return fmt.Errorf("no benchmarks match %q", cfg.pattern)
 	}
 	doc := Output{
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: ms,
 	}
+	if cfg.obs.Metrics && observer != nil {
+		snap := observer.Snapshot()
+		doc.Metrics = &snap
+	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	if outPath == "-" {
-		_, err = stdout.Write(data)
+	if cfg.outPath == "-" {
+		if _, err := stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(cfg.outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", cfg.outPath)
+	}
+	if err := finishObs(); err != nil {
 		return err
 	}
-	if err := os.WriteFile(outPath, data, 0o644); err != nil {
-		return err
+	if cfg.gatePath != "" {
+		if err := checkGate(ms, cfg.gatePath, cfg.gateFactor, stdout); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintf(stdout, "wrote %s\n", outPath)
+	return nil
+}
+
+// checkGate compares fresh measurements against a committed reference
+// document and fails when any shared benchmark slowed down by more than
+// factor. Benchmarks present on only one side are reported but never
+// fail the gate, so adding or renaming a benchmark does not require a
+// lockstep reference update.
+func checkGate(fresh []Measurement, refPath string, factor float64, stdout io.Writer) error {
+	data, err := os.ReadFile(refPath)
+	if err != nil {
+		return fmt.Errorf("gate reference: %w", err)
+	}
+	var ref Output
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("gate reference %s: %w", refPath, err)
+	}
+	refNs := make(map[string]int64, len(ref.Benchmarks))
+	for _, m := range ref.Benchmarks {
+		refNs[m.Name] = m.NsPerOp
+	}
+	var regressions []string
+	for _, m := range fresh {
+		base, ok := refNs[m.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "gate: %-24s no reference entry, skipped\n", m.Name)
+			continue
+		}
+		ratio := float64(m.NsPerOp) / float64(base)
+		fmt.Fprintf(stdout, "gate: %-24s %12d ns/op vs %12d reference (%.2fx)\n",
+			m.Name, m.NsPerOp, base, ratio)
+		if ratio > factor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d ns/op vs %d reference (%.2fx > %.2fx)",
+					m.Name, m.NsPerOp, base, ratio, factor))
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("performance gate failed:\n  %s", strings.Join(regressions, "\n  "))
+	}
 	return nil
 }
 
@@ -126,8 +214,9 @@ type namedBench struct {
 // suite builds the benchmark list: exploration of the largest
 // case-study state space (sequential vs parallel), a full refinement
 // check (cold vs cached), and the fault-injection campaign (sequential
-// vs parallel scenarios).
-func suite() ([]namedBench, error) {
+// vs parallel scenarios). The observer (nil when disabled) is threaded
+// through every layer so -metrics aggregates the whole suite.
+func suite(o *obs.Observer) ([]namedBench, error) {
 	lossy, err := ota.BuildLossy(ota.HardenedGateway, ota.DefaultLossBudget)
 	if err != nil {
 		return nil, fmt.Errorf("build lossy system: %w", err)
@@ -146,7 +235,7 @@ func suite() ([]namedBench, error) {
 		return func(b *testing.B) {
 			states := 0
 			for i := 0; i < b.N; i++ {
-				l, err := lts.Explore(sem, system, lts.Options{Workers: workers})
+				l, err := lts.Explore(sem, system, lts.Options{Workers: workers, Obs: o})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -159,6 +248,7 @@ func suite() ([]namedBench, error) {
 		return func(b *testing.B) {
 			c := refine.NewChecker(plain.Model.Env, plain.Model.Ctx)
 			c.Cache = cache
+			c.Obs = o
 			if cache != nil {
 				// Prime outside the timed loop: "cached" measures the
 				// steady state of a campaign, not the first assertion.
@@ -185,6 +275,7 @@ func suite() ([]namedBench, error) {
 				SeedsPerCase: 1,
 				Horizon:      200 * canbus.Millisecond,
 				Workers:      workers,
+				Obs:          o,
 			}
 			for i := 0; i < b.N; i++ {
 				rep := faultcampaign.Run(cfg)
@@ -196,6 +287,7 @@ func suite() ([]namedBench, error) {
 	}
 
 	primed := lts.NewCache()
+	primed.Obs = o
 	return []namedBench{
 		{"Explore/seq", explore(1)},
 		{"Explore/par", explore(0)},

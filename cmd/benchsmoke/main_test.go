@@ -6,7 +6,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestRunEmitsWellFormedJSON runs a one-iteration smoke of the cheap
@@ -14,7 +17,7 @@ import (
 func TestRunEmitsWellFormedJSON(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_refine.json")
 	var stdout bytes.Buffer
-	if err := run(out, "^Refines/", "1x", &stdout); err != nil {
+	if err := run(runConfig{outPath: out, pattern: "^Refines/", benchtime: "1x", gateFactor: 2}, &stdout); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -30,6 +33,9 @@ func TestRunEmitsWellFormedJSON(t *testing.T) {
 	}
 	if doc.GoVersion == "" {
 		t.Error("goVersion missing")
+	}
+	if doc.Metrics != nil {
+		t.Error("metrics present without -metrics")
 	}
 	want := map[string]bool{"Refines/cold": true, "Refines/cached": true}
 	if len(doc.Benchmarks) != len(want) {
@@ -47,14 +53,82 @@ func TestRunEmitsWellFormedJSON(t *testing.T) {
 
 func TestRunRejectsUnmatchedPattern(t *testing.T) {
 	var stdout bytes.Buffer
-	if err := run("-", "^NoSuchBenchmark$", "1x", &stdout); err == nil {
+	if err := run(runConfig{outPath: "-", pattern: "^NoSuchBenchmark$", benchtime: "1x", gateFactor: 2}, &stdout); err == nil {
 		t.Fatal("pattern matching nothing should be an error")
 	}
 }
 
 func TestRunRejectsBadPattern(t *testing.T) {
 	var stdout bytes.Buffer
-	if err := run("-", "(", "1x", &stdout); err == nil {
+	if err := run(runConfig{outPath: "-", pattern: "(", benchtime: "1x", gateFactor: 2}, &stdout); err == nil {
 		t.Fatal("invalid regexp accepted")
+	}
+}
+
+// TestRunWithMetricsFoldsSnapshot asserts that -metrics embeds the
+// observer snapshot in the JSON artefact: the cached Refines benchmark
+// must register cache hits.
+func TestRunWithMetricsFoldsSnapshot(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_refine.json")
+	var stdout bytes.Buffer
+	cfg := runConfig{outPath: out, pattern: "^Refines/", benchtime: "1x", gateFactor: 2,
+		obs: obs.Flags{Metrics: true}}
+	if err := run(cfg, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Output
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Metrics == nil {
+		t.Fatal("metrics snapshot missing with -metrics")
+	}
+	if doc.Metrics.Counters["refine.checks"] == 0 {
+		t.Errorf("refine.checks counter missing from snapshot: %+v", doc.Metrics.Counters)
+	}
+	if doc.Metrics.Counters["lts.cache.hits"] == 0 {
+		t.Errorf("cached run recorded no cache hits: %+v", doc.Metrics.Counters)
+	}
+}
+
+// TestGate covers the CI regression gate: a reference document with an
+// absurdly fast entry must fail the run, a slow one must pass, and
+// benchmarks missing from the reference are skipped.
+func TestGate(t *testing.T) {
+	fresh := []Measurement{{Name: "Refines/cold", NsPerOp: 1000}, {Name: "New/bench", NsPerOp: 5}}
+	write := func(ns int64) string {
+		ref := Output{Benchmarks: []Measurement{{Name: "Refines/cold", NsPerOp: ns}}}
+		data, err := json.Marshal(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "ref.json")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	var stdout bytes.Buffer
+	if err := checkGate(fresh, write(400), 2, &stdout); err == nil {
+		t.Error("2.5x slowdown passed a 2x gate")
+	} else if !strings.Contains(err.Error(), "Refines/cold") {
+		t.Errorf("gate error does not name the regression: %v", err)
+	}
+
+	stdout.Reset()
+	if err := checkGate(fresh, write(600), 2, &stdout); err != nil {
+		t.Errorf("1.67x slowdown failed a 2x gate: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "no reference entry") {
+		t.Errorf("unreferenced benchmark not reported as skipped:\n%s", stdout.String())
+	}
+
+	if err := checkGate(fresh, filepath.Join(t.TempDir(), "missing.json"), 2, &stdout); err == nil {
+		t.Error("missing reference file accepted")
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/faultcampaign"
 	"repro/internal/fdr"
 	"repro/internal/lts"
+	"repro/internal/obs"
 	"repro/internal/ota"
 )
 
@@ -43,6 +44,8 @@ func run(args []string, stdout io.Writer) error {
 	loss := fs.Int("loss", ota.DefaultLossBudget, "per-direction loss budget of the model checks")
 	maxStates := fs.Int("max-states", 1<<18, "state bound for the refinement checks")
 	workers := fs.Int("workers", 0, "concurrent scenarios (0: all cores); reports are byte-identical at any worker count")
+	var obsFlags obs.Flags
+	obsFlags.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,12 +66,20 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("workers must be >= 0, got %d", *workers)
 	}
 
+	// Observability goes to stderr only, so reports on stdout stay
+	// byte-identical with or without it.
+	observer, finishObs, err := obsFlags.Build(os.Stderr)
+	if err != nil {
+		return err
+	}
+
 	cfg := faultcampaign.Config{
 		Seed:         *seed,
 		SeedsPerCase: *reps,
 		Horizon:      canbus.Time(*horizonMS) * canbus.Millisecond,
 		TargetCycles: *cycles,
 		Workers:      *workers,
+		Obs:          observer,
 	}
 	switch *variant {
 	case "both", "":
@@ -97,11 +108,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *model {
-		if err := runModelChecks(stdout, *loss, *maxStates, *workers); err != nil {
+		if err := runModelChecks(stdout, *loss, *maxStates, *workers, observer); err != nil {
 			return err
 		}
 	}
-	return nil
+	return finishObs()
 }
 
 // runModelChecks runs the lossy-channel assertions for both gateway
@@ -109,14 +120,16 @@ func run(args []string, stdout io.Writer) error {
 // simulation evidence into a refinement-checked robustness claim. One
 // LTS cache is shared per variant, so the spec and system terms the six
 // assertions have in common are explored once.
-func runModelChecks(stdout io.Writer, lossBudget, maxStates, workers int) error {
+func runModelChecks(stdout io.Writer, lossBudget, maxStates, workers int, observer *obs.Observer) error {
 	fmt.Fprintf(stdout, "\nlossy-channel refinement checks (loss budget %d per direction):\n", lossBudget)
 	for _, variant := range []ota.LossyVariant{ota.NaiveGateway, ota.HardenedGateway} {
 		sys, err := ota.BuildLossy(variant, lossBudget)
 		if err != nil {
 			return err
 		}
-		bgt := fdr.Budget{MaxStates: maxStates, Workers: workers, Cache: lts.NewCache()}
+		cache := lts.NewCache()
+		cache.Obs = observer
+		bgt := fdr.Budget{MaxStates: maxStates, Workers: workers, Cache: cache, Obs: observer}
 		fmt.Fprintf(stdout, "\n%s:\n", variant)
 		for i, a := range sys.Model.Asserts {
 			res, err := ota.CheckAssertionBudget(sys, i, bgt)

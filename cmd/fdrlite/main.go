@@ -23,6 +23,7 @@ import (
 	"repro/internal/cspm"
 	"repro/internal/fdr"
 	"repro/internal/lts"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func run(args []string, stdout io.Writer) (int, error) {
 	maxStates := fs.Int("max-states", 0, "state limit per exploration (0 = default)")
 	dotFile := fs.String("dot", "", "write the -graph process's LTS as Graphviz DOT to this file")
 	graph := fs.String("graph", "", "process name to export with -dot")
+	var obsFlags obs.Flags
+	obsFlags.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -53,12 +56,18 @@ func run(args []string, stdout io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
+	// Observability goes to stderr only, so assertion output on stdout
+	// stays byte-identical with or without it.
+	observer, finishObs, err := obsFlags.Build(os.Stderr)
+	if err != nil {
+		return 2, err
+	}
 	if *dotFile != "" {
 		if *graph == "" {
 			return 2, fmt.Errorf("-dot requires -graph <process name>")
 		}
 		sem := csp.NewSemantics(model.Env, model.Ctx)
-		l, err := lts.Explore(sem, csp.Call(*graph), lts.Options{MaxStates: *maxStates})
+		l, err := lts.Explore(sem, csp.Call(*graph), lts.Options{MaxStates: *maxStates, Obs: observer})
 		if err != nil {
 			return 2, fmt.Errorf("explore %s: %w", *graph, err)
 		}
@@ -71,9 +80,9 @@ func run(args []string, stdout io.Writer) (int, error) {
 	}
 	if len(model.Asserts) == 0 {
 		fmt.Fprintln(stdout, "no assertions in script")
-		return 0, nil
+		return 0, finishObs()
 	}
-	results, err := fdr.RunAll(model, *maxStates)
+	results, err := fdr.RunAllBudget(model, fdr.Budget{MaxStates: *maxStates, Obs: observer})
 	if err != nil {
 		return 2, err
 	}
@@ -85,6 +94,9 @@ func run(args []string, stdout io.Writer) (int, error) {
 		}
 	}
 	fmt.Fprintf(stdout, "%d assertion(s), %d failed\n", len(results), failures)
+	if err := finishObs(); err != nil {
+		return 2, err
+	}
 	if failures > 0 {
 		return 1, nil
 	}

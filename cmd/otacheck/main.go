@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("otacheck", flag.ContinueOnError)
 	sizesFlag := fs.String("sizes", "2,4,8,16,32", "scalability sweep sizes")
+	var obsFlags obs.Flags
+	obsFlags.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,11 +40,20 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	report, err := experiments.RunAll(sizes)
+	// Observability goes to stderr only, so the report on stdout stays
+	// byte-identical with or without it.
+	observer, finishObs, err := obsFlags.Build(os.Stderr)
+	if err != nil {
+		return err
+	}
+	report, err := experiments.RunAllObs(sizes, observer)
 	if _, werr := io.WriteString(stdout, report); werr != nil {
 		return werr
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	return finishObs()
 }
 
 func parseSizes(spec string) ([]int, error) {

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/canbus"
 	"repro/internal/conformance"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -47,6 +48,8 @@ func run(args []string, stdout io.Writer) error {
 	noShrink := fs.Bool("no-shrink", false, "skip minimization of diverging schedules")
 	workers := fs.Int("workers", 0, "concurrent schedules (0: all cores); reports are byte-identical at any worker count")
 	replay := fs.String("replay", "", "replay a schedule JSON file instead of running a campaign")
+	var obsFlags obs.Flags
+	obsFlags.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -66,8 +69,18 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("workers must be >= 0, got %d", *workers)
 	}
 
+	// Observability goes to stderr only, so reports on stdout stay
+	// byte-identical with or without it.
+	observer, finishObs, err := obsFlags.Build(os.Stderr)
+	if err != nil {
+		return err
+	}
+
 	if *replay != "" {
-		return runReplay(stdout, *replay, *format, *maxStates, *deadlineMS, *simEvents)
+		if err := runReplay(stdout, *replay, *format, *maxStates, *deadlineMS, *simEvents, observer); err != nil {
+			return err
+		}
+		return finishObs()
 	}
 
 	sel, err := parseVariants(*variants)
@@ -84,6 +97,7 @@ func run(args []string, stdout io.Writer) error {
 		MaxSimEvents:        *simEvents,
 		NoShrink:            *noShrink,
 		Workers:             *workers,
+		Obs:                 observer,
 	}
 	report, err := conformance.Run(cfg)
 	if err != nil {
@@ -98,7 +112,10 @@ func run(args []string, stdout io.Writer) error {
 			_, err = stdout.Write(append(data, '\n'))
 		}
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	return finishObs()
 }
 
 // parseVariants resolves the -variants flag.
@@ -121,7 +138,7 @@ func parseVariants(s string) ([]conformance.Variant, error) {
 
 // runReplay re-executes a single schedule from its JSON reproduction
 // file and prints the verdict.
-func runReplay(stdout io.Writer, path, format string, maxStates int, deadlineMS int64, simEvents int) error {
+func runReplay(stdout io.Writer, path, format string, maxStates int, deadlineMS int64, simEvents int, observer *obs.Observer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -137,6 +154,7 @@ func runReplay(stdout io.Writer, path, format string, maxStates int, deadlineMS 
 	r.MaxStates = maxStates
 	r.MaxDuration = time.Duration(deadlineMS) * time.Millisecond
 	r.MaxSimEvents = simEvents
+	r.Obs = observer
 	v := r.RunSchedule(s)
 	v.Name = "replay"
 

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // Time is simulated time in microseconds.
@@ -47,21 +49,28 @@ func (f Frame) Clone() Frame {
 	return Frame{ID: f.ID, Data: data, Extended: f.Extended}
 }
 
-// String renders the frame like a candump line.
+// String renders the frame like a candump line: three hex digits for a
+// standard 11-bit identifier, eight for an extended 29-bit one.
 func (f Frame) String() string {
+	if f.Extended {
+		return fmt.Sprintf("%08X#% X", f.ID, f.Data)
+	}
 	return fmt.Sprintf("%03X#% X", f.ID, f.Data)
 }
 
-// bits returns the nominal frame size on the wire (standard frame
-// overhead plus payload; stuffing is approximated at the worst case of
-// one stuff bit per four payload bits).
+// bits returns the nominal frame size on the wire: fixed frame overhead
+// plus payload plus a worst-case bit-stuffing estimate. ISO 11898 stuffs
+// the region from SOF through the CRC sequence — not the payload alone —
+// so the estimate covers SOF, arbitration, control, data and CRC bits
+// (34 + payload for standard frames, 54 + payload for extended), at the
+// worst case of one stuff bit per four stuffable bits after the first.
 func (f Frame) bits() int {
-	overhead := 47
-	if f.Extended {
-		overhead = 67
-	}
 	payload := 8 * len(f.Data)
-	return overhead + payload + payload/4
+	overhead, stuffable := 47, 34+payload
+	if f.Extended {
+		overhead, stuffable = 67, 54+payload
+	}
+	return overhead + payload + (stuffable-1)/4
 }
 
 // Receiver consumes frames delivered by the bus.
@@ -116,6 +125,11 @@ type Config struct {
 	// 128 occurrences of 11 consecutive recessive bits at the
 	// configured bit rate.
 	BusOffRecovery Time
+	// Obs receives bus counters (frames, arbitration losses, error
+	// frames, retransmissions). nil disables them; the counters mirror —
+	// never replace — the Stats the simulation itself reports, so report
+	// bytes are identical with or without an observer.
+	Obs *obs.Observer
 }
 
 // Stats accumulates bus counters.
@@ -176,12 +190,26 @@ func (t *Tap) REC() int { return t.rec }
 // State returns the node's ISO 11898 error-confinement state.
 func (t *Tap) State() NodeState { return t.state }
 
+// busMetrics holds the bus's obs counter handles, resolved once at New
+// so the hot paths pay only the nil check of a disabled handle.
+type busMetrics struct {
+	framesRequested *obs.Counter
+	framesDelivered *obs.Counter
+	framesDropped   *obs.Counter
+	framesCorrupted *obs.Counter
+	arbLosses       *obs.Counter
+	errorFrames     *obs.Counter
+	retransmissions *obs.Counter
+	busOffEvents    *obs.Counter
+}
+
 // Bus is a simulated CAN segment.
 type Bus struct {
 	cfg   Config
 	now   Time
 	taps  []*Tap
 	stats Stats
+	m     busMetrics
 
 	// events is the time-ordered queue of pending simulation actions.
 	events eventQueue
@@ -222,7 +250,17 @@ func New(cfg Config) *Bus {
 	if cfg.BitRate <= 0 {
 		cfg.BitRate = 500_000
 	}
-	return &Bus{cfg: cfg}
+	o := cfg.Obs // nil-safe: nil Observer hands out nil no-op handles
+	return &Bus{cfg: cfg, m: busMetrics{
+		framesRequested: o.Counter("canbus.frames.requested"),
+		framesDelivered: o.Counter("canbus.frames.delivered"),
+		framesDropped:   o.Counter("canbus.frames.dropped"),
+		framesCorrupted: o.Counter("canbus.frames.corrupted"),
+		arbLosses:       o.Counter("canbus.arbitration.losses"),
+		errorFrames:     o.Counter("canbus.error.frames"),
+		retransmissions: o.Counter("canbus.retransmissions"),
+		busOffEvents:    o.Counter("canbus.busoff.events"),
+	}}
 }
 
 // Now returns the current simulated time.
@@ -272,6 +310,7 @@ func (b *Bus) Transmit(tap *Tap, f Frame) error {
 		return ErrBusOff
 	}
 	b.stats.FramesRequested++
+	b.m.framesRequested.Inc()
 	b.seq++
 	b.pending = append(b.pending, pendingFrame{from: tap, frame: f.Clone(), seq: b.seq})
 	b.tryArbitrate()
@@ -294,6 +333,8 @@ func (b *Bus) tryArbitrate() {
 	}
 	winner := b.pending[best]
 	b.pending = append(b.pending[:best], b.pending[best+1:]...)
+	// Every frame still pending lost this arbitration round.
+	b.m.arbLosses.Add(int64(len(b.pending)))
 
 	duration := Time(int64(winner.frame.bits()) * int64(Second) / int64(b.cfg.BitRate))
 	if duration <= 0 {
@@ -316,10 +357,12 @@ func (b *Bus) completeTransmission(p pendingFrame) {
 		case inj.Drop != nil && inj.Drop(b.now, f):
 			dropped = true
 			b.stats.FramesDropped++
+			b.m.framesDropped.Inc()
 		case inj.Corrupt != nil:
 			mutated := clampFrame(inj.Corrupt(b.now, f.Clone()))
 			if !framesEqual(mutated, f) {
 				b.stats.FramesCorrupted++
+				b.m.framesCorrupted.Inc()
 				if b.cfg.ErrorConfinement {
 					// A CRC-detected wire error: the frame is destroyed
 					// by an error frame and never delivered.
@@ -333,6 +376,7 @@ func (b *Bus) completeTransmission(p pendingFrame) {
 			mutated := clampFrame(inj.Tamper(b.now, f.Clone()))
 			if !framesEqual(mutated, f) {
 				b.stats.FramesCorrupted++
+				b.m.framesCorrupted.Inc()
 			}
 			f = mutated
 		}
@@ -346,6 +390,7 @@ func (b *Bus) completeTransmission(p pendingFrame) {
 			}
 			tap.RxCount++
 			b.stats.FramesDelivered++
+			b.m.framesDelivered.Inc()
 			b.recordRxSuccess(tap)
 			tap.recv.OnFrame(b.now, f.Clone())
 		}

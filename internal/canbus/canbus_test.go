@@ -101,7 +101,8 @@ func TestTransmissionTiming(t *testing.T) {
 		t.Fatal(err)
 	}
 	bus.RunAll(10)
-	// 47 + 64 + 16 = 127 bits at 500 kbit/s = 254 us.
+	// 47 overhead + 64 payload + (34+64-1)/4 = 24 stuff bits = 135 bits
+	// at 500 kbit/s = 270 us.
 	want := Time(int64(f.bits()) * int64(Second) / 500_000)
 	if rx.times[0] != want {
 		t.Errorf("delivery at %d us, want %d us", rx.times[0], want)
@@ -229,5 +230,39 @@ func TestFrameString(t *testing.T) {
 	f := Frame{ID: 0x101, Data: []byte{0xAB}}
 	if got := f.String(); got != "101#AB" {
 		t.Errorf("String() = %q", got)
+	}
+	// Extended 29-bit identifiers render candump-style as 8 hex digits.
+	ext := Frame{ID: 0x18DAF110, Data: []byte{0x01, 0x02}, Extended: true}
+	if got := ext.String(); got != "18DAF110#01 02" {
+		t.Errorf("extended String() = %q", got)
+	}
+	small := Frame{ID: 0x42, Extended: true}
+	if got := small.String(); got != "00000042#" {
+		t.Errorf("extended small-ID String() = %q", got)
+	}
+}
+
+// TestFrameBits pins the wire-size estimate: fixed overhead plus payload
+// plus worst-case stuffing over the SOF..CRC region (ISO 11898 stuffs
+// the whole region, not the payload alone).
+func TestFrameBits(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Frame
+		want int
+	}{
+		// standard, empty: 47 + 0 + (34-1)/4 = 55
+		{"std empty", Frame{ID: 1}, 55},
+		// standard, 8 bytes: 47 + 64 + (98-1)/4 = 135
+		{"std full", Frame{ID: 1, Data: make([]byte, 8)}, 135},
+		// extended, empty: 67 + 0 + (54-1)/4 = 80
+		{"ext empty", Frame{ID: 1, Extended: true}, 80},
+		// extended, 8 bytes: 67 + 64 + (118-1)/4 = 160
+		{"ext full", Frame{ID: 1, Data: make([]byte, 8), Extended: true}, 160},
+	}
+	for _, tc := range cases {
+		if got := tc.f.bits(); got != tc.want {
+			t.Errorf("%s: bits() = %d, want %d", tc.name, got, tc.want)
+		}
 	}
 }

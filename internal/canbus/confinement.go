@@ -71,6 +71,7 @@ func (b *Bus) recoveryDelay() Time {
 // accumulated errors have driven it to bus-off.
 func (b *Bus) wireError(p pendingFrame) {
 	b.stats.ErrorFrames++
+	b.m.errorFrames.Inc()
 	tx := p.from
 	tx.tec += tecErrorStep
 	for _, tap := range b.taps {
@@ -83,6 +84,7 @@ func (b *Bus) wireError(p pendingFrame) {
 		// Automatic retransmission: the frame re-enters arbitration with
 		// its original queue position.
 		b.stats.Retransmissions++
+		b.m.retransmissions.Inc()
 		b.pending = append(b.pending, p)
 	}
 	b.tryArbitrate()
@@ -123,6 +125,7 @@ func (b *Bus) updateState(tap *Tap) {
 		tap.state = BusOff
 		tap.busOffAt = b.now
 		b.stats.BusOffEvents++
+		b.m.busOffEvents.Inc()
 		b.purgePending(tap)
 		at := b.now + b.recoveryDelay()
 		b.push(at, func() { b.recoverBusOff(tap) })

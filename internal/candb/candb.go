@@ -10,6 +10,7 @@ package candb
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -209,7 +210,7 @@ func parseSignalLine(line string) (*Signal, error) {
 		return nil, fmt.Errorf("malformed bit spec %q", bitSpec)
 	}
 	start, err := strconv.Atoi(bitSpec[:pipe])
-	if err != nil {
+	if err != nil || start < 0 {
 		return nil, fmt.Errorf("bad start bit in %q", bitSpec)
 	}
 	length, err := strconv.Atoi(bitSpec[pipe+1 : at])
@@ -354,7 +355,10 @@ func (s *Signal) DecodeRaw(data []byte) int64 {
 		for i := 0; i < s.Length; i++ {
 			bit := s.StartBit + i
 			byteIdx, bitIdx := bit/8, bit%8
-			if byteIdx >= len(data) {
+			// Truncated payloads (and hand-built signals with out-of-range
+			// start bits) read as zero bits instead of indexing outside
+			// data.
+			if byteIdx < 0 || byteIdx >= len(data) {
 				break
 			}
 			if data[byteIdx]&(1<<uint(bitIdx)) != 0 {
@@ -366,7 +370,7 @@ func (s *Signal) DecodeRaw(data []byte) int64 {
 		bit := s.StartBit
 		for i := 0; i < s.Length; i++ {
 			byteIdx, bitIdx := bit/8, bit%8
-			if byteIdx < len(data) && data[byteIdx]&(1<<uint(bitIdx)) != 0 {
+			if byteIdx >= 0 && byteIdx < len(data) && data[byteIdx]&(1<<uint(bitIdx)) != 0 {
 				raw |= 1 << uint(s.Length-1-i)
 			}
 			if bitIdx == 0 {
@@ -392,7 +396,7 @@ func (s *Signal) EncodeRaw(data []byte, raw int64) error {
 		for i := 0; i < s.Length; i++ {
 			bit := s.StartBit + i
 			byteIdx, bitIdx := bit/8, bit%8
-			if byteIdx >= len(data) {
+			if byteIdx < 0 || byteIdx >= len(data) {
 				return fmt.Errorf("signal %s exceeds payload length %d", s.Name, len(data))
 			}
 			if uraw&(1<<uint(i)) != 0 {
@@ -406,7 +410,7 @@ func (s *Signal) EncodeRaw(data []byte, raw int64) error {
 	bit := s.StartBit
 	for i := 0; i < s.Length; i++ {
 		byteIdx, bitIdx := bit/8, bit%8
-		if byteIdx >= len(data) {
+		if byteIdx < 0 || byteIdx >= len(data) {
 			return fmt.Errorf("signal %s exceeds payload length %d", s.Name, len(data))
 		}
 		if uraw&(1<<uint(s.Length-1-i)) != 0 {
@@ -429,7 +433,9 @@ func (s *Signal) Encode(data []byte, physical float64) error {
 	if s.Factor == 0 {
 		return fmt.Errorf("signal %s has zero factor", s.Name)
 	}
-	raw := int64((physical-s.Offset)/s.Factor + 0.5)
+	// math.Round rounds half away from zero; the previous int64(x + 0.5)
+	// truncation mis-rounded negative raw values (e.g. -2.4 became -1).
+	raw := int64(math.Round((physical - s.Offset) / s.Factor))
 	return s.EncodeRaw(data, raw)
 }
 

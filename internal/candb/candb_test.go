@@ -151,6 +151,80 @@ func TestPhysicalScaling(t *testing.T) {
 	}
 }
 
+// TestEncodeRoundsToNearest covers the Encode rounding fix: the old
+// int64(x + 0.5) truncated toward zero and mis-rounded every negative
+// raw value (raw -2.4 became -1).
+func TestEncodeRoundsToNearest(t *testing.T) {
+	cases := []struct {
+		name           string
+		factor, offset float64
+		signed         bool
+		physical       float64
+		wantRaw        int64
+	}{
+		{"positive half up", 1, 0, false, 2.5, 3},
+		{"positive below half", 1, 0, false, 2.4, 2},
+		{"negative toward nearest", 1, 0, true, -2.4, -2},
+		{"negative half away", 1, 0, true, -2.5, -3},
+		{"negative near integer", 1, 0, true, -2.6, -3},
+		{"negative offset", 1, -10, false, -7.6, 2},
+		{"negative factor", -0.5, 0, true, 1.2, -2},
+		{"factor and offset", 0.1, -5, true, -5.26, -3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := &Signal{Name: "S", StartBit: 0, Length: 8, LittleEndian: true,
+				Signed: tc.signed, Factor: tc.factor, Offset: tc.offset}
+			data := make([]byte, 8)
+			if err := s.Encode(data, tc.physical); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.DecodeRaw(data); got != tc.wantRaw {
+				t.Errorf("Encode(%v) raw = %d, want %d", tc.physical, got, tc.wantRaw)
+			}
+		})
+	}
+}
+
+// TestDecodeTruncatedPayload is the regression test for decoding
+// signals whose layout reaches past a truncated payload: missing bytes
+// read as zero bits instead of panicking, in both byte orders.
+func TestDecodeTruncatedPayload(t *testing.T) {
+	le := &Signal{Name: "S", StartBit: 0, Length: 16, LittleEndian: true, Factor: 1}
+	if got := le.DecodeRaw([]byte{0xAB}); got != 0xAB {
+		t.Errorf("little-endian truncated decode = %#x, want 0xAB", got)
+	}
+	mot := &Signal{Name: "S", StartBit: 7, Length: 16, LittleEndian: false, Factor: 1}
+	if got := mot.DecodeRaw([]byte{0xAB}); got != 0xAB00 {
+		t.Errorf("motorola truncated decode = %#x, want 0xAB00", got)
+	}
+	if got := le.DecodeRaw(nil); got != 0 {
+		t.Errorf("empty payload decode = %d, want 0", got)
+	}
+}
+
+// TestNegativeStartBitRejected covers the companion parser fix: a
+// negative start bit made DecodeRaw index data[-1] before the codec
+// guards landed, and no real .dbc ever carries one.
+func TestNegativeStartBitRejected(t *testing.T) {
+	_, err := Parse("BO_ 1 M: 8 N\n SG_ S : -9|8@1+ (1,0) [0|1] \"\" N\n")
+	if err == nil {
+		t.Fatal("negative start bit accepted")
+	}
+	if !strings.Contains(err.Error(), "bad start bit") {
+		t.Errorf("error = %v, want 'bad start bit'", err)
+	}
+	// Hand-built signals bypass the parser; the codec guards must still
+	// hold.
+	s := &Signal{Name: "S", StartBit: -9, Length: 8, LittleEndian: true, Factor: 1}
+	if got := s.DecodeRaw(make([]byte, 8)); got != 0 {
+		t.Errorf("negative start bit decode = %d, want 0", got)
+	}
+	if err := s.EncodeRaw(make([]byte, 8), 1); err == nil {
+		t.Error("negative start bit encode accepted")
+	}
+}
+
 func TestSignalBeyondPayloadRejected(t *testing.T) {
 	s := &Signal{Name: "S", StartBit: 60, Length: 8, LittleEndian: true, Factor: 1}
 	if err := s.EncodeRaw(make([]byte, 8), 1); err == nil {

@@ -28,6 +28,12 @@ func FuzzParse(f *testing.F) {
 	f.Add("")
 	f.Add("BO_ 1 M: 8\n SG_ S : 0|64@1+ (1,0) [0|0] \"\" X")
 	f.Add("BO_ 99999999999999999999 M: 8 N")
+	// Short-payload frames: the declared layout reaches past the DLC, so
+	// decoding from a DLC-sized buffer exercises the truncation guards in
+	// both byte orders.
+	f.Add("BO_ 1 M: 1 N\n SG_ S : 0|16@1+ (1,0) [0|0] \"\" X")
+	f.Add("BO_ 1 M: 1 N\n SG_ S : 7|16@0- (1,0) [0|0] \"\" X")
+	f.Add("BO_ 1 M: 8 N\n SG_ S : -9|8@1+ (1,0) [0|0] \"\" X")
 	f.Fuzz(func(t *testing.T, src string) {
 		db, err := Parse(src)
 		if err != nil {
@@ -39,8 +45,12 @@ func FuzzParse(f *testing.F) {
 		_ = GenerateCSPm(db, CSPmOptions{})
 		var zero [8]byte
 		for _, m := range db.Messages {
+			short := make([]byte, m.DLC)
 			for i := range m.Signals {
 				_ = m.Signals[i].Decode(zero[:])
+				// A payload truncated to the declared DLC must decode
+				// without panicking even when the signal layout overruns it.
+				_ = m.Signals[i].Decode(short)
 			}
 		}
 	})

@@ -538,6 +538,121 @@ on start { write("node %s", label); }
 	}
 }
 
+// TestRunLimitedBudgetExhaustion converts a runaway measurement — a
+// zero-period timer that re-arms itself on every firing — into a
+// verdict: RunLimited must report the horizon was not reached instead
+// of spinning forever.
+func TestRunLimitedBudgetExhaustion(t *testing.T) {
+	const src = `
+variables {
+  message 0x77 m;
+  msTimer tick;
+}
+on start { setTimer(tick, 0); }
+on timer tick {
+  output(m);
+  setTimer(tick, 0);
+}
+`
+	sim := NewSimulation(canbus.Config{})
+	if _, err := sim.AddNode("Runaway", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done, err := sim.RunLimited(canbus.Time(1)*canbus.Millisecond, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Error("zero-period timer runaway reported as reaching the horizon")
+	}
+	// The budget bounds the measurement: the re-arming timer kept the
+	// clock pinned, so the horizon was never reached and the trace stayed
+	// finite (the 50-event budget is spent on timer firings and frame
+	// completions, never more).
+	if n := len(sim.Trace()); n > 50 {
+		t.Errorf("trace length = %d, want <= 50", n)
+	}
+	if sim.Bus.Now() >= canbus.Time(1)*canbus.Millisecond {
+		t.Errorf("clock reached %d despite the runaway timer", sim.Bus.Now())
+	}
+}
+
+// TestStopReportsFailingNode covers the Stop error path: a node whose
+// stopMeasurement handler runs away must surface its step-budget error
+// through Stop instead of being swallowed at measurement end.
+func TestStopReportsFailingNode(t *testing.T) {
+	const src = `
+on stopMeasurement {
+  while (1) { }
+}
+`
+	sim := NewSimulation(canbus.Config{})
+	node, err := sim.AddNode("N", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.MaxSteps = 100
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err = sim.Stop()
+	if err == nil {
+		t.Fatal("failing stopMeasurement handler not reported")
+	}
+	if !strings.Contains(err.Error(), "steps") || !strings.Contains(err.Error(), "node N") {
+		t.Errorf("error = %v, want step-budget error naming node N", err)
+	}
+	// The error latches: Err keeps reporting it afterwards.
+	if sim.Err() == nil {
+		t.Error("node error not latched after Stop")
+	}
+}
+
+// TestMonitorTapUnderInjectorDrops pins what the trace window records
+// when an injector eats frames: dropped frames never reach the monitor
+// tap, so the trace holds exactly the delivered traffic.
+func TestMonitorTapUnderInjectorDrops(t *testing.T) {
+	sim := NewSimulation(canbus.Config{Injector: &canbus.Injector{
+		Drop: func(_ canbus.Time, f canbus.Frame) bool { return f.ID == 0x200 },
+	}})
+	const src = `
+variables {
+  message 0x100 keep;
+  message 0x200 lose;
+}
+on start {
+  output(keep);
+  output(lose);
+  output(keep);
+}
+`
+	node, err := sim.AddNode("S", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunAll(100); err != nil {
+		t.Fatal(err)
+	}
+	// The sender observed all three transmissions succeed...
+	if len(node.Sent) != 3 {
+		t.Fatalf("sent = %d frames, want 3", len(node.Sent))
+	}
+	// ...but the monitor only saw the two delivered frames.
+	ids := sim.TraceIDs()
+	if len(ids) != 2 || ids[0] != 0x100 || ids[1] != 0x100 {
+		t.Errorf("monitored trace = %#x, want [0x100 0x100]", ids)
+	}
+	if st := sim.Bus.Stats(); st.FramesDropped != 1 || st.FramesDelivered != 2 {
+		t.Errorf("stats = %+v, want 1 dropped / 2 delivered", st)
+	}
+}
+
 func TestGlobalAccessor(t *testing.T) {
 	sim := NewSimulation(canbus.Config{})
 	node, err := sim.AddNode("N", "variables { int x = 5; }")

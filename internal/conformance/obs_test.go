@@ -1,0 +1,62 @@
+package conformance
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSoakReportByteIdenticalWithObservability pins the observability
+// contract: all instrumentation output goes to the observer (and from
+// there to stderr or a trace file), never into the report, so a
+// campaign with metrics, spans and progress fully enabled produces
+// byte-identical reports to one with observability off.
+func TestSoakReportByteIdenticalWithObservability(t *testing.T) {
+	base := Config{Seed: 42, SchedulesPerVariant: 2, Gen: shortGen(), Workers: 2}
+	ref, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trace, progress bytes.Buffer
+	o := obs.New(
+		obs.WithSpanRing(64),
+		obs.WithSpanSink(obs.NewJSONLSink(&trace)),
+		obs.WithProgress(obs.TextProgress(&progress), 0),
+	)
+	cfg := base
+	cfg.Obs = o
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Errorf("JSON report differs with observability on:\n%s\n----\n%s", refJSON, gotJSON)
+	}
+	if ref.Text() != got.Text() {
+		t.Error("text report differs with observability on")
+	}
+
+	// The observer actually recorded the campaign. Shrinking diverging
+	// schedules replays RunSchedule, so the counter can exceed the number
+	// of campaign verdicts but never undercount them.
+	snap := o.Snapshot()
+	if snap.Counters["conformance.schedules"] < int64(len(got.Verdicts)) {
+		t.Errorf("schedules counter = %d, want >= %d", snap.Counters["conformance.schedules"], len(got.Verdicts))
+	}
+	if trace.Len() == 0 {
+		t.Error("no spans reached the sink")
+	}
+	if progress.Len() == 0 {
+		t.Error("no progress lines emitted")
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config parameterises a soak campaign.
@@ -31,6 +33,10 @@ type Config struct {
 	// functions of their seeds and verdicts are aggregated in campaign
 	// order, so the report is byte-identical at any worker count.
 	Workers int
+	// Obs receives campaign instrumentation (per-schedule spans, verdict
+	// counters, progress heartbeats). nil disables it; the report is
+	// byte-identical either way.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +90,8 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.MaxSimEvents > 0 {
 		r.MaxSimEvents = cfg.MaxSimEvents
 	}
+	r.Obs = cfg.Obs
+	r.ltsCache.Obs = cfg.Obs
 
 	// The schedule list is fully determined by the seed before any run
 	// starts; workers only fill verdict slots.
@@ -124,9 +132,12 @@ func Run(cfg Config) (*Report, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	prog := cfg.Obs.Progress("conformance.run")
+	var done atomic.Int64
 	if workers <= 1 {
 		for i, j := range jobs {
 			verdicts[i] = runJob(j)
+			prog.Tick(done.Add(1), obs.Int("schedules", int64(len(jobs))))
 		}
 	} else {
 		var next atomic.Int64
@@ -141,11 +152,13 @@ func Run(cfg Config) (*Report, error) {
 						return
 					}
 					verdicts[i] = runJob(jobs[i])
+					prog.Tick(done.Add(1), obs.Int("schedules", int64(len(jobs))))
 				}
 			}()
 		}
 		wg.Wait()
 	}
+	prog.Flush(done.Load())
 
 	rep := &Report{
 		MasterSeed: cfg.Seed,

@@ -11,6 +11,7 @@ import (
 	"repro/internal/canoe"
 	"repro/internal/csp"
 	"repro/internal/lts"
+	"repro/internal/obs"
 	"repro/internal/ota"
 	"repro/internal/refine"
 )
@@ -57,8 +58,8 @@ type Divergence struct {
 // Verdict is the judged result of one schedule run.
 type Verdict struct {
 	// Name identifies the schedule inside a campaign.
-	Name     string   `json:"name,omitempty"`
-	Schedule Schedule `json:"schedule"`
+	Name     string      `json:"name,omitempty"`
+	Schedule Schedule    `json:"schedule"`
 	Kind     VerdictKind `json:"verdict"`
 	// DeliveredFrames is the length of the observed (monitor) trace.
 	DeliveredFrames int `json:"deliveredFrames"`
@@ -94,6 +95,10 @@ type Runner struct {
 	// MaxSimEvents bounds simulator events per run, containing runaway
 	// measurements such as zero-period timer loops (default 300000).
 	MaxSimEvents int
+	// Obs receives per-schedule spans and counters (and is threaded into
+	// the bus and checker). nil disables instrumentation; verdicts and
+	// reports are byte-identical either way.
+	Obs *obs.Observer
 
 	projector *Projector
 	ltsCache  *lts.Cache
@@ -189,6 +194,7 @@ func (r *Runner) simulate(s Schedule, deadline time.Time) (simResult, error) {
 	sim := canoe.NewSimulation(canbus.Config{
 		Injector:         inj,
 		ErrorConfinement: true,
+		Obs:              r.Obs,
 	})
 	vmg, err := sim.AddNode("VMG", vmgSrc)
 	if err == nil {
@@ -340,11 +346,20 @@ const divergenceContextLen = 8
 // wall-clock watchdog turns a hung phase into BudgetExceeded.
 func (r *Runner) RunSchedule(s Schedule) (v Verdict) {
 	v = Verdict{Schedule: s}
+	span := r.Obs.StartSpan("conformance.schedule",
+		obs.String("variant", string(s.Variant)),
+		obs.Int("seed", s.Seed),
+		obs.Int("ops", int64(len(s.Ops))))
 	defer func() {
 		if p := recover(); p != nil {
 			v.Kind = InterpreterError
 			v.Detail = fmt.Sprintf("panic: %v", p)
 		}
+		r.Obs.Counter("conformance.schedules").Inc()
+		r.Obs.Counter("conformance.verdict." + string(v.Kind)).Inc()
+		span.End(obs.String("verdict", string(v.Kind)),
+			obs.Int("deliveredFrames", int64(v.DeliveredFrames)),
+			obs.Int("modelStates", int64(v.ModelStates)))
 	}()
 	maxDur := r.MaxDuration
 	if maxDur <= 0 {
@@ -388,6 +403,7 @@ func (r *Runner) RunSchedule(s Schedule) (v Verdict) {
 
 	checker := refine.NewChecker(sys.Model.Env, sys.Model.Ctx)
 	checker.MaxStates = r.MaxStates
+	checker.Obs = r.Obs
 	// The shared cache persists each model term's transition list across
 	// schedules, so a campaign expands the reference model once.
 	checker.Cache = r.ltsCache

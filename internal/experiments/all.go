@@ -3,90 +3,144 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // RunAll executes every experiment and renders a complete report — the
 // otacheck command's output and the basis of EXPERIMENTS.md.
 func RunAll(scalabilitySizes []int) (string, error) {
+	return RunAllObs(scalabilitySizes, nil)
+}
+
+// RunAllObs is RunAll with observability: each report section runs
+// under a span named experiments.<section> so a trace shows where a
+// full reproduction spends its time. A nil observer disables all
+// instrumentation and the output is byte-identical either way.
+func RunAllObs(scalabilitySizes []int, o *obs.Observer) (string, error) {
 	var sb strings.Builder
 	sb.WriteString("Reproduction report — Heneghan et al., DSN-W 2019\n")
 	sb.WriteString(strings.Repeat("=", 60) + "\n\n")
 
-	t1, err := TableI()
-	if err != nil {
-		return sb.String(), fmt.Errorf("Table I: %w", err)
+	sections := []struct {
+		name  string // span suffix
+		label string // error prefix, kept identical to the pre-obs report
+		run   func(sb *strings.Builder) error
+	}{
+		{"table1", "Table I", func(sb *strings.Builder) error {
+			t, err := TableI()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(t.Render() + "\n")
+			return nil
+		}},
+		{"table2", "Table II", func(sb *strings.Builder) error {
+			t, err := TableII()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(t.Render() + "\n")
+			return nil
+		}},
+		{"table3", "Table III", func(sb *strings.Builder) error {
+			t, err := TableIII()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(t.Render() + "\n")
+			return nil
+		}},
+		{"figure1", "Figure 1", func(sb *strings.Builder) error {
+			f, err := Figure1()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(f.Render() + "\n")
+			return nil
+		}},
+		{"figure2", "Figure 2", func(sb *strings.Builder) error {
+			f, err := Figure2()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(f.Table().Render() + "\n")
+			return nil
+		}},
+		{"figure3", "Figure 3", func(sb *strings.Builder) error {
+			f, err := Figure3()
+			if err != nil {
+				return err
+			}
+			sb.WriteString("Figure 3 — generated ECU implementation model (CSPm):\n")
+			for _, line := range strings.Split(strings.TrimRight(f, "\n"), "\n") {
+				sb.WriteString("    " + line + "\n")
+			}
+			sb.WriteString("\n")
+			return nil
+		}},
+		{"secure-variants", "secure variants", func(sb *strings.Builder) error {
+			sec, err := SecureVariants()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(SecureVariantsTable(sec).Render() + "\n")
+			return nil
+		}},
+		{"attack-tree", "attack tree", func(sb *strings.Builder) error {
+			at, err := AttackTree()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(at.Render() + "\n")
+			return nil
+		}},
+		{"needham-schroeder", "NSPK", func(sb *strings.Builder) error {
+			ns, err := NeedhamSchroeder()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(ns.Render() + "\n")
+			return nil
+		}},
+		{"extensions", "extensions", func(sb *strings.Builder) error {
+			ext, err := Extensions()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(ExtensionsTable(ext).Render() + "\n")
+			return nil
+		}},
+		{"fault-injection", "fault injection", func(sb *strings.Builder) error {
+			fi, err := FaultInjection()
+			if err != nil {
+				return err
+			}
+			sb.WriteString(FaultTable(fi).Render() + "\n")
+			return nil
+		}},
+		{"scalability", "scalability", func(sb *strings.Builder) error {
+			sc, err := Scalability(scalabilitySizes)
+			if err != nil {
+				return err
+			}
+			sb.WriteString(ScalabilityTable(sc).Render() + "\n")
+			return nil
+		}},
 	}
-	sb.WriteString(t1.Render() + "\n")
 
-	t2, err := TableII()
-	if err != nil {
-		return sb.String(), fmt.Errorf("Table II: %w", err)
+	for _, sec := range sections {
+		span := o.StartSpan("experiments." + sec.name)
+		err := sec.run(&sb)
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		span.End(obs.String("outcome", outcome))
+		o.Counter("experiments.sections").Inc()
+		if err != nil {
+			return sb.String(), fmt.Errorf("%s: %w", sec.label, err)
+		}
 	}
-	sb.WriteString(t2.Render() + "\n")
-
-	t3, err := TableIII()
-	if err != nil {
-		return sb.String(), fmt.Errorf("Table III: %w", err)
-	}
-	sb.WriteString(t3.Render() + "\n")
-
-	f1, err := Figure1()
-	if err != nil {
-		return sb.String(), fmt.Errorf("Figure 1: %w", err)
-	}
-	sb.WriteString(f1.Render() + "\n")
-
-	f2, err := Figure2()
-	if err != nil {
-		return sb.String(), fmt.Errorf("Figure 2: %w", err)
-	}
-	sb.WriteString(f2.Table().Render() + "\n")
-
-	f3, err := Figure3()
-	if err != nil {
-		return sb.String(), fmt.Errorf("Figure 3: %w", err)
-	}
-	sb.WriteString("Figure 3 — generated ECU implementation model (CSPm):\n")
-	for _, line := range strings.Split(strings.TrimRight(f3, "\n"), "\n") {
-		sb.WriteString("    " + line + "\n")
-	}
-	sb.WriteString("\n")
-
-	sec, err := SecureVariants()
-	if err != nil {
-		return sb.String(), fmt.Errorf("secure variants: %w", err)
-	}
-	sb.WriteString(SecureVariantsTable(sec).Render() + "\n")
-
-	at, err := AttackTree()
-	if err != nil {
-		return sb.String(), fmt.Errorf("attack tree: %w", err)
-	}
-	sb.WriteString(at.Render() + "\n")
-
-	ns, err := NeedhamSchroeder()
-	if err != nil {
-		return sb.String(), fmt.Errorf("NSPK: %w", err)
-	}
-	sb.WriteString(ns.Render() + "\n")
-
-	ext, err := Extensions()
-	if err != nil {
-		return sb.String(), fmt.Errorf("extensions: %w", err)
-	}
-	sb.WriteString(ExtensionsTable(ext).Render() + "\n")
-
-	fi, err := FaultInjection()
-	if err != nil {
-		return sb.String(), fmt.Errorf("fault injection: %w", err)
-	}
-	sb.WriteString(FaultTable(fi).Render() + "\n")
-
-	sc, err := Scalability(scalabilitySizes)
-	if err != nil {
-		return sb.String(), fmt.Errorf("scalability: %w", err)
-	}
-	sb.WriteString(ScalabilityTable(sc).Render() + "\n")
-
 	return sb.String(), nil
 }

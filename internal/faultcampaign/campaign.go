@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/canbus"
 	"repro/internal/canoe"
+	"repro/internal/obs"
 	"repro/internal/ota"
 )
 
@@ -209,6 +210,10 @@ type Config struct {
 	// function of its seed and outcomes are aggregated in matrix order,
 	// so the report is byte-identical at any worker count.
 	Workers int
+	// Obs receives per-scenario spans, verdict counters and progress
+	// heartbeats (and is threaded into the simulated bus). nil disables
+	// instrumentation; reports are byte-identical either way.
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -328,12 +333,31 @@ const tailTraceLen = 12
 // from the scenario seed and all time is simulated, so the outcome is a
 // pure function of the scenario.
 func RunScenario(sc Scenario) Outcome {
-	out := Outcome{Scenario: sc}
+	return runScenario(sc, nil)
+}
+
+// runScenario is RunScenario with campaign instrumentation attached: a
+// span per scenario (name, seed, kind, variant, verdict) and the bus
+// counters, all inert when o is nil.
+func runScenario(sc Scenario, o *obs.Observer) (out Outcome) {
+	span := o.StartSpan("faultcampaign.scenario",
+		obs.String("name", sc.Name),
+		obs.Int("seed", sc.Seed),
+		obs.String("kind", sc.KindName),
+		obs.String("variant", sc.VariantName))
+	defer func() {
+		o.Counter("faultcampaign.scenarios").Inc()
+		o.Counter("faultcampaign.verdict." + out.Verdict.String()).Inc()
+		span.End(obs.String("verdict", out.Verdict.String()),
+			obs.Int("deliveredFrames", int64(out.DeliveredFrames)))
+	}()
+	out = Outcome{Scenario: sc}
 	rng := rand.New(rand.NewSource(sc.Seed))
 	inj := &canbus.Injector{}
 	sim := canoe.NewSimulation(canbus.Config{
 		Injector:         inj,
 		ErrorConfinement: true,
+		Obs:              o,
 	})
 	vmgSrc, ecuSrc := ota.VMGSource, ota.ECUSource
 	if sc.Variant == Hardened {
@@ -475,7 +499,7 @@ func RunScenarios(cfg Config, scenarios []Scenario) *Report {
 		HorizonUs:    int64(cfg.Horizon),
 		TargetCycles: cfg.TargetCycles,
 	}
-	rep.Outcomes = runPool(scenarios, cfg.Workers)
+	rep.Outcomes = runPool(scenarios, cfg.Workers, cfg.Obs)
 	for _, out := range rep.Outcomes {
 		switch out.Verdict {
 		case Converged:
@@ -494,18 +518,22 @@ func RunScenarios(cfg Config, scenarios []Scenario) *Report {
 
 // runPool executes the scenarios on a worker pool and returns their
 // outcomes in input order.
-func runPool(scenarios []Scenario, workers int) []Outcome {
+func runPool(scenarios []Scenario, workers int, o *obs.Observer) []Outcome {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(scenarios) {
 		workers = len(scenarios)
 	}
+	prog := o.Progress("faultcampaign.run")
+	var done atomic.Int64
 	outcomes := make([]Outcome, len(scenarios))
 	if workers <= 1 {
 		for i, sc := range scenarios {
-			outcomes[i] = RunScenario(sc)
+			outcomes[i] = runScenario(sc, o)
+			prog.Tick(done.Add(1), obs.Int("scenarios", int64(len(scenarios))))
 		}
+		prog.Flush(done.Load())
 		return outcomes
 	}
 	var next atomic.Int64
@@ -519,10 +547,12 @@ func runPool(scenarios []Scenario, workers int) []Outcome {
 				if i >= len(scenarios) {
 					return
 				}
-				outcomes[i] = RunScenario(scenarios[i])
+				outcomes[i] = runScenario(scenarios[i], o)
+				prog.Tick(done.Add(1), obs.Int("scenarios", int64(len(scenarios))))
 			}
 		}()
 	}
 	wg.Wait()
+	prog.Flush(done.Load())
 	return outcomes
 }

@@ -1,0 +1,56 @@
+package faultcampaign
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestReportByteIdenticalWithObservability pins the observability
+// contract: obs counters mirror — never replace — the report's own
+// statistics, and all instrumentation output stays out of the report,
+// so a campaign with metrics, spans and progress fully enabled is
+// byte-identical to one with observability off.
+func TestReportByteIdenticalWithObservability(t *testing.T) {
+	base := Config{Seed: 42, SeedsPerCase: 1, Workers: 2}
+	ref := Run(base)
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trace, progress bytes.Buffer
+	o := obs.New(
+		obs.WithSpanRing(64),
+		obs.WithSpanSink(obs.NewJSONLSink(&trace)),
+		obs.WithProgress(obs.TextProgress(&progress), 0),
+	)
+	cfg := base
+	cfg.Obs = o
+	got := Run(cfg)
+	gotJSON, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Errorf("JSON report differs with observability on:\n%s\n----\n%s", refJSON, gotJSON)
+	}
+	if ref.Text() != got.Text() {
+		t.Error("text report differs with observability on")
+	}
+
+	snap := o.Snapshot()
+	if snap.Counters["faultcampaign.scenarios"] != int64(len(got.Outcomes)) {
+		t.Errorf("scenarios counter = %d, want %d", snap.Counters["faultcampaign.scenarios"], len(got.Outcomes))
+	}
+	if snap.Counters["canbus.frames.delivered"] == 0 {
+		t.Error("bus counters not mirrored into the observer")
+	}
+	if trace.Len() == 0 {
+		t.Error("no spans reached the sink")
+	}
+	if progress.Len() == 0 {
+		t.Error("no progress lines emitted")
+	}
+}

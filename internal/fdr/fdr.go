@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cspm"
 	"repro/internal/lts"
+	"repro/internal/obs"
 	"repro/internal/refine"
 )
 
@@ -53,6 +54,10 @@ type Budget struct {
 	// one cache for the whole campaign so each distinct spec/impl term
 	// is explored exactly once.
 	Cache *lts.Cache
+	// Obs receives a span per assertion (fdr.assert, carrying the
+	// assertion text and verdict) plus the checker's and explorer's own
+	// instrumentation. nil disables it.
+	Obs *obs.Observer
 }
 
 // RunAssert checks a single resolved assertion.
@@ -63,7 +68,19 @@ func RunAssert(m *cspm.Model, a cspm.ResolvedAssert, maxStates int) (refine.Resu
 // RunAssertBudget checks a single resolved assertion under explicit
 // resource budgets. Exhausting a budget returns a *refine.BudgetError
 // (via errors.As) carrying the partial exploration size.
-func RunAssertBudget(m *cspm.Model, a cspm.ResolvedAssert, bgt Budget) (refine.Result, error) {
+func RunAssertBudget(m *cspm.Model, a cspm.ResolvedAssert, bgt Budget) (res refine.Result, err error) {
+	span := bgt.Obs.StartSpan("fdr.assert", obs.String("assert", a.Text))
+	defer func() {
+		bgt.Obs.Counter("fdr.asserts").Inc()
+		verdict := "passed"
+		switch {
+		case err != nil:
+			verdict = "error"
+		case !res.Holds:
+			verdict = "failed"
+		}
+		span.End(obs.String("verdict", verdict))
+	}()
 	c := refine.NewChecker(m.Env, m.Ctx)
 	c.MaxStates = bgt.MaxStates
 	c.MaxProductStates = bgt.MaxProductStates
@@ -71,6 +88,7 @@ func RunAssertBudget(m *cspm.Model, a cspm.ResolvedAssert, bgt Budget) (refine.R
 	c.MaxDuration = bgt.MaxDuration
 	c.Workers = bgt.Workers
 	c.Cache = bgt.Cache
+	c.Obs = bgt.Obs
 	switch a.Kind {
 	case cspm.AssertTraceRef:
 		return c.RefinesTraces(a.Spec, a.Impl)
@@ -100,6 +118,7 @@ func RunAll(m *cspm.Model, maxStates int) ([]AssertResult, error) {
 func RunAllBudget(m *cspm.Model, bgt Budget) ([]AssertResult, error) {
 	if bgt.Cache == nil {
 		bgt.Cache = lts.NewCache()
+		bgt.Cache.Obs = bgt.Obs
 	}
 	out := make([]AssertResult, 0, len(m.Asserts))
 	for _, a := range m.Asserts {

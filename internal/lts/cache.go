@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/csp"
+	"repro/internal/obs"
 )
 
 // Cache is a concurrency-safe memo of explored LTSs and their
@@ -25,6 +26,11 @@ import (
 // The zero value is not usable; construct with NewCache. All methods
 // are safe for concurrent use.
 type Cache struct {
+	// Obs, when set, mirrors the cache statistics to obs counters
+	// (lts.cache.hits / misses / coalesces / evictions). It may be
+	// assigned once, before the cache is shared across goroutines.
+	Obs *obs.Observer
+
 	mu      sync.Mutex
 	entries map[cacheKey]*cacheEntry
 	norms   map[*LTS]*normEntry
@@ -32,8 +38,10 @@ type Cache struct {
 	tmu   sync.RWMutex
 	trans map[transKey][]csp.Transition
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesces atomic.Int64
+	evictions atomic.Int64
 }
 
 // cacheKey identifies one exploration: the semantic identity (both the
@@ -48,6 +56,10 @@ type cacheKey struct {
 
 type cacheEntry struct {
 	once sync.Once
+	// done is set at the end of the once.Do body: a caller that finds an
+	// existing entry with done still false joined an in-flight
+	// exploration (a single-flight coalesce) rather than hitting memory.
+	done atomic.Bool
 	lts  *LTS
 	err  error
 }
@@ -91,14 +103,23 @@ func (c *Cache) Explore(sem *csp.Semantics, p csp.Process, opts Options) (*LTS, 
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
+	inFlight := ok && !e.done.Load()
 	fresh := false
 	e.once.Do(func() {
 		fresh = true
 		c.misses.Add(1)
+		c.Obs.Counter("lts.cache.misses").Inc()
 		e.lts, e.err = Explore(sem, p, opts)
+		e.done.Store(true)
 	})
 	if !fresh {
 		c.hits.Add(1)
+		c.Obs.Counter("lts.cache.hits").Inc()
+		if inFlight {
+			// Joined a computation another goroutine was still running.
+			c.coalesces.Add(1)
+			c.Obs.Counter("lts.cache.coalesces").Inc()
+		}
 	}
 	if e.err != nil {
 		// Do not poison the key: drop the failed flight so a retry (for
@@ -106,6 +127,8 @@ func (c *Cache) Explore(sem *csp.Semantics, p csp.Process, opts Options) (*LTS, 
 		c.mu.Lock()
 		if c.entries[key] == e {
 			delete(c.entries, key)
+			c.evictions.Add(1)
+			c.Obs.Counter("lts.cache.evictions").Inc()
 		}
 		c.mu.Unlock()
 		return nil, e.err
@@ -160,6 +183,33 @@ func (c *Cache) Transitions(sem *csp.Semantics, key string, p csp.Process) ([]cs
 // performed.
 func (c *Cache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// CacheStats is the full effectiveness summary of a Cache.
+type CacheStats struct {
+	// Hits counts Explore calls answered without a fresh exploration
+	// (coalesced joins included).
+	Hits int64
+	// Misses counts fresh explorations performed.
+	Misses int64
+	// Coalesces counts the subset of hits that joined an exploration
+	// still in flight rather than reading a finished result.
+	Coalesces int64
+	// Evictions counts failed flights dropped so a retry can recompute.
+	Evictions int64
+	// Entries is the number of explorations currently cached.
+	Entries int
+}
+
+// StatsAll reports the full cache statistics in one snapshot.
+func (c *Cache) StatsAll() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesces: c.coalesces.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+	}
 }
 
 // Len returns the number of cached explorations.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/csp"
+	"repro/internal/obs"
 )
 
 // Event label identifiers. Tau and Tick have fixed IDs; visible events
@@ -86,6 +87,11 @@ type Options struct {
 	// numbering, Keys, Edges, Events) is byte-identical to the
 	// sequential result at any worker count.
 	Workers int
+	// Obs receives exploration metrics, a span per Explore call and
+	// progress heartbeats. nil (the default) disables instrumentation at
+	// the cost of a nil check; measurements never influence the
+	// exploration itself.
+	Obs *obs.Observer
 }
 
 // ErrDeadline is returned when exploration exceeds its wall-clock
@@ -132,7 +138,7 @@ const parallelLevelThreshold = 16
 // merge performs all state interning and event-ID assignment, so the
 // resulting LTS is byte-identical to a sequential exploration at any
 // worker count — deterministic reports stay deterministic.
-func Explore(sem *csp.Semantics, root csp.Process, opts Options) (*LTS, error) {
+func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
@@ -141,6 +147,32 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (*LTS, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Instrumentation: all handles are nil-safe no-ops when opts.Obs is
+	// nil, and all updates happen per level, never per state, so the hot
+	// interning loop is untouched.
+	span := opts.Obs.StartSpan("lts.explore", obs.Int("workers", int64(workers)))
+	statesC := opts.Obs.Counter("lts.explore.states")
+	transC := opts.Obs.Counter("lts.explore.transitions")
+	levelsC := opts.Obs.Counter("lts.explore.levels")
+	parLevelsC := opts.Obs.Counter("lts.explore.levels.parallel")
+	frontierG := opts.Obs.Gauge("lts.explore.frontier")
+	prog := opts.Obs.Progress("lts.explore")
+	defer func() {
+		explored := int64(0)
+		if lts != nil {
+			explored = int64(lts.NumStates())
+		}
+		outcome := "ok"
+		switch {
+		case errors.Is(err, ErrStateLimit):
+			outcome = "state-limit"
+		case errors.Is(err, ErrDeadline):
+			outcome = "deadline"
+		case err != nil:
+			outcome = "error"
+		}
+		span.End(obs.Int("states", explored), obs.String("outcome", outcome))
+	}()
 	l := &LTS{
 		Events:   []csp.Event{csp.Tau(), csp.Tick()},
 		eventIDs: map[string]int{},
@@ -169,14 +201,21 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (*LTS, error) {
 	}
 	l.Init = rootID
 	level := []int{rootID}
+	statesC.Inc() // the root
 	start := time.Now()
 	expanded := 0
 	for len(level) > 0 {
+		levelsC.Inc()
+		frontierG.Max(int64(len(level)))
+		if workers > 1 && len(level) >= parallelLevelThreshold {
+			parLevelsC.Inc()
+		}
 		trs, err := expandLevel(sem, l, level, workers, opts.MaxDuration, start)
 		if err != nil {
 			return nil, err
 		}
 		var next []int
+		levelEdges := 0
 		for i, id := range level {
 			expanded++
 			if opts.MaxDuration > 0 && expanded%deadlineCheckInterval == 0 &&
@@ -195,9 +234,14 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (*LTS, error) {
 				edges = append(edges, Edge{Ev: l.eventID(tr.Ev), To: to})
 			}
 			l.Edges[id] = edges
+			levelEdges += len(edges)
 		}
+		statesC.Add(int64(len(next)))
+		transC.Add(int64(levelEdges))
+		prog.Tick(int64(len(l.Keys)), obs.Int("frontier", int64(len(next))))
 		level = next
 	}
+	prog.Flush(int64(len(l.Keys)))
 	return l, nil
 }
 

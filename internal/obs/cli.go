@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Flags is the common -metrics / -tracefile / -progress flag triple the
+// checking CLIs share. Register with AddFlags, then Build once parsing
+// is done.
+type Flags struct {
+	// Metrics prints the metric snapshot to the diagnostic writer after
+	// the run.
+	Metrics bool
+	// TraceFile streams finished spans as JSONL to this path.
+	TraceFile string
+	// Progress prints heartbeat lines to the diagnostic writer during
+	// long-running phases.
+	Progress bool
+	// ProgressEvery is the minimum interval between heartbeats
+	// (default 1s).
+	ProgressEvery time.Duration
+}
+
+// AddFlags registers the flag triple on the set.
+func (f *Flags) AddFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Metrics, "metrics", false,
+		"print the observability metric snapshot to stderr after the run")
+	fs.StringVar(&f.TraceFile, "tracefile", "",
+		"write finished spans as JSONL to this file")
+	fs.BoolVar(&f.Progress, "progress", false,
+		"print progress heartbeats to stderr during long-running phases")
+}
+
+// Enabled reports whether any observability output was requested.
+func (f Flags) Enabled() bool {
+	return f.Metrics || f.TraceFile != "" || f.Progress
+}
+
+// Build constructs the Observer the flags select and a finish function
+// to defer: it flushes the metric snapshot to diag (when -metrics),
+// closes the trace file, and surfaces any sink write error. With every
+// flag off it returns a nil Observer — the zero-overhead disabled path
+// — and a no-op finish. diag is the diagnostic stream (conventionally
+// os.Stderr): observability output must stay off stdout so reports
+// remain byte-identical with metrics enabled or disabled.
+func (f Flags) Build(diag io.Writer) (*Observer, func() error, error) {
+	if !f.Enabled() {
+		return nil, func() error { return nil }, nil
+	}
+	if diag == nil {
+		diag = os.Stderr
+	}
+	var opts []Option
+	var sink *JSONLSink
+	var traceFile *os.File
+	if f.TraceFile != "" {
+		tf, err := os.Create(f.TraceFile)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tracefile: %w", err)
+		}
+		traceFile = tf
+		sink = NewJSONLSink(tf)
+		opts = append(opts, WithSpanSink(sink))
+	}
+	if f.Progress {
+		opts = append(opts, WithProgress(TextProgress(diag), f.ProgressEvery))
+	}
+	o := New(opts...)
+	finish := func() error {
+		var firstErr error
+		if f.Metrics {
+			if err := o.Snapshot().WriteText(diag); err != nil {
+				firstErr = err
+			}
+		}
+		if sink != nil && firstErr == nil {
+			firstErr = sink.Err()
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return o, finish, nil
+}

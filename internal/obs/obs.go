@@ -1,0 +1,341 @@
+// Package obs is a zero-dependency observability layer for the checking
+// pipeline: named counters, gauges and histograms with atomic updates, a
+// lightweight span tracer (start/end, parent links, attributes) feeding
+// an in-memory ring and an optional JSONL sink, and rate-limited
+// progress heartbeats for long-running explorations.
+//
+// The design constraint is that instrumentation must be free when
+// disabled: a nil *Observer is a valid, fully disabled observer, every
+// method on it (and on the nil metric handles it returns) is a no-op
+// behind a single nil check, and nothing in the instrumented packages
+// allocates or locks on the disabled path. Instrumentation must also
+// never influence results — observers carry measurements out of a run,
+// they feed nothing back in, so reports stay byte-identical whether
+// metrics are enabled or not.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing named metric. The nil handle
+// (what a nil Observer hands out) ignores updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on the nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a named last-value metric. The nil handle ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Max raises the gauge to v if v is larger — a high-water mark.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the last recorded value (0 on the nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram summarises a distribution of int64 observations (typically
+// durations in nanoseconds or sizes in states): count, sum, min, max.
+// The nil handle ignores observations.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	min   atomic.Int64 // valid once count > 0
+	max   atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if h.count.Add(1) == 1 {
+		h.min.Store(v)
+		h.max.Store(v)
+	} else {
+		for {
+			cur := h.min.Load()
+			if v >= cur || h.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+		for {
+			cur := h.max.Load()
+			if v <= cur || h.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed time since start in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+// HistogramStat is the exported summary of a histogram.
+type HistogramStat struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
+}
+
+// Mean returns the average observation, or 0 with no samples.
+func (s HistogramStat) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Observer is the hub of the layer: a metric registry plus the span
+// tracer and progress reporter. A nil *Observer is the disabled state —
+// it hands out nil metric handles and nil spans whose methods all no-op
+// — so instrumented code threads one pointer and never branches on an
+// "enabled" flag. All methods are safe for concurrent use.
+type Observer struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	spanMu   sync.Mutex
+	nextSpan uint64
+	ring     []SpanRecord // circular buffer of finished spans
+	ringNext int
+	ringFull bool
+	sink     SpanSink
+
+	progressFn    func(ProgressEvent)
+	progressEvery time.Duration
+}
+
+// Option configures an Observer.
+type Option func(*Observer)
+
+// defaultRingSize bounds the in-memory record of finished spans.
+const defaultRingSize = 1024
+
+// WithSpanRing sets how many finished spans the in-memory ring keeps
+// (default 1024; 0 disables the ring, useful with a sink).
+func WithSpanRing(n int) Option {
+	return func(o *Observer) {
+		if n >= 0 {
+			o.ring = make([]SpanRecord, n)
+		}
+	}
+}
+
+// WithSpanSink streams every finished span to the sink (typically a
+// JSONL file) in addition to the ring.
+func WithSpanSink(s SpanSink) Option {
+	return func(o *Observer) { o.sink = s }
+}
+
+// WithProgress installs a heartbeat reporter invoked at most once per
+// interval per Progress handle (interval <= 0 selects 1s).
+func WithProgress(fn func(ProgressEvent), interval time.Duration) Option {
+	return func(o *Observer) {
+		if interval <= 0 {
+			interval = time.Second
+		}
+		o.progressFn = fn
+		o.progressEvery = interval
+	}
+}
+
+// New builds an enabled Observer.
+func New(opts ...Option) *Observer {
+	o := &Observer{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		ring:     make([]SpanRecord, defaultRingSize),
+	}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+// Counter returns the named counter handle, creating it on first use.
+// A nil Observer returns the nil handle.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.counters[name]
+	if !ok {
+		c = &Counter{}
+		o.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge handle, creating it on first use.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	g, ok := o.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		o.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram handle, creating it on first
+// use.
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.hists[name]
+	if !ok {
+		h = &Histogram{}
+		o.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric. Maps
+// render with sorted keys under encoding/json, so marshalled snapshots
+// are deterministic for deterministic workloads.
+type Snapshot struct {
+	Counters   map[string]int64         `json:"counters,omitempty"`
+	Gauges     map[string]int64         `json:"gauges,omitempty"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current metric values. A nil Observer yields the
+// zero Snapshot.
+func (o *Observer) Snapshot() Snapshot {
+	var s Snapshot
+	if o == nil {
+		return s
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.counters) > 0 {
+		s.Counters = make(map[string]int64, len(o.counters))
+		for name, c := range o.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(o.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(o.gauges))
+		for name, g := range o.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(o.hists) > 0 {
+		s.Histograms = make(map[string]HistogramStat, len(o.hists))
+		for name, h := range o.hists {
+			s.Histograms[name] = HistogramStat{
+				Count: h.count.Load(),
+				Sum:   h.sum.Load(),
+				Min:   h.min.Load(),
+				Max:   h.max.Load(),
+			}
+		}
+	}
+	return s
+}
+
+// WriteText renders the snapshot as sorted fixed-form lines — the
+// -metrics output of the CLIs.
+func (s Snapshot) WriteText(w io.Writer) error {
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "counter   %-40s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "gauge     %-40s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "histogram %-40s count=%d sum=%d min=%d max=%d mean=%d\n",
+			name, h.Count, h.Sum, h.Min, h.Max, h.Mean()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

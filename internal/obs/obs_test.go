@@ -1,0 +1,393 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilObserverIsSafe exercises the entire API surface on the disabled
+// (nil) observer: every call must no-op without panicking.
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+
+	c := o.Counter("c")
+	c.Inc()
+	c.Add(10)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+
+	g := o.Gauge("g")
+	g.Set(5)
+	g.Max(9)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge value = %d, want 0", got)
+	}
+
+	h := o.Histogram("h")
+	h.Observe(3)
+	h.ObserveSince(time.Now())
+
+	sp := o.StartSpan("root", String("k", "v"))
+	child := sp.Child("child")
+	child.SetAttr(Int("n", 1))
+	child.End()
+	sp.End(Bool("ok", true))
+
+	p := o.Progress("phase")
+	p.Tick(1)
+	p.Flush(2)
+
+	if spans := o.Spans(); spans != nil {
+		t.Fatalf("nil observer spans = %v, want nil", spans)
+	}
+	snap := o.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Fatalf("nil observer snapshot not zero: %+v", snap)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	o := New()
+	c := o.Counter("frames")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if o.Counter("frames") != c {
+		t.Fatal("counter handle not stable across lookups")
+	}
+
+	g := o.Gauge("frontier")
+	g.Set(10)
+	g.Max(7) // lower: ignored
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge after Max(7) = %d, want 10", got)
+	}
+	g.Max(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge after Max(42) = %d, want 42", got)
+	}
+
+	h := o.Histogram("check.ns")
+	for _, v := range []int64{5, 1, 9} {
+		h.Observe(v)
+	}
+	st := o.Snapshot().Histograms["check.ns"]
+	if st.Count != 3 || st.Sum != 15 || st.Min != 1 || st.Max != 9 || st.Mean() != 5 {
+		t.Fatalf("histogram stat = %+v (mean %d), want count=3 sum=15 min=1 max=9 mean=5", st, st.Mean())
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	o := New()
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := o.Counter("n")
+			h := o.Histogram("h")
+			g := o.Gauge("g")
+			for j := 0; j < per; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+				g.Max(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Counter("n").Value(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+	st := o.Snapshot().Histograms["h"]
+	if st.Count != goroutines*per || st.Min != 0 || st.Max != per-1 {
+		t.Fatalf("histogram stat = %+v", st)
+	}
+	if got := o.Gauge("g").Value(); got != per-1 {
+		t.Fatalf("gauge = %d, want %d", got, per-1)
+	}
+}
+
+func TestSpanRingAndParentLinks(t *testing.T) {
+	o := New()
+	root := o.StartSpan("root", String("model", "ota"))
+	child := root.Child("phase")
+	child.End(Int("states", 12))
+	root.End()
+
+	spans := o.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Children end first, so the ring holds [child, root].
+	if spans[0].Name != "phase" || spans[1].Name != "root" {
+		t.Fatalf("span order = %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent = %d, want root id %d", spans[0].Parent, spans[1].ID)
+	}
+	if spans[1].Parent != 0 {
+		t.Fatalf("root parent = %d, want 0", spans[1].Parent)
+	}
+	if spans[0].Attrs["states"] != int64(12) {
+		t.Fatalf("child attrs = %v", spans[0].Attrs)
+	}
+	if spans[0].DurationNs < 0 {
+		t.Fatalf("negative duration %d", spans[0].DurationNs)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	o := New()
+	sp := o.StartSpan("once")
+	sp.End()
+	sp.End()
+	if got := len(o.Spans()); got != 1 {
+		t.Fatalf("double End published %d spans, want 1", got)
+	}
+}
+
+func TestSpanRingWraps(t *testing.T) {
+	o := New(WithSpanRing(4))
+	for i := 0; i < 6; i++ {
+		o.StartSpan("s").End(Int("i", int64(i)))
+	}
+	spans := o.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	// Oldest-first: spans 2..5 survive.
+	for i, sp := range spans {
+		if want := int64(i + 2); sp.Attrs["i"] != want {
+			t.Fatalf("span %d attr i = %v, want %d", i, sp.Attrs["i"], want)
+		}
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	o := New(WithSpanSink(sink))
+	sp := o.StartSpan("refine.refines", String("model", "ota"))
+	sp.End(String("verdict", "holds"))
+	if err := sink.Err(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		lines++
+		var rec struct {
+			ID         uint64         `json:"id"`
+			Name       string         `json:"name"`
+			DurationNs int64          `json:"durationNs"`
+			Attrs      map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		if rec.Name != "refine.refines" || rec.Attrs["verdict"] != "holds" {
+			t.Fatalf("record = %+v", rec)
+		}
+	}
+	if lines != 1 {
+		t.Fatalf("got %d JSONL lines, want 1", lines)
+	}
+}
+
+type failWriter struct{ err error }
+
+func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
+
+func TestJSONLSinkLatchesError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	sink := NewJSONLSink(failWriter{err: wantErr})
+	sink.WriteSpan(SpanRecord{Name: "a"})
+	sink.WriteSpan(SpanRecord{Name: "b"})
+	if !errors.Is(sink.Err(), wantErr) {
+		t.Fatalf("sink.Err() = %v, want %v", sink.Err(), wantErr)
+	}
+}
+
+func TestProgressRateLimitAndFlush(t *testing.T) {
+	var mu sync.Mutex
+	var events []ProgressEvent
+	o := New(WithProgress(func(ev ProgressEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}, time.Hour))
+
+	p := o.Progress("lts.explore")
+	if p == nil {
+		t.Fatal("enabled observer returned nil progress")
+	}
+	for i := 0; i < 100; i++ {
+		p.Tick(int64(i)) // all inside the interval: dropped
+	}
+	p.Flush(100, Int("frontier", 7))
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1 (flush only)", len(events))
+	}
+	ev := events[0]
+	if ev.Name != "lts.explore" || ev.Done != 100 {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(ev.Attrs) != 1 || ev.Attrs[0].Key != "frontier" {
+		t.Fatalf("event attrs = %+v", ev.Attrs)
+	}
+}
+
+func TestProgressNilWithoutReporter(t *testing.T) {
+	o := New()
+	if p := o.Progress("x"); p != nil {
+		t.Fatal("observer without reporter should hand out nil progress")
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		o := New()
+		o.Counter("b").Add(2)
+		o.Counter("a").Inc()
+		o.Gauge("z").Set(9)
+		o.Histogram("h").Observe(4)
+		return o.Snapshot()
+	}
+	j1, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\n%s", j1, j2)
+	}
+}
+
+func TestSnapshotWriteText(t *testing.T) {
+	o := New()
+	o.Counter("lts.cache.hits").Add(12)
+	o.Gauge("lts.explore.frontier").Set(84)
+	o.Histogram("refine.check.ns").Observe(1000)
+	var buf bytes.Buffer
+	if err := o.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"counter   lts.cache.hits",
+		"gauge     lts.explore.frontier",
+		"histogram refine.check.ns",
+		"count=1 sum=1000 min=1000 max=1000 mean=1000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlagsBuildDisabled(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	o, finish, err := f.Build(os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Fatal("all-off flags must yield a nil observer")
+	}
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+}
+
+func TestFlagsBuildTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	f := Flags{Metrics: true, TraceFile: trace}
+	var diag bytes.Buffer
+	o, finish, err := f.Build(&diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("enabled flags yielded nil observer")
+	}
+	o.Counter("frames").Add(3)
+	o.StartSpan("run").End()
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if !strings.Contains(diag.String(), "counter   frames") {
+		t.Fatalf("metrics snapshot missing from diag:\n%s", diag.String())
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name":"run"`) {
+		t.Fatalf("trace file missing span: %s", data)
+	}
+}
+
+// Disabled-path benchmarks: the cost of instrumentation with a nil
+// observer must be a nil check, nothing more.
+
+func BenchmarkDisabledCounter(b *testing.B) {
+	var o *Observer
+	c := o.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledSpan(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := o.StartSpan("x")
+		sp.End()
+	}
+}
+
+func BenchmarkDisabledProgressTick(b *testing.B) {
+	var o *Observer
+	p := o.Progress("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Tick(int64(i))
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	o := New()
+	c := o.Counter("x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

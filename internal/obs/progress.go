@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressEvent is one heartbeat from a long-running phase.
+type ProgressEvent struct {
+	// Name identifies the phase ("lts.explore", "faultcampaign.run", …).
+	Name string
+	// Done is the monotone work counter the phase reports (states
+	// explored, scenarios finished, …).
+	Done int64
+	// Elapsed is the time since the Progress handle was created.
+	Elapsed time.Duration
+	// Rate is Done per second over the whole phase.
+	Rate float64
+	// Attrs carries phase-specific fields (frontier size, workers, …).
+	Attrs []Attr
+}
+
+// Progress is a rate-limited heartbeat reporter for one phase. Handles
+// come from Observer.Progress; the nil handle (no observer, or no
+// reporter configured) ignores every Tick, so hot loops can tick
+// unconditionally.
+type Progress struct {
+	o     *Observer
+	name  string
+	start time.Time
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+// Progress opens a heartbeat handle for the named phase. It returns nil
+// when no progress reporter is configured, keeping Tick a single nil
+// check on the disabled path.
+func (o *Observer) Progress(name string) *Progress {
+	if o == nil || o.progressFn == nil {
+		return nil
+	}
+	now := time.Now()
+	return &Progress{o: o, name: name, start: now, last: now}
+}
+
+// Tick reports the phase's current work counter. Events are delivered
+// at most once per the observer's progress interval; excess ticks are
+// dropped, so callers may tick every loop iteration.
+func (p *Progress) Tick(done int64, attrs ...Attr) {
+	if p == nil {
+		return
+	}
+	now := time.Now()
+	p.mu.Lock()
+	if now.Sub(p.last) < p.o.progressEvery {
+		p.mu.Unlock()
+		return
+	}
+	p.last = now
+	p.mu.Unlock()
+	p.emit(now, done, attrs)
+}
+
+// Flush reports unconditionally — the final heartbeat of a phase.
+func (p *Progress) Flush(done int64, attrs ...Attr) {
+	if p == nil {
+		return
+	}
+	p.emit(time.Now(), done, attrs)
+}
+
+func (p *Progress) emit(now time.Time, done int64, attrs []Attr) {
+	elapsed := now.Sub(p.start)
+	rate := 0.0
+	if secs := elapsed.Seconds(); secs > 0 {
+		rate = float64(done) / secs
+	}
+	p.o.progressFn(ProgressEvent{
+		Name:    p.name,
+		Done:    done,
+		Elapsed: elapsed,
+		Rate:    rate,
+		Attrs:   attrs,
+	})
+}
+
+// TextProgress returns a reporter rendering heartbeats as single lines
+// on w — the -progress output of the CLIs:
+//
+//	progress lts.explore: 5120 done, 2560.0/s, frontier=84 (2.0s)
+func TextProgress(w io.Writer) func(ProgressEvent) {
+	var mu sync.Mutex
+	return func(ev ProgressEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, "progress %s: %d done, %.1f/s", ev.Name, ev.Done, ev.Rate)
+		for _, a := range ev.Attrs {
+			fmt.Fprintf(w, ", %s=%v", a.Key, a.Value)
+		}
+		fmt.Fprintf(w, " (%.1fs)\n", ev.Elapsed.Seconds())
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute or progress field.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// SpanRecord is a finished span as kept in the ring and written to the
+// JSONL sink.
+type SpanRecord struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	// Start is the wall-clock start time in RFC3339Nano.
+	Start time.Time `json:"start"`
+	// DurationNs is the span length in nanoseconds.
+	DurationNs int64          `json:"durationNs"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Span is an in-flight timed operation. A nil *Span (what a nil
+// Observer starts) ignores every call.
+type Span struct {
+	o      *Observer
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// StartSpan opens a root span. A nil Observer returns a nil span.
+func (o *Observer) StartSpan(name string, attrs ...Attr) *Span {
+	return o.startSpan(name, 0, attrs)
+}
+
+func (o *Observer) startSpan(name string, parent uint64, attrs []Attr) *Span {
+	if o == nil {
+		return nil
+	}
+	o.spanMu.Lock()
+	o.nextSpan++
+	id := o.nextSpan
+	o.spanMu.Unlock()
+	sp := &Span{o: o, id: id, parent: parent, name: name, start: time.Now()}
+	if len(attrs) > 0 {
+		sp.attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			sp.attrs[a.Key] = a.Value
+		}
+	}
+	return sp
+}
+
+// Child opens a span parented on s. A nil span yields a nil child.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.o.startSpan(name, s.id, attrs)
+}
+
+// SetAttr attaches attributes to the span (last write per key wins).
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, len(attrs))
+	}
+	for _, a := range attrs {
+		s.attrs[a.Key] = a.Value
+	}
+}
+
+// End closes the span, stamps its duration, and publishes the record to
+// the observer's ring and sink. Extra attributes are merged first.
+// Ending a span twice publishes only the first End.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	if len(attrs) > 0 {
+		if s.attrs == nil {
+			s.attrs = make(map[string]any, len(attrs))
+		}
+		for _, a := range attrs {
+			s.attrs[a.Key] = a.Value
+		}
+	}
+	rec := SpanRecord{
+		ID:         s.id,
+		Parent:     s.parent,
+		Name:       s.name,
+		Start:      s.start,
+		DurationNs: int64(time.Since(s.start)),
+		Attrs:      s.attrs,
+	}
+	s.mu.Unlock()
+	s.o.publish(rec)
+}
+
+// publish appends a finished span to the ring and streams it to the
+// sink.
+func (o *Observer) publish(rec SpanRecord) {
+	o.spanMu.Lock()
+	if len(o.ring) > 0 {
+		o.ring[o.ringNext] = rec
+		o.ringNext++
+		if o.ringNext == len(o.ring) {
+			o.ringNext = 0
+			o.ringFull = true
+		}
+	}
+	sink := o.sink
+	o.spanMu.Unlock()
+	if sink != nil {
+		sink.WriteSpan(rec)
+	}
+}
+
+// Spans returns the finished spans currently held by the ring, oldest
+// first. A nil Observer returns nil.
+func (o *Observer) Spans() []SpanRecord {
+	if o == nil {
+		return nil
+	}
+	o.spanMu.Lock()
+	defer o.spanMu.Unlock()
+	if !o.ringFull {
+		out := make([]SpanRecord, o.ringNext)
+		copy(out, o.ring[:o.ringNext])
+		return out
+	}
+	out := make([]SpanRecord, 0, len(o.ring))
+	out = append(out, o.ring[o.ringNext:]...)
+	out = append(out, o.ring[:o.ringNext]...)
+	return out
+}
+
+// SpanSink consumes finished spans. Implementations must be safe for
+// concurrent use.
+type SpanSink interface {
+	WriteSpan(SpanRecord)
+}
+
+// JSONLSink writes one JSON object per finished span to an io.Writer —
+// the -tracefile format. Write errors are latched and reported by Err,
+// so a full disk never panics the instrumented run.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink wraps the writer.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// WriteSpan marshals the record onto one line.
+func (s *JSONLSink) WriteSpan(rec SpanRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		s.err = err
+	}
+}
+
+// Err returns the first write or marshal error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/csp"
 	"repro/internal/lts"
+	"repro/internal/obs"
 )
 
 // Model selects the semantic model a refinement check runs in.
@@ -95,6 +96,11 @@ type Checker struct {
 	// cache is safe for concurrent use, so checkers running in parallel
 	// may share it.
 	Cache *lts.Cache
+	// Obs receives per-check spans (one per assertion, with phase child
+	// spans) and metrics, and is threaded into the underlying
+	// explorations. nil disables instrumentation; measurements never
+	// influence verdicts.
+	Obs *obs.Observer
 }
 
 // BudgetError reports that a check ran out of its resource budget. The
@@ -150,7 +156,7 @@ func (c *Checker) explore(p csp.Process) (*lts.LTS, error) {
 // wall-clock deadline (zero time means unbounded), consulting the
 // shared cache when one is configured.
 func (c *Checker) exploreWithin(p csp.Process, deadline time.Time) (*lts.LTS, error) {
-	opts := lts.Options{MaxStates: c.MaxStates, Workers: c.Workers}
+	opts := lts.Options{MaxStates: c.MaxStates, Workers: c.Workers, Obs: c.Obs}
 	if !deadline.IsZero() {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -183,13 +189,27 @@ func (c *Checker) exploreWithin(p csp.Process, deadline time.Time) (*lts.LTS, er
 // Refines checks spec ⊑ impl in the given model, i.e. FDR's
 // `assert SPEC [T= IMPL`, `assert SPEC [F= IMPL` or
 // `assert SPEC [FD= IMPL`.
-func (c *Checker) Refines(spec, impl csp.Process, model Model) (Result, error) {
+func (c *Checker) Refines(spec, impl csp.Process, model Model) (res Result, err error) {
 	deadline := c.deadline()
+	span := c.Obs.StartSpan("refine.refines", obs.String("model", model.String()))
+	checkStart := time.Now()
+	defer func() {
+		c.Obs.Counter("refine.checks").Inc()
+		c.Obs.Counter("refine.product.pairs").Add(int64(res.ProductStates))
+		c.Obs.Histogram("refine.check.ns").ObserveSince(checkStart)
+		span.End(obs.String("verdict", verdictOf(res, err)),
+			obs.Int("implStates", int64(res.ImplStates)),
+			obs.Int("productStates", int64(res.ProductStates)))
+	}()
+	phase := span.Child("refine.explore-spec")
 	specLTS, err := c.exploreWithin(spec, deadline)
+	phase.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("explore specification: %w", err)
 	}
+	phase = span.Child("refine.explore-impl")
 	implLTS, err := c.exploreWithin(impl, deadline)
+	phase.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("explore implementation: %w", err)
 	}
@@ -216,14 +236,35 @@ func (c *Checker) Refines(spec, impl csp.Process, model Model) (Result, error) {
 				specLTS.Keys[witness])
 		}
 	}
+	phase = span.Child("refine.normalize")
 	norm := c.normalize(specLTS)
-	res, err := c.productCheck(specLTS, norm, implLTS, model, deadline)
+	phase.End(obs.Int("specNodes", int64(norm.NumNodes())))
+	phase = span.Child("refine.product")
+	res, err = c.productCheck(specLTS, norm, implLTS, model, deadline)
+	phase.End(obs.Int("productStates", int64(res.ProductStates)))
 	if err != nil {
 		return Result{}, err
 	}
 	res.ImplStates = implLTS.NumStates()
 	res.SpecNodes = norm.NumNodes()
 	return res, nil
+}
+
+// verdictOf renders a check outcome for span attributes: "holds",
+// "fails", or the error class for indeterminate checks.
+func verdictOf(res Result, err error) string {
+	switch {
+	case err == nil && res.Holds:
+		return "holds"
+	case err == nil:
+		return "fails"
+	default:
+		var be *BudgetError
+		if errors.As(err, &be) {
+			return "budget:" + be.Phase
+		}
+		return "error"
+	}
 }
 
 // normalize runs (or, with a cache, reuses) the subset construction.
@@ -396,7 +437,15 @@ func labelNames(l *lts.LTS, labels []int) string {
 
 // DeadlockFree checks that no reachable state of p is a deadlock: a
 // state with no transitions at all that is not the terminated process.
-func (c *Checker) DeadlockFree(p csp.Process) (Result, error) {
+func (c *Checker) DeadlockFree(p csp.Process) (res Result, err error) {
+	span := c.Obs.StartSpan("refine.deadlockfree")
+	checkStart := time.Now()
+	defer func() {
+		c.Obs.Counter("refine.checks").Inc()
+		c.Obs.Histogram("refine.check.ns").ObserveSince(checkStart)
+		span.End(obs.String("verdict", verdictOf(res, err)),
+			obs.Int("implStates", int64(res.ImplStates)))
+	}()
 	l, err := c.explore(p)
 	if err != nil {
 		return Result{}, err
@@ -432,7 +481,15 @@ func (c *Checker) DeadlockFree(p csp.Process) (Result, error) {
 // DivergenceFree checks that p has no reachable tau cycle (livelock).
 // A failed check carries the shortest trace leading to the divergent
 // state as its counterexample.
-func (c *Checker) DivergenceFree(p csp.Process) (Result, error) {
+func (c *Checker) DivergenceFree(p csp.Process) (res Result, err error) {
+	span := c.Obs.StartSpan("refine.divergencefree")
+	checkStart := time.Now()
+	defer func() {
+		c.Obs.Counter("refine.checks").Inc()
+		c.Obs.Histogram("refine.check.ns").ObserveSince(checkStart)
+		span.End(obs.String("verdict", verdictOf(res, err)),
+			obs.Int("implStates", int64(res.ImplStates)))
+	}()
 	l, err := c.explore(p)
 	if err != nil {
 		return Result{}, err
