@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/leakcheck"
+	"repro/internal/serve"
+	"repro/internal/serve/client"
+)
+
+// TestServeCheckAndGracefulShutdown boots the daemon on an ephemeral
+// port, runs a check through the retrying client, then delivers SIGTERM
+// and verifies the drain completes with a clean exit.
+func TestServeCheckAndGracefulShutdown(t *testing.T) {
+	leakcheck.Check(t)
+	var out bytes.Buffer
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain-timeout", "10s"}, &out, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	for _, ep := range []string{"/healthz", "/readyz", "/metrics"} {
+		resp, err := http.Get(base + ep)
+		if err != nil {
+			t.Fatalf("GET %s: %v", ep, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", ep, resp.StatusCode)
+		}
+	}
+
+	c := client.New(base)
+	resp, err := c.Check(context.Background(), serve.CheckRequest{
+		CSPM: "channel a\nP = a -> P\nassert P :[deadlock free]\n",
+	})
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if len(resp.Results) != 1 || !resp.Results[0].Holds {
+		t.Fatalf("results = %+v", resp.Results)
+	}
+
+	// SIGTERM to our own process: run's signal handler catches it, the
+	// daemon drains and run returns nil.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	for _, want := range []string{"listening on", "draining", "drained, exiting"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRejectsUnexpectedArguments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"stray"}, &out, nil); err == nil {
+		t.Fatal("stray argument accepted")
+	}
+}
+
+// TestBudgetJSONShape pins the wire names of the budget knobs the
+// README documents.
+func TestBudgetJSONShape(t *testing.T) {
+	b, err := json.Marshal(serve.CheckRequest{
+		CSPM:   "P = STOP",
+		Budget: &serve.BudgetSpec{MaxStates: 1, MaxProductStates: 2, MaxSteps: 3, MaxDurationMs: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"cspm"`, `"maxStates"`, `"maxProductStates"`, `"maxSteps"`, `"maxDurationMs"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("request JSON missing %s: %s", want, b)
+		}
+	}
+}

@@ -11,9 +11,13 @@
 //   - mustrecover: the csp/st Must* construction helpers panic with a
 //     typed error; command binaries must convert that panic back into
 //     an ordinary error with a deferred Recover* boundary.
-//   - seededrand: conformance and fault-campaign runs must be
-//     reproducible from a recorded seed, so the implicitly seeded
+//   - seededrand: conformance, fault-campaign and chaos-soak runs must
+//     be reproducible from a recorded seed, so the implicitly seeded
 //     global math/rand functions are forbidden there.
+//   - unrecoveredgo: goroutines launched in the server and worker-pool
+//     packages must install a deferred recover() boundary — a panic in
+//     a bare goroutine has no request handler above it and kills the
+//     daemon.
 package analyzers
 
 import (
@@ -76,7 +80,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every registered analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{MustRecover, SeededRand}
+	return []*Analyzer{MustRecover, SeededRand, UnrecoveredGo}
 }
 
 // RunPackage runs each applicable analyzer over one parsed package and

@@ -19,7 +19,10 @@ var SeededRand = &Analyzer{
 		"of the global math/rand functions.",
 	AppliesTo: func(pkgDir string) bool {
 		return strings.HasPrefix(pkgDir, "internal/conformance") ||
-			strings.HasPrefix(pkgDir, "internal/faultcampaign")
+			strings.HasPrefix(pkgDir, "internal/faultcampaign") ||
+			// The chaos soak's request schedule must replay from its -seed
+			// flag for CI triage, same as the campaign engines.
+			pkgDir == "cmd/serveload"
 	},
 	// Test files draw schedules too; a flaky test that cannot be
 	// replayed is exactly the failure mode this pass exists to prevent.

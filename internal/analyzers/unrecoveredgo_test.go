@@ -1,0 +1,96 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnrecoveredGoFlagsBareGoroutine(t *testing.T) {
+	src := `package serve
+func spawn(work func()) {
+	go func() {
+		work()
+	}()
+}`
+	diags := runOn(t, UnrecoveredGo, "internal/serve", src, false)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "recover") {
+		t.Fatalf("diags = %v, want one unrecovered-goroutine finding", diags)
+	}
+}
+
+func TestUnrecoveredGoAcceptsRecoverBoundary(t *testing.T) {
+	src := `package serve
+func spawn(work func()) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = r
+			}
+		}()
+		work()
+	}()
+	go func() {
+		defer func() { _ = recover() }()
+		work()
+	}()
+}`
+	if diags := runOn(t, UnrecoveredGo, "internal/serve", src, false); len(diags) != 0 {
+		t.Fatalf("guarded goroutines flagged: %v", diags)
+	}
+}
+
+func TestUnrecoveredGoAcceptsRecoverHelper(t *testing.T) {
+	src := `package fc
+import "repro/internal/csp"
+func spawn(work func() error) {
+	go func() {
+		var err error
+		defer csp.RecoverBuild(&err)
+		_ = work()
+	}()
+}`
+	if diags := runOn(t, UnrecoveredGo, "internal/faultcampaign", src, false); len(diags) != 0 {
+		t.Fatalf("Recover*-helper goroutine flagged: %v", diags)
+	}
+}
+
+func TestUnrecoveredGoIgnoresNamedCalls(t *testing.T) {
+	// `go method()` launches named code that carries its own boundary;
+	// the convention is enforced where the body is written.
+	src := `package serve
+type w struct{}
+func (w) run() {}
+func spawn() {
+	var x w
+	go x.run()
+}`
+	if diags := runOn(t, UnrecoveredGo, "internal/serve", src, false); len(diags) != 0 {
+		t.Fatalf("named goroutine call flagged: %v", diags)
+	}
+}
+
+func TestUnrecoveredGoScope(t *testing.T) {
+	// Batch CLIs and libraries outside the server/worker set may crash
+	// on a bug; the pass must not fire there.
+	src := `package ota
+func spawn(work func()) {
+	go func() { work() }()
+}`
+	if diags := runOn(t, UnrecoveredGo, "internal/ota", src, false); len(diags) != 0 {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+	if diags := runOn(t, UnrecoveredGo, "cmd/fdrserve", `package main
+func spawn(work func()) { go func() { work() }() }`, false); len(diags) != 1 {
+		t.Fatalf("cmd/fdrserve not covered: %v", diags)
+	}
+}
+
+func TestSeededRandCoversServeload(t *testing.T) {
+	src := `package main
+import "math/rand"
+func pick() int { return rand.Intn(8) }`
+	diags := runOn(t, SeededRand, "cmd/serveload", src, false)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want one global-rand finding in cmd/serveload", diags)
+	}
+}

@@ -146,11 +146,27 @@ func Run(cfg Config) (*Report, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				claimed := -1
+				defer func() {
+					// Panic isolation: a crashing schedule becomes an
+					// interpreter-error verdict for that schedule alone; the
+					// remaining jobs drain through the other workers.
+					if r := recover(); r != nil && claimed >= 0 {
+						verdicts[claimed] = Verdict{
+							Name:     jobs[claimed].name,
+							Schedule: jobs[claimed].s,
+							Kind:     InterpreterError,
+							Detail:   fmt.Sprintf("panic in schedule worker: %v", r),
+						}
+						prog.Tick(done.Add(1), obs.Int("schedules", int64(len(jobs))))
+					}
+				}()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(jobs) {
 						return
 					}
+					claimed = i
 					verdicts[i] = runJob(jobs[i])
 					prog.Tick(done.Add(1), obs.Int("schedules", int64(len(jobs))))
 				}

@@ -542,11 +542,24 @@ func runPool(scenarios []Scenario, workers int, o *obs.Observer) []Outcome {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			claimed := -1
+			defer func() {
+				// Panic isolation: a crashing scenario is judged Errored on
+				// its own; the rest of the campaign drains through the other
+				// workers instead of dying with the process.
+				if r := recover(); r != nil && claimed >= 0 {
+					outcomes[claimed] = judgeError(
+						Outcome{Scenario: scenarios[claimed]},
+						fmt.Errorf("panic in scenario worker: %v", r))
+					prog.Tick(done.Add(1), obs.Int("scenarios", int64(len(scenarios))))
+				}
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(scenarios) {
 					return
 				}
+				claimed = i
 				outcomes[i] = runScenario(scenarios[i], o)
 				prog.Tick(done.Add(1), obs.Int("scenarios", int64(len(scenarios))))
 			}

@@ -1,0 +1,113 @@
+package fdr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cspm"
+	"repro/internal/leakcheck"
+	"repro/internal/lts"
+)
+
+// campaignScript builds a model whose assertions each explore 2^k
+// states — big enough that a whole campaign takes real time and can be
+// cancelled partway through.
+func campaignScript(t *testing.T, k, asserts int) *cspm.Model {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("channel h, t\n")
+	b.WriteString("P = h -> t -> P\n")
+	b.WriteString("SYS = ")
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			b.WriteString(" ||| ")
+		}
+		b.WriteString("P")
+	}
+	b.WriteString("\n")
+	for i := 0; i < asserts; i++ {
+		b.WriteString("assert SYS :[deadlock free]\n")
+	}
+	m, err := cspm.Load(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunAllBudgetPreCancelled(t *testing.T) {
+	leakcheck.Check(t)
+	m := campaignScript(t, 4, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunAllBudget(m, Budget{Ctx: ctx})
+	if err == nil {
+		t.Fatal("cancelled campaign succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunAllBudgetCancelMidCampaign cancels while a multi-assertion
+// campaign is in flight: the run must stop at the in-flight assertion
+// with an error naming it, rather than finishing the sweep.
+func TestRunAllBudgetCancelMidCampaign(t *testing.T) {
+	leakcheck.Check(t)
+	m := campaignScript(t, 14, 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunAllBudget(m, Budget{Ctx: ctx, Cache: lts.NewCache(), MaxStates: 1 << 20})
+	if err == nil {
+		t.Skip("campaign completed before the deadline fired")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !strings.Contains(err.Error(), "assertion") {
+		t.Errorf("campaign error does not name the assertion: %v", err)
+	}
+	// Cooperative abort must be prompt: well under what the remaining
+	// assertions would have cost.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancelled campaign still ran %v", elapsed)
+	}
+}
+
+// TestRunAllBudgetCancelDoesNotPoisonCache pins the retry path at
+// campaign level: after a cancelled run, rerunning with the same shared
+// cache must recompute the aborted exploration and produce the same
+// results as a fresh-cache run.
+func TestRunAllBudgetCancelDoesNotPoisonCache(t *testing.T) {
+	leakcheck.Check(t)
+	m := campaignScript(t, 12, 2)
+	shared := lts.NewCache()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	_, err := RunAllBudget(m, Budget{Ctx: ctx, Cache: shared, MaxStates: 1 << 20})
+	cancel()
+	if err == nil {
+		t.Skip("campaign completed before the deadline fired")
+	}
+	got, err := RunAllBudget(m, Budget{Cache: shared, MaxStates: 1 << 20})
+	if err != nil {
+		t.Fatalf("retry on the shared cache failed: %v", err)
+	}
+	want, err := RunAllBudget(m, Budget{Cache: lts.NewCache(), MaxStates: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result counts diverge: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if fmt.Sprintf("%+v", got[i].Result) != fmt.Sprintf("%+v", want[i].Result) {
+			t.Errorf("assertion %d diverges after cancelled warm-up:\n%+v\n%+v",
+				i, got[i].Result, want[i].Result)
+		}
+	}
+}

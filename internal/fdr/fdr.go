@@ -4,6 +4,7 @@
 package fdr
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -58,6 +59,12 @@ type Budget struct {
 	// assertion text and verdict) plus the checker's and explorer's own
 	// instrumentation. nil disables it.
 	Obs *obs.Observer
+	// Ctx, when non-nil, cooperatively cancels the checks: a cancelled
+	// context aborts the in-flight exploration or product search
+	// mid-BFS-level with an error matching context.Canceled /
+	// context.DeadlineExceeded under errors.Is. nil (the default) means
+	// no cancellation.
+	Ctx context.Context
 }
 
 // RunAssert checks a single resolved assertion.
@@ -89,6 +96,7 @@ func RunAssertBudget(m *cspm.Model, a cspm.ResolvedAssert, bgt Budget) (res refi
 	c.Workers = bgt.Workers
 	c.Cache = bgt.Cache
 	c.Obs = bgt.Obs
+	c.Ctx = bgt.Ctx
 	switch a.Kind {
 	case cspm.AssertTraceRef:
 		return c.RefinesTraces(a.Spec, a.Impl)

@@ -1,0 +1,157 @@
+// Package leakcheck is an in-tree goroutine-leak detector in the
+// spirit of go.uber.org/goleak (the build environment is offline, so
+// the real module cannot be vendored). The cancellation and server
+// tests use it to pin the core robustness invariant of
+// checking-as-a-service: an aborted request must release every
+// goroutine it spawned — a daemon that leaks one goroutine per
+// cancelled check dies slowly under exactly the traffic it exists to
+// absorb.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// defaultGrace is how long Check waits for goroutines to unwind before
+// declaring a leak: worker goroutines observe cancellation
+// cooperatively, so a just-cancelled exploration needs a moment to
+// drain.
+const defaultGrace = 4 * time.Second
+
+// ignored reports whether a goroutine stack belongs to the runtime or
+// test infrastructure rather than code under test.
+func ignored(stack string) bool {
+	for _, frag := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*T).Run(",
+		"testing.(*F).Fuzz",
+		"runtime.goexit",
+		"runtime.MHeap_Scavenger",
+		"runtime.gc(",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"signal.signal_recv",
+		"os/signal.loop",
+		"os/signal.signal_recv",
+		"runtime.ensureSigM",
+		"runtime.ReadTrace",
+		"leakcheck.Snapshot",
+		"leakcheck.interesting",
+		// net/http keep-alive and idle-connection machinery parks
+		// goroutines briefly after a client round-trip; they retire on
+		// their own and are not application leaks.
+		"net/http.(*persistConn).readLoop",
+		"net/http.(*persistConn).writeLoop",
+	} {
+		if strings.Contains(stack, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+// interesting returns the stacks of goroutines that are neither runtime
+// infrastructure nor on the ignore list, sorted for stable output.
+func interesting() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var out []string
+	for _, stanza := range strings.Split(string(buf[:n]), "\n\n") {
+		stanza = strings.TrimSpace(stanza)
+		if stanza == "" || ignored(stanza) {
+			continue
+		}
+		out = append(out, stanza)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TB is the subset of testing.TB the checker needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// Check snapshots the interesting goroutines now and, from the test's
+// Cleanup, verifies the set has returned to the snapshot within a
+// grace period. Call it first thing in a test:
+//
+//	func TestX(t *testing.T) {
+//	    leakcheck.Check(t)
+//	    ...
+//	}
+func Check(tb TB) {
+	tb.Helper()
+	before := map[string]bool{}
+	for _, s := range interesting() {
+		before[firstLine(s)] = true
+	}
+	tb.Cleanup(func() {
+		if err := settle(before, defaultGrace); err != nil {
+			tb.Errorf("%v", err)
+		}
+	})
+}
+
+// Settle waits until no interesting goroutines beyond the baseline
+// count remain, or the grace period expires — the non-testing entry
+// point used by the serveload chaos harness.
+func Settle(grace time.Duration) error {
+	return settle(nil, grace)
+}
+
+func settle(baseline map[string]bool, grace time.Duration) error {
+	deadline := time.Now().Add(grace)
+	var leaked []string
+	for {
+		leaked = leaked[:0]
+		for _, s := range interesting() {
+			if baseline == nil || !baseline[firstLine(s)] {
+				leaked = append(leaked, s)
+			}
+		}
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d leaked goroutine(s) after %v:\n", len(leaked), grace)
+	for i, s := range leaked {
+		if i == 8 {
+			fmt.Fprintf(&b, "... and %d more\n", len(leaked)-i)
+			break
+		}
+		fmt.Fprintf(&b, "--- goroutine ---\n%s\n", s)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// firstLine is the goroutine header ("goroutine N [state]:") minus the
+// volatile goroutine ID — the stable identity used to compare
+// snapshots.
+func firstLine(stack string) string {
+	line := stack
+	if i := strings.IndexByte(stack, '\n'); i >= 0 {
+		// Identity is the creation site plus current function, not the
+		// header: use the whole first two frames.
+		rest := stack[i+1:]
+		if j := strings.IndexByte(rest, '\n'); j >= 0 {
+			line = rest[:j]
+		} else {
+			line = rest
+		}
+	}
+	return line
+}

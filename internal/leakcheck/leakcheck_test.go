@@ -1,0 +1,56 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSettleQuietProcess(t *testing.T) {
+	if err := Settle(2 * time.Second); err != nil {
+		t.Fatalf("quiet process reported a leak: %v", err)
+	}
+}
+
+func TestSettleDetectsLeak(t *testing.T) {
+	block := make(chan struct{})
+	go func() { <-block }()
+	err := Settle(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("blocked goroutine not reported")
+	}
+	if !strings.Contains(err.Error(), "leaked goroutine") {
+		t.Errorf("error = %v, want a leak report", err)
+	}
+	close(block)
+	if err := Settle(2 * time.Second); err != nil {
+		t.Fatalf("released goroutine still reported: %v", err)
+	}
+}
+
+func TestCheckIgnoresBaseline(t *testing.T) {
+	// A goroutine alive before Check must not be reported by it.
+	block := make(chan struct{})
+	go func() { <-block }()
+	defer close(block)
+
+	rec := &recorder{}
+	Check(rec)
+	for _, f := range rec.cleanups {
+		f()
+	}
+	if len(rec.errors) != 0 {
+		t.Fatalf("baseline goroutine reported: %v", rec.errors)
+	}
+}
+
+type recorder struct {
+	cleanups []func()
+	errors   []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, format)
+}
+func (r *recorder) Cleanup(f func()) { r.cleanups = append(r.cleanups, f) }

@@ -1,0 +1,193 @@
+package lts
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/obs"
+)
+
+// boundSem builds a semantics with n distinct chain processes P0..Pn-1,
+// each exploring exactly `states` states, so tests can fill a bounded
+// cache with entries of known size.
+func boundSem(t *testing.T, n, states int) (*csp.Semantics, []csp.Process) {
+	t.Helper()
+	ctx := csp.NewContext()
+	env := csp.NewEnv()
+	procs := make([]csp.Process, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("ch%d", i)
+		ctx.MustChannel(name, csp.IntRange{Lo: 0, Hi: states})
+		def := fmt.Sprintf("B%d", i)
+		env.MustDefine(def, []string{"n"},
+			csp.Guard(csp.Binary{Op: csp.OpLt, L: csp.V("n"), R: csp.LitInt(states - 1)},
+				csp.Prefix(name, []csp.CommField{csp.Out(csp.V("n"))},
+					csp.Call(def, csp.Binary{Op: csp.OpAdd, L: csp.V("n"), R: csp.LitInt(1)}))))
+		procs[i] = csp.Call(def, csp.LitInt(0))
+	}
+	return csp.NewSemantics(env, ctx), procs
+}
+
+func TestCacheMaxEntriesEvictsLRU(t *testing.T) {
+	sem, procs := boundSem(t, 4, 8)
+	c := NewCache()
+	c.MaxEntries = 2
+	c.Obs = obs.New()
+	for _, p := range procs[:3] {
+		if _, err := c.Explore(sem, p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries past MaxEntries=2", c.Len())
+	}
+	st := c.StatsAll()
+	if st.SizeEvictions != 1 {
+		t.Errorf("SizeEvictions = %d, want 1", st.SizeEvictions)
+	}
+	if got := c.Obs.Snapshot().Counters["lts.cache.evictions.size"]; got != 1 {
+		t.Errorf("evictions.size counter = %d, want 1", got)
+	}
+	// procs[0] was least recently used and must be gone: re-exploring it
+	// is a miss; procs[1] and procs[2] must still hit.
+	_, missesBefore := c.Stats()
+	for _, p := range procs[1:3] {
+		if _, err := c.Explore(sem, p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, misses := c.Stats(); misses != missesBefore {
+		t.Errorf("retained entries missed: misses %d -> %d", missesBefore, misses)
+	}
+	if _, err := c.Explore(sem, procs[0], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Stats(); misses != missesBefore+1 {
+		t.Errorf("evicted entry did not miss on re-explore")
+	}
+}
+
+func TestCacheLRUOrderFollowsUse(t *testing.T) {
+	sem, procs := boundSem(t, 3, 8)
+	c := NewCache()
+	c.MaxEntries = 2
+	if _, err := c.Explore(sem, procs[0], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Explore(sem, procs[1], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Touch procs[0] so procs[1] becomes the LRU victim.
+	if _, err := c.Explore(sem, procs[0], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Explore(sem, procs[2], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore := c.Stats()
+	if _, err := c.Explore(sem, procs[0], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Stats(); misses != missesBefore {
+		t.Error("recently-touched entry was evicted instead of the LRU one")
+	}
+	if _, err := c.Explore(sem, procs[1], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := c.Stats(); misses != missesBefore+1 {
+		t.Error("LRU entry survived past the watermark")
+	}
+}
+
+func TestCacheMaxStatesWatermark(t *testing.T) {
+	sem, procs := boundSem(t, 3, 10) // 10 states per entry
+	c := NewCache()
+	c.MaxStates = 25 // fits two entries, not three
+	for _, p := range procs {
+		if _, err := c.Explore(sem, p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.StatsAll()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2 under the state watermark", st.Entries)
+	}
+	if st.States > 25 {
+		t.Errorf("cached states = %d, exceeds MaxStates=25", st.States)
+	}
+	if st.SizeEvictions != 1 {
+		t.Errorf("SizeEvictions = %d, want 1", st.SizeEvictions)
+	}
+}
+
+func TestCacheOversizedEntryEvictedImmediately(t *testing.T) {
+	sem, procs := boundSem(t, 1, 50)
+	c := NewCache()
+	c.MaxStates = 10
+	l, err := c.Explore(sem, procs[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Keys) != 50 {
+		t.Fatalf("exploration returned %d states, want 50", len(l.Keys))
+	}
+	// The result is returned to the caller but not retained: staying
+	// under the watermark wins over keeping an oversized entry.
+	if c.Len() != 0 {
+		t.Errorf("oversized entry retained (%d entries)", c.Len())
+	}
+	if st := c.StatsAll(); st.States != 0 {
+		t.Errorf("cached states = %d, want 0", st.States)
+	}
+}
+
+// TestCacheUnboundedDefaultKeepsEverything pins the compatibility
+// contract: with both limits zero the cache never evicts for size, so
+// batch CLI behaviour is unchanged.
+func TestCacheUnboundedDefaultKeepsEverything(t *testing.T) {
+	sem, procs := boundSem(t, 6, 8)
+	c := NewCache()
+	for _, p := range procs {
+		if _, err := c.Explore(sem, p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 6 {
+		t.Errorf("unbounded cache holds %d entries, want 6", c.Len())
+	}
+	if st := c.StatsAll(); st.SizeEvictions != 0 {
+		t.Errorf("unbounded cache recorded %d size evictions", st.SizeEvictions)
+	}
+	_, missesBefore := c.Stats()
+	for _, p := range procs {
+		if _, err := c.Explore(sem, p, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, misses := c.Stats(); misses != missesBefore {
+		t.Error("unbounded cache re-explored a cached entry")
+	}
+}
+
+// TestCacheBoundedNormalizeEvicted verifies eviction also drops the
+// memoized normalisation, so an evicted LTS's subset construction is
+// not kept alive behind the bound.
+func TestCacheBoundedNormalizeEvicted(t *testing.T) {
+	sem, procs := boundSem(t, 2, 8)
+	c := NewCache()
+	c.MaxEntries = 1
+	l0, err := c.Explore(sem, procs[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := c.Normalize(l0)
+	if _, err := c.Explore(sem, procs[1], Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// procs[0] is evicted; its normalisation must be recomputed, not
+	// returned from the memo.
+	if c.Normalize(l0) == n0 {
+		t.Error("evicted LTS still served a memoized normalisation")
+	}
+}

@@ -6,6 +6,7 @@
 package lts
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -87,6 +88,13 @@ type Options struct {
 	// numbering, Keys, Edges, Events) is byte-identical to the
 	// sequential result at any worker count.
 	Workers int
+	// Ctx, when non-nil, cooperatively cancels the exploration: the BFS
+	// checks the context before every state expansion, so a cancelled
+	// request (a disconnected client, a fired per-request deadline)
+	// aborts mid-level and returns a *CanceledError matching
+	// context.Canceled / context.DeadlineExceeded under errors.Is. nil
+	// means no cancellation, the batch-CLI default.
+	Ctx context.Context
 	// Obs receives exploration metrics, a span per Explore call and
 	// progress heartbeats. nil (the default) disables instrumentation at
 	// the cost of a nil check; measurements never influence the
@@ -116,8 +124,34 @@ func (e *DeadlineError) Error() string {
 // Is makes errors.Is(err, ErrDeadline) hold.
 func (e *DeadlineError) Is(target error) bool { return target == ErrDeadline }
 
+// CanceledError is the concrete error returned when exploration is
+// aborted by Options.Ctx. It unwraps to the context's error, so
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) both work, and carries the partial
+// exploration size like the other budget errors.
+type CanceledError struct {
+	// Explored is the number of states discovered before the abort.
+	Explored int
+	// Cause is the context's error (context.Canceled or
+	// context.DeadlineExceeded).
+	Cause error
+}
+
+// Error describes the aborted exploration.
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("LTS exploration canceled: %v (explored %d states)", e.Cause, e.Explored)
+}
+
+// Unwrap exposes the context error to errors.Is.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
 // deadlineCheckInterval is how many states are expanded between
-// wall-clock checks; a power of two keeps the hot-loop test cheap.
+// wall-clock checks in the merge loop; a power of two keeps the
+// hot-loop test cheap. Inside expandLevel the stop conditions are
+// probed per state instead: transition evaluation dominates the probe
+// by orders of magnitude, and per-state probing is what bounds deadline
+// overshoot and cancellation latency to a single slow state rather than
+// a whole level.
 const deadlineCheckInterval = 256
 
 // DefaultMaxStates is the exploration bound used when Options.MaxStates
@@ -163,11 +197,14 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err 
 			explored = int64(lts.NumStates())
 		}
 		outcome := "ok"
+		var ce *CanceledError
 		switch {
 		case errors.Is(err, ErrStateLimit):
 			outcome = "state-limit"
 		case errors.Is(err, ErrDeadline):
 			outcome = "deadline"
+		case errors.As(err, &ce):
+			outcome = "canceled"
 		case err != nil:
 			outcome = "error"
 		}
@@ -202,7 +239,7 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err 
 	l.Init = rootID
 	level := []int{rootID}
 	statesC.Inc() // the root
-	start := time.Now()
+	stop := &stopper{ctx: opts.Ctx, maxDur: opts.MaxDuration, start: time.Now()}
 	expanded := 0
 	for len(level) > 0 {
 		levelsC.Inc()
@@ -210,7 +247,7 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err 
 		if workers > 1 && len(level) >= parallelLevelThreshold {
 			parLevelsC.Inc()
 		}
-		trs, err := expandLevel(sem, l, level, workers, opts.MaxDuration, start)
+		trs, err := expandLevel(sem, l, level, workers, stop)
 		if err != nil {
 			return nil, err
 		}
@@ -218,9 +255,10 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err 
 		levelEdges := 0
 		for i, id := range level {
 			expanded++
-			if opts.MaxDuration > 0 && expanded%deadlineCheckInterval == 0 &&
-				time.Since(start) > opts.MaxDuration {
-				return nil, &DeadlineError{Explored: len(l.Keys), Limit: opts.MaxDuration}
+			if expanded%deadlineCheckInterval == 0 {
+				if err := stop.check(len(l.Keys)); err != nil {
+					return nil, err
+				}
 			}
 			edges := make([]Edge, 0, len(trs[i]))
 			for _, tr := range trs[i] {
@@ -245,18 +283,58 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err 
 	return l, nil
 }
 
+// stopper bundles the two cooperative stop conditions of an exploration
+// — the wall-clock budget and the cancellation context — so every loop
+// probes them identically. check is cheap relative to a transition
+// evaluation (one time.Since plus one atomic context poll), so the
+// exploration loops probe it per expanded state: a deadline or cancel
+// can overshoot by at most one slow state, never a whole BFS level.
+type stopper struct {
+	ctx    context.Context
+	maxDur time.Duration
+	start  time.Time
+}
+
+// enabled reports whether any stop condition is configured.
+func (s *stopper) enabled() bool { return s.maxDur > 0 || s.ctx != nil }
+
+// check returns the typed stop error if a condition has fired, with
+// explored recorded as the partial exploration size.
+func (s *stopper) check(explored int) error {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			return &CanceledError{Explored: explored, Cause: err}
+		}
+	}
+	if s.maxDur > 0 && time.Since(s.start) > s.maxDur {
+		return &DeadlineError{Explored: explored, Limit: s.maxDur}
+	}
+	return nil
+}
+
 // expandLevel evaluates the transition lists of one BFS level,
 // concurrently when the level and worker count warrant it. Results are
 // slotted by level index, and on error the lowest-index failure is
 // returned — exactly the state a sequential exploration would have
-// failed on — so parallel runs report identical errors.
-func expandLevel(sem *csp.Semantics, l *LTS, level []int, workers int, maxDur time.Duration, start time.Time) ([][]csp.Transition, error) {
+// failed on — so parallel runs report identical errors. Stop conditions
+// (deadline, cancellation) are probed before every evaluation on both
+// the sequential and the parallel path, and a panicking transition
+// evaluation in a worker goroutine is recovered into an ordinary error
+// instead of killing the process — a long-lived server must survive a
+// malformed term that a batch CLI would crash on.
+func expandLevel(sem *csp.Semantics, l *LTS, level []int, workers int, stop *stopper) ([][]csp.Transition, error) {
 	out := make([][]csp.Transition, len(level))
 	if workers > len(level) {
 		workers = len(level)
 	}
 	if workers <= 1 || len(level) < parallelLevelThreshold {
+		checked := stop.enabled()
 		for i, id := range level {
+			if checked {
+				if err := stop.check(len(l.Keys)); err != nil {
+					return nil, err
+				}
+			}
 			trs, err := sem.Transitions(l.Procs[id])
 			if err != nil {
 				return nil, fmt.Errorf("state %q: %w", l.Keys[id], err)
@@ -269,11 +347,21 @@ func expandLevel(sem *csp.Semantics, l *LTS, level []int, workers int, maxDur ti
 	var next atomic.Int64
 	var abort atomic.Bool
 	var wg sync.WaitGroup
+	checked := stop.enabled()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			evaluated := 0
+			claimed := -1
+			defer func() {
+				if r := recover(); r != nil {
+					if claimed >= 0 {
+						errs[claimed] = fmt.Errorf("state %q: panic during transition evaluation: %v",
+							l.Keys[level[claimed]], r)
+					}
+					abort.Store(true)
+				}
+			}()
 			for {
 				if abort.Load() {
 					return
@@ -282,11 +370,12 @@ func expandLevel(sem *csp.Semantics, l *LTS, level []int, workers int, maxDur ti
 				if i >= len(level) {
 					return
 				}
-				evaluated++
-				if maxDur > 0 && evaluated%deadlineCheckInterval == 0 &&
-					time.Since(start) > maxDur {
-					abort.Store(true)
-					return
+				claimed = i
+				if checked {
+					if err := stop.check(len(l.Keys)); err != nil {
+						abort.Store(true)
+						return
+					}
 				}
 				id := level[i]
 				trs, err := sem.Transitions(l.Procs[id])
@@ -308,8 +397,8 @@ func expandLevel(sem *csp.Semantics, l *LTS, level []int, workers int, maxDur ti
 			return nil, err
 		}
 	}
-	if maxDur > 0 && time.Since(start) > maxDur {
-		return nil, &DeadlineError{Explored: len(l.Keys), Limit: maxDur}
+	if err := stop.check(len(l.Keys)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

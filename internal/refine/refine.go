@@ -7,6 +7,7 @@
 package refine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -101,6 +102,14 @@ type Checker struct {
 	// explorations. nil disables instrumentation; measurements never
 	// influence verdicts.
 	Obs *obs.Observer
+	// Ctx, when non-nil, cooperatively cancels the whole check: the
+	// explorations and the product search all poll it, so a cancelled
+	// request (disconnected client, fired per-request deadline) aborts
+	// mid-BFS-level with an error matching context.Canceled /
+	// context.DeadlineExceeded under errors.Is. nil means no
+	// cancellation, the batch-CLI default. Cancellation never yields a
+	// verdict — like a budget exhaustion, the outcome is unknown.
+	Ctx context.Context
 }
 
 // BudgetError reports that a check ran out of its resource budget. The
@@ -139,6 +148,19 @@ func NewChecker(env *csp.Env, ctx *csp.Context) *Checker {
 	return &Checker{Sem: csp.NewSemantics(env, ctx)}
 }
 
+// canceled returns the checker context's cancellation error wrapped
+// with the phase that observed it, or nil. The wrapped error matches
+// context.Canceled / context.DeadlineExceeded under errors.Is.
+func (c *Checker) canceled(phase string) error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return fmt.Errorf("refine: %s canceled: %w", phase, err)
+	}
+	return nil
+}
+
 // deadline returns the absolute wall-clock deadline of a check starting
 // now, or the zero time when the checker is unbounded.
 func (c *Checker) deadline() time.Time {
@@ -156,7 +178,7 @@ func (c *Checker) explore(p csp.Process) (*lts.LTS, error) {
 // wall-clock deadline (zero time means unbounded), consulting the
 // shared cache when one is configured.
 func (c *Checker) exploreWithin(p csp.Process, deadline time.Time) (*lts.LTS, error) {
-	opts := lts.Options{MaxStates: c.MaxStates, Workers: c.Workers, Obs: c.Obs}
+	opts := lts.Options{MaxStates: c.MaxStates, Workers: c.Workers, Obs: c.Obs, Ctx: c.Ctx}
 	if !deadline.IsZero() {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -263,6 +285,9 @@ func verdictOf(res Result, err error) string {
 		if errors.As(err, &be) {
 			return "budget:" + be.Phase
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return "canceled"
+		}
 		return "error"
 	}
 }
@@ -355,10 +380,14 @@ func (c *Checker) productCheck(specLTS *lts.LTS, norm *lts.Normalized, implLTS *
 		ps := queue[0]
 		queue = queue[1:]
 		visitedProduct++
-		if !deadline.IsZero() && visitedProduct%deadlineCheckInterval == 0 &&
-			time.Now().After(deadline) {
-			return Result{}, &BudgetError{Phase: "product-deadline", Explored: visitedProduct,
-				Limit: int(c.MaxDuration / time.Millisecond)}
+		if visitedProduct%deadlineCheckInterval == 0 {
+			if err := c.canceled("product search"); err != nil {
+				return Result{}, err
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return Result{}, &BudgetError{Phase: "product-deadline", Explored: visitedProduct,
+					Limit: int(c.MaxDuration / time.Millisecond)}
+			}
 		}
 
 		if model == Failures && implLTS.IsStable(ps.impl) {

@@ -1,0 +1,201 @@
+// Package client is the fdrserve HTTP client: one Check call with
+// retry, exponential backoff and jitter. Overload (429) and drain (503)
+// responses are retried after the server's Retry-After hint (or the
+// backoff schedule, whichever is longer); transport errors are retried
+// on the schedule; other statuses are returned to the caller — a 400 is
+// the caller's bug, and retrying it would only add load.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Client talks to one fdrserve base URL. The zero value is not usable;
+// construct with New.
+type Client struct {
+	// Base is the server URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries is how many times a retryable request is re-sent after
+	// the first attempt (default 5).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff schedule (default 100ms);
+	// attempt n waits BaseDelay * 2^n, capped at MaxDelay (default 5s),
+	// plus up to 50% jitter.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Rand supplies the jitter; a seeded source makes retry schedules
+	// reproducible in tests. nil means no jitter.
+	Rand *rand.Rand
+}
+
+// New builds a client with the default retry policy.
+func New(base string) *Client {
+	return &Client{
+		Base:       base,
+		HTTP:       http.DefaultClient,
+		MaxRetries: 5,
+		BaseDelay:  100 * time.Millisecond,
+		MaxDelay:   5 * time.Second,
+	}
+}
+
+// StatusError reports a non-retryable (or retries-exhausted) HTTP
+// failure, carrying the server's structured error body when present.
+type StatusError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error field, or the raw body.
+	Message string
+	// Attempts is how many requests were sent in total.
+	Attempts int
+}
+
+// Error renders the failure.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d after %d attempt(s): %s", e.Status, e.Attempts, e.Message)
+}
+
+// Check posts the request and decodes the response, retrying overload
+// and transport failures with exponential backoff and jitter. The
+// context bounds the whole retry loop, not just one attempt.
+func (c *Client) Check(ctx context.Context, req serve.CheckRequest) (*serve.CheckResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	attempts := c.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt-1, lastErr); err != nil {
+				return nil, err
+			}
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/check", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hresp, err := httpc.Do(hreq)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		rbody, rerr := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
+		hresp.Body.Close()
+		if rerr != nil {
+			lastErr = rerr
+			continue
+		}
+		switch {
+		case hresp.StatusCode == http.StatusOK:
+			var out serve.CheckResponse
+			if err := json.Unmarshal(rbody, &out); err != nil {
+				return nil, fmt.Errorf("decode response: %w", err)
+			}
+			return &out, nil
+		case hresp.StatusCode == http.StatusTooManyRequests ||
+			hresp.StatusCode == http.StatusServiceUnavailable:
+			lastErr = &StatusError{
+				Status:   hresp.StatusCode,
+				Message:  errorBody(rbody),
+				Attempts: attempt + 1,
+			}
+			if ra := retryAfterHint(hresp); ra > 0 {
+				if err := sleepCtx(ctx, ra); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		default:
+			return nil, &StatusError{
+				Status:   hresp.StatusCode,
+				Message:  errorBody(rbody),
+				Attempts: attempt + 1,
+			}
+		}
+	}
+	return nil, fmt.Errorf("retries exhausted: %w", lastErr)
+}
+
+// sleep waits out the exponential backoff for the given (0-based)
+// retry, adding up to 50% jitter when a Rand is configured so a fleet
+// of clients does not retry in lockstep.
+func (c *Client) sleep(ctx context.Context, retry int, _ error) error {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := c.MaxDelay
+	if maxd <= 0 {
+		maxd = 5 * time.Second
+	}
+	d := base << uint(retry)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	if c.Rand != nil {
+		d += time.Duration(c.Rand.Int63n(int64(d)/2 + 1))
+	}
+	return sleepCtx(ctx, d)
+}
+
+// sleepCtx sleeps for d or until the context dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retryAfterHint parses the Retry-After header (seconds form).
+func retryAfterHint(resp *http.Response) time.Duration {
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// errorBody extracts the structured error field, falling back to the
+// raw body text.
+func errorBody(body []byte) string {
+	var cr serve.CheckResponse
+	if err := json.Unmarshal(body, &cr); err == nil && cr.Error != "" {
+		return cr.Error
+	}
+	if len(body) > 200 {
+		body = body[:200]
+	}
+	return string(bytes.TrimSpace(body))
+}

@@ -1,0 +1,133 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// flakyServer answers with the scripted status codes in order, then
+// 200s with a one-verdict response.
+func flakyServer(t *testing.T, script []int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n < len(script) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(script[n])
+			_ = json.NewEncoder(w).Encode(serve.CheckResponse{Error: "scripted failure"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(serve.CheckResponse{
+			Results: []serve.AssertVerdict{{Assert: "assert P :[deadlock free]", Holds: true}},
+		})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// fastClient returns a client with a compressed backoff schedule so
+// retry tests run in milliseconds.
+func fastClient(base string) *Client {
+	c := New(base)
+	c.BaseDelay = time.Millisecond
+	c.MaxDelay = 4 * time.Millisecond
+	c.Rand = rand.New(rand.NewSource(1))
+	return c
+}
+
+func TestCheckRetriesOverloadThenSucceeds(t *testing.T) {
+	ts, calls := flakyServer(t, []int{429, 429, 503}, "0")
+	c := fastClient(ts.URL)
+	resp, err := c.Check(context.Background(), serve.CheckRequest{CSPM: "P = STOP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 || !resp.Results[0].Holds {
+		t.Fatalf("response = %+v", resp)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("server saw %d attempts, want 4 (three rejections, one success)", got)
+	}
+}
+
+func TestCheckDoesNotRetryClientErrors(t *testing.T) {
+	ts, calls := flakyServer(t, []int{400, 400, 400, 400}, "")
+	c := fastClient(ts.URL)
+	_, err := c.Check(context.Background(), serve.CheckRequest{CSPM: "broken"})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v, want *StatusError", err, err)
+	}
+	if se.Status != 400 || se.Attempts != 1 {
+		t.Errorf("StatusError = %+v, want status 400 after 1 attempt", se)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d attempts, want 1 (400s are the caller's bug)", got)
+	}
+	if se.Message != "scripted failure" {
+		t.Errorf("message = %q, want the structured error body", se.Message)
+	}
+}
+
+func TestCheckExhaustsRetries(t *testing.T) {
+	ts, calls := flakyServer(t, []int{429, 429, 429, 429, 429, 429, 429, 429}, "0")
+	c := fastClient(ts.URL)
+	c.MaxRetries = 2
+	_, err := c.Check(context.Background(), serve.CheckRequest{CSPM: "P = STOP"})
+	if err == nil {
+		t.Fatal("check succeeded past permanent overload")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != 429 {
+		t.Fatalf("err = %v, want wrapped 429 StatusError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d attempts, want 3 (1 + MaxRetries)", got)
+	}
+}
+
+func TestCheckContextCancelsRetryLoop(t *testing.T) {
+	ts, _ := flakyServer(t, []int{429, 429, 429, 429, 429, 429}, "1")
+	c := fastClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Check(ctx, serve.CheckRequest{CSPM: "P = STOP"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The Retry-After hint is 1s; the context must cut the sleep short.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retry loop ran %v past a 50ms context", elapsed)
+	}
+}
+
+func TestCheckRetriesTransportErrors(t *testing.T) {
+	// A server that dies after the first response: the client must retry
+	// the connection refusal until retries exhaust.
+	ts, _ := flakyServer(t, nil, "")
+	base := ts.URL
+	ts.Close()
+	c := fastClient(base)
+	c.MaxRetries = 2
+	_, err := c.Check(context.Background(), serve.CheckRequest{CSPM: "P = STOP"})
+	if err == nil {
+		t.Fatal("check against a dead server succeeded")
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		t.Fatalf("err = %v, want a transport error, not a status", err)
+	}
+}

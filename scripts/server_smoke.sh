@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Server smoke: boot the fdrserve daemon, check the OTA corpus through
+# the HTTP API (verdicts diffed against the in-process library oracle by
+# serveload -smoke), then SIGTERM it and require a clean drain (exit 0).
+# Referenced from .github/workflows/ci.yml.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18462"
+
+go build -o /tmp/fdrserve ./cmd/fdrserve
+go build -o /tmp/serveload ./cmd/serveload
+
+/tmp/fdrserve -addr "$ADDR" -drain-timeout 30s > /tmp/fdrserve.log 2>&1 &
+SRV_PID=$!
+trap 'kill "$SRV_PID" 2>/dev/null || true' EXIT
+
+# Wait for readiness.
+i=0
+until curl -fsS "http://$ADDR/readyz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "fdrserve never became ready" >&2
+        cat /tmp/fdrserve.log >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "==> serveload -smoke (OTA corpus verdicts vs in-process oracle)"
+/tmp/serveload -smoke -addr "http://$ADDR"
+
+echo "==> metrics endpoint"
+curl -fsS "http://$ADDR/metrics" | grep -q "serve.accepted"
+
+echo "==> SIGTERM drain"
+kill -TERM "$SRV_PID"
+DRAIN_STATUS=0
+wait "$SRV_PID" || DRAIN_STATUS=$?
+trap - EXIT
+if [ "$DRAIN_STATUS" -ne 0 ]; then
+    echo "fdrserve exited $DRAIN_STATUS after SIGTERM, want 0" >&2
+    cat /tmp/fdrserve.log >&2
+    exit 1
+fi
+grep -q "drained, exiting" /tmp/fdrserve.log
+
+echo "==> serveload chaos soak (fixed seed)"
+/tmp/serveload -seed 42 -requests 16
+
+echo "server smoke OK"
