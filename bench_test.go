@@ -22,6 +22,7 @@ import (
 	"repro/internal/lts"
 	"repro/internal/ota"
 	"repro/internal/refine"
+	"repro/internal/statestore"
 	"repro/internal/translate"
 )
 
@@ -316,6 +317,26 @@ func BenchmarkExplore(b *testing.B) {
 			b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
 		})
 	}
+	// The spill variant prices memory-pressure mode: the visited index
+	// lives in hash-sharded disk files from the first state (watermark
+	// 0), the worst case of the disk store. The LTS is byte-identical to
+	// the in-memory run.
+	b.Run("spill", func(b *testing.B) {
+		dir := b.TempDir()
+		states := 0
+		for i := 0; i < b.N; i++ {
+			st := statestore.NewSpill(statestore.SpillConfig{Dir: dir, SoftMemBytes: 0})
+			l, err := lts.Explore(sem, system, lts.Options{Workers: 1, Store: st})
+			if err != nil {
+				b.Fatal(err)
+			}
+			states = l.NumStates()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+	})
 }
 
 // BenchmarkRefines measures a full trace-refinement check of the R02

@@ -38,6 +38,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/ota"
 	"repro/internal/refine"
+	"repro/internal/statestore"
 )
 
 // Measurement is one benchmark result.
@@ -268,6 +269,29 @@ func suite(o *obs.Observer) ([]namedBench, error) {
 			}
 		}
 	}
+	exploreSpill := func(b *testing.B) {
+		// Memory-pressure mode, worst case: the visited index is
+		// hash-sharded onto disk from the first state (watermark 0). The
+		// LTS must come out byte-identical to the in-memory runs above.
+		dir, err := os.MkdirTemp("", "benchsmoke-spill-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		states := 0
+		for i := 0; i < b.N; i++ {
+			st := statestore.NewSpill(statestore.SpillConfig{Dir: dir, SoftMemBytes: 0, Obs: o})
+			l, err := lts.Explore(sem, system, lts.Options{Workers: 1, Store: st, Obs: o})
+			if err != nil {
+				b.Fatal(err)
+			}
+			states = l.NumStates()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+	}
 	campaign := func(workers int) func(b *testing.B) {
 		return func(b *testing.B) {
 			cfg := faultcampaign.Config{
@@ -291,6 +315,7 @@ func suite(o *obs.Observer) ([]namedBench, error) {
 	return []namedBench{
 		{"Explore/seq", explore(1)},
 		{"Explore/par", explore(0)},
+		{"Explore/spill", exploreSpill},
 		{"Refines/cold", refines(nil)},
 		{"Refines/cached", refines(primed)},
 		{"FaultCampaign/seq", campaign(1)},

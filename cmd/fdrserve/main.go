@@ -11,14 +11,24 @@
 //
 // Endpoints:
 //
-//	POST /v1/check   {"cspm": "...", "budget": {...}} -> per-assertion verdicts
-//	GET  /healthz    liveness (200 while the process is up)
-//	GET  /readyz     readiness (503 once draining)
-//	GET  /metrics    observability snapshot (text form)
+//	POST /v1/check    {"cspm": "...", "budget": {...}} -> per-assertion verdicts
+//	POST /v1/jobs     submit the same request as a detached job -> {"id", "state"}
+//	GET  /v1/jobs/ID  poll a job; state "done" carries the check response
+//	GET  /healthz     liveness (200 while the process is up)
+//	GET  /readyz      readiness (503 once draining)
+//	GET  /metrics     observability snapshot (text form)
 //
 // Overload is rejected with 429 + Retry-After instead of queue
 // collapse; a SIGTERM/SIGINT drains in-flight checks, rejects new
 // work, flushes the observability sinks and exits 0.
+//
+// With -data-dir set, jobs are durable: records persist with atomic
+// writes, explorations checkpoint per BFS level, and a daemon killed
+// outright (SIGKILL, OOM) re-enqueues its unfinished jobs at the next
+// boot and resumes them from their checkpoints — the eventual verdicts
+// are byte-identical to an uninterrupted run. -soft-mem bounds resident
+// exploration memory by spilling visited state to disk; -max-mem turns
+// runaway checks into structured budget:memory verdicts.
 package main
 
 import (
@@ -60,6 +70,10 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 	cacheEntries := fs.Int("cache-entries", 0, "model-store entry watermark (0 = unbounded entries)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight checks on shutdown")
 	exploreWorkers := fs.Int("explore-workers", 1, "lts exploration parallelism per check")
+	dataDir := fs.String("data-dir", "", "durable state directory: job records, checkpoints and spill shards (empty = jobs are memory-only)")
+	softMem := fs.Int64("soft-mem", 0, "per-exploration soft memory watermark in bytes; past it visited state spills to disk (0 = never spill)")
+	maxMem := fs.Int64("max-mem", 0, "per-exploration hard memory watermark in bytes; past it the check degrades to a budget:memory verdict (0 = unbounded)")
+	checkpointLevels := fs.Int("checkpoint-levels", 0, "exploration snapshot cadence in BFS levels for durable jobs (0 = every level)")
 	chaos := fs.Bool("chaos", false, "honour X-Chaos-Panic fault-injection headers (testing only)")
 	var obsFlags obs.Flags
 	obsFlags.AddFlags(fs)
@@ -93,6 +107,11 @@ func run(args []string, stdout io.Writer, ready chan<- string) error {
 		CacheStates:    *cacheStates,
 		Obs:            observer,
 		EnableChaos:    *chaos,
+
+		DataDir:               *dataDir,
+		SoftMemBytes:          *softMem,
+		MaxMemBytes:           *maxMem,
+		CheckpointEveryLevels: *checkpointLevels,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

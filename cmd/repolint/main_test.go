@@ -25,6 +25,13 @@ func pick(n int) int { return rand.Intn(n) }
 import "math/rand"
 func pick(n int) int { return rand.Intn(n) } // out of seededrand's scope
 `,
+		"internal/statestore/spill.go": `package statestore
+import "os"
+func dump(path string) {
+	f, _ := os.Create(path)
+	f.Close()
+}
+`,
 		"internal/conformance/testdata/skip.go": `package broken !!`,
 	}
 	for path, src := range files {
@@ -62,6 +69,8 @@ func TestRunFindsSeededViolations(t *testing.T) {
 		"(mustrecover)",
 		"rand.Intn draws from the implicitly seeded global source",
 		"(seededrand)",
+		"error from f.Close() on a writable file is silently discarded",
+		"(closecheck)",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
@@ -96,7 +105,7 @@ func TestRunList(t *testing.T) {
 	if err != nil || found {
 		t.Fatalf("list: found=%v err=%v", found, err)
 	}
-	for _, want := range []string{"mustrecover:", "seededrand:"} {
+	for _, want := range []string{"mustrecover:", "seededrand:", "closecheck:"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("list output missing %q:\n%s", want, out.String())
 		}

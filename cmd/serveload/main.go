@@ -11,10 +11,25 @@
 //
 //	serveload [-seed 42] [-requests 40] [-workers 2] [-queue 3]
 //	serveload -smoke -addr http://127.0.0.1:8080
+//	serveload -submit -addr http://127.0.0.1:8080
+//	serveload -collect -addr http://127.0.0.1:8080
+//	serveload -crash [-seed 42] [-kills 6]
 //
 // The default mode self-hosts a chaos-enabled server in-process (the
 // soak); -smoke instead checks the OTA corpus against an externally
 // started fdrserve and diffs the verdicts — the CI smoke step.
+//
+// -submit and -collect drive the durable-job API of an external server:
+// -submit enqueues the corpus as jobs and exits without waiting (so the
+// server can be SIGKILLed mid-run), -collect resubmits the identical
+// requests (idempotent, same content-addressed ids) and polls until
+// every job is done, diffing the verdicts against the oracle. Together
+// they are the CI kill/restart/resume smoke.
+//
+// -crash is the in-process kill schedule: it self-hosts a durable
+// server, submits corpus and heavy jobs, kills and reboots the server
+// repeatedly at randomized delays, and asserts that every job still
+// converges to oracle-identical verdicts with no goroutine leaked.
 package main
 
 import (
@@ -412,7 +427,11 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 2, "self-hosted server worker slots")
 	queue := fs.Int("queue", 3, "self-hosted server admission queue")
 	smoke := fs.Bool("smoke", false, "smoke mode: verify the OTA corpus against -addr and exit")
-	addr := fs.String("addr", "", "external server base URL (smoke mode)")
+	submit := fs.Bool("submit", false, "submit the corpus as durable jobs to -addr and exit without waiting")
+	collect := fs.Bool("collect", false, "poll the corpus jobs on -addr until done and diff the verdicts")
+	crash := fs.Bool("crash", false, "in-process kill/restart/resume schedule against a self-hosted durable server")
+	kills := fs.Int("kills", 6, "crash mode: number of kill/restart cycles")
+	addr := fs.String("addr", "", "external server base URL (smoke/submit/collect modes)")
 	verbose := fs.Bool("v", false, "log every event")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -423,11 +442,24 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("build corpus: %w", err)
 	}
 
-	if *smoke {
+	switch {
+	case *smoke:
 		if *addr == "" {
 			return fmt.Errorf("-smoke requires -addr")
 		}
 		return runSmoke(*addr, corpus, stdout)
+	case *submit:
+		if *addr == "" {
+			return fmt.Errorf("-submit requires -addr")
+		}
+		return runSubmit(*addr, corpus, stdout)
+	case *collect:
+		if *addr == "" {
+			return fmt.Errorf("-collect requires -addr")
+		}
+		return runCollect(*addr, corpus, stdout)
+	case *crash:
+		return runCrash(*seed, *kills, *verbose, corpus, stdout)
 	}
 	return runChaos(*seed, *requests, *workers, *queue, *verbose, corpus, stdout)
 }
@@ -607,5 +639,268 @@ func runChaos(seed int64, requests, workers, queue int, verbose bool, corpus []c
 		return fmt.Errorf("%d violation(s)", len(h.violations))
 	}
 	fmt.Fprintln(stdout, "serveload: all invariants held")
+	return nil
+}
+
+// submitJob posts one request to the durable-job endpoint. Both 202
+// (new job) and 200 (already known — the idempotent resubmission path)
+// are success.
+func submitJob(ctx context.Context, httpc *http.Client, base string, req serve.CheckRequest) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	body, err := json.Marshal(req)
+	if err != nil {
+		return st, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(hreq)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("submit: status %d: %s", resp.StatusCode, rb)
+	}
+	if err := json.Unmarshal(rb, &st); err != nil {
+		return st, fmt.Errorf("submit: decode: %w", err)
+	}
+	if st.ID == "" {
+		return st, fmt.Errorf("submit: empty job id in %s", rb)
+	}
+	return st, nil
+}
+
+// pollJob polls the job until it reports done or ctx expires.
+func pollJob(ctx context.Context, httpc *http.Client, base, id string) (*serve.CheckResponse, error) {
+	for {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := httpc.Do(hreq)
+		if err == nil {
+			rb, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				var st serve.JobStatus
+				if err := json.Unmarshal(rb, &st); err == nil && st.State == serve.JobDone {
+					if st.Response == nil {
+						return nil, fmt.Errorf("job %s done without a response", id)
+					}
+					return st.Response, nil
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("job %s: %w", id, ctx.Err())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// jobRequest builds the corpus request a job mode submits; submit and
+// collect must build byte-identical requests so the content-addressed
+// ids line up across process restarts.
+func jobRequest(m corpusModel) serve.CheckRequest {
+	return serve.CheckRequest{CSPM: m.source, Budget: &oracleBudget}
+}
+
+// runSubmit enqueues the corpus as durable jobs and exits without
+// waiting — the server may then be SIGKILLed mid-run by the caller.
+func runSubmit(addr string, corpus []corpusModel, stdout io.Writer) error {
+	base := strings.TrimRight(addr, "/")
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	ctx := context.Background()
+	for _, m := range corpus {
+		st, err := submitJob(ctx, httpc, base, jobRequest(m))
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", m.name, err)
+		}
+		fmt.Fprintf(stdout, "submitted %-20s %s (%s)\n", m.name, st.ID, st.State)
+	}
+	fmt.Fprintf(stdout, "submit ok: %d jobs\n", len(corpus))
+	return nil
+}
+
+// runCollect resubmits the corpus (idempotent: same content-addressed
+// ids), waits for every job to finish and diffs the verdicts against
+// the oracle — run it against a server that was killed and restarted to
+// prove no verdict changed across the crash.
+func runCollect(addr string, corpus []corpusModel, stdout io.Writer) error {
+	base := strings.TrimRight(addr, "/")
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	h := &harness{base: base, httpc: httpc, corpus: corpus, events: map[string]int{}, stdout: stdout}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for _, m := range corpus {
+		st, err := submitJob(ctx, httpc, base, jobRequest(m))
+		if err != nil {
+			return fmt.Errorf("collect %s: %w", m.name, err)
+		}
+		resp, err := pollJob(ctx, httpc, base, st.ID)
+		if err != nil {
+			return fmt.Errorf("collect %s: %w", m.name, err)
+		}
+		if resp.Error != "" {
+			h.fail("collect %s: server error %q", m.name, resp.Error)
+			continue
+		}
+		h.compareVerdicts(m.name, resp.Results, m.expected)
+		fmt.Fprintf(stdout, "collected %-20s %d assertion(s) match\n", m.name, len(resp.Results))
+	}
+	if len(h.violations) > 0 {
+		return fmt.Errorf("%d violation(s)", len(h.violations))
+	}
+	fmt.Fprintf(stdout, "collect ok: %d jobs, verdicts identical to in-process checks\n", len(corpus))
+	return nil
+}
+
+// crashServer is one life of the self-hosted durable server in crash
+// mode.
+type crashServer struct {
+	srv     *serve.Server
+	httpSrv *http.Server
+	base    string
+	obs     *obs.Observer
+	done    chan struct{}
+}
+
+func bootCrashServer(dataDir string) (*crashServer, error) {
+	observer := obs.New()
+	srv := serve.New(serve.Config{
+		Workers:               2,
+		MaxDuration:           60 * time.Second,
+		DataDir:               dataDir,
+		CheckpointEveryLevels: 1,
+		Obs:                   observer,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Kill()
+		return nil, err
+	}
+	cs := &crashServer{
+		srv:     srv,
+		httpSrv: &http.Server{Handler: srv.Handler()},
+		base:    "http://" + ln.Addr().String(),
+		obs:     observer,
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(cs.done)
+		defer func() { _ = recover() }()
+		_ = cs.httpSrv.Serve(ln)
+	}()
+	return cs, nil
+}
+
+// kill tears this life down the crash way: jobs aborted mid-level,
+// verdicts discarded, connections severed — nothing drained.
+func (cs *crashServer) kill() {
+	cs.srv.Kill()
+	_ = cs.httpSrv.Close()
+	<-cs.done
+}
+
+// runCrash is the kill/restart/resume schedule: a durable server is
+// killed at randomized delays while corpus and heavy jobs run, and
+// after the last reboot every job must converge to verdicts
+// byte-identical to the oracle.
+func runCrash(seed int64, kills int, verbose bool, corpus []corpusModel, stdout io.Writer) error {
+	rng := rand.New(rand.NewSource(seed))
+	dataDir, err := os.MkdirTemp("", "serveload-crash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	// Heavy never-cached jobs so the kills land mid-exploration, plus the
+	// full corpus for verdict breadth. Oracle verdicts come from the same
+	// independent path the other modes use.
+	jobs := make([]corpusModel, 0, len(corpus)+3)
+	jobs = append(jobs, corpus...)
+	for i := 0; i < 3; i++ {
+		src := heavyModel(9000+int(seed)*10+i, 13)
+		exp, err := expectVerdicts(src)
+		if err != nil {
+			return fmt.Errorf("heavy oracle: %w", err)
+		}
+		jobs = append(jobs, corpusModel{name: fmt.Sprintf("heavy-%d", i), source: src, expected: exp})
+	}
+
+	h := &harness{rng: rng, corpus: corpus, verbose: verbose, events: map[string]int{}, stdout: stdout}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	h.httpc = httpc
+
+	cs, err := bootCrashServer(dataDir)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for _, m := range jobs {
+		if _, err := submitJob(ctx, httpc, cs.base, jobRequest(m)); err != nil {
+			cs.kill()
+			return fmt.Errorf("crash submit %s: %w", m.name, err)
+		}
+	}
+
+	var recovered int64
+	for i := 0; i < kills; i++ {
+		delay := time.Duration(5+rng.Intn(76)) * time.Millisecond
+		time.Sleep(delay)
+		cs.kill()
+		httpc.CloseIdleConnections()
+		h.logf("kill %d after %v", i, delay)
+		cs, err = bootCrashServer(dataDir)
+		if err != nil {
+			return fmt.Errorf("reboot %d: %w", i, err)
+		}
+		recovered += cs.obs.Counter("serve.jobs.recovered").Value()
+	}
+
+	// Last life: every job must finish with oracle verdicts.
+	pollCtx, cancel := context.WithTimeout(ctx, 5*time.Minute)
+	defer cancel()
+	for _, m := range jobs {
+		st, err := submitJob(pollCtx, httpc, cs.base, jobRequest(m))
+		if err != nil {
+			h.fail("crash resubmit %s: %v", m.name, err)
+			continue
+		}
+		resp, err := pollJob(pollCtx, httpc, cs.base, st.ID)
+		if err != nil {
+			h.fail("crash collect %s: %v", m.name, err)
+			continue
+		}
+		if resp.Error != "" {
+			h.fail("crash %s: server error %q", m.name, resp.Error)
+			continue
+		}
+		h.compareVerdicts(m.name, resp.Results, m.expected)
+		h.logf("crash %s: %d verdicts ok", m.name, len(resp.Results))
+	}
+	resumes := cs.obs.Counter("lts.checkpoint.resumes").Value()
+	cs.kill()
+	httpc.CloseIdleConnections()
+
+	if recovered == 0 {
+		h.fail("no reboot ever recovered a pending job — the kill schedule proved nothing")
+	}
+	if err := leakcheck.Settle(8 * time.Second); err != nil {
+		h.fail("%v", err)
+	}
+	if len(h.violations) > 0 {
+		return fmt.Errorf("%d violation(s)", len(h.violations))
+	}
+	fmt.Fprintf(stdout, "crash ok: %d jobs through %d kills (recovered %d pending, %d checkpoint resumes in the last life), verdicts identical to in-process checks\n",
+		len(jobs), kills, recovered, resumes)
 	return nil
 }

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestSmokeModeAgainstInProcessServer runs the -smoke mode — the CI
+// step normally pointed at an external fdrserve — against an in-process
+// server, covering the flag wiring, the corpus build, the verdict diff
+// and the health probe.
+func TestSmokeModeAgainstInProcessServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke mode checks the whole OTA corpus")
+	}
+	srv := serve.New(serve.Config{Workers: 2})
+	defer srv.Kill()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-smoke", "-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("smoke run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "smoke ok") {
+		t.Fatalf("smoke output missing summary:\n%s", out.String())
+	}
+	// Every corpus model must have been checked and reported.
+	for _, name := range []string{"ota", "ota-flawed", "ota-deadlocked", "ota-lossy-hardened", "ota-lossy-naive"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("smoke output missing corpus model %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestSubmitCollectAgainstInProcessServer drives the durable-job modes
+// against one in-process server: -submit enqueues without waiting,
+// -collect resubmits idempotently and diffs the verdicts.
+func TestSubmitCollectAgainstInProcessServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("job modes check the whole OTA corpus")
+	}
+	srv := serve.New(serve.Config{Workers: 2, DataDir: t.TempDir()})
+	defer srv.Kill()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-submit", "-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("submit run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "submit ok: 5 jobs") {
+		t.Fatalf("submit output missing summary:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-collect", "-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("collect run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "collect ok: 5 jobs") {
+		t.Fatalf("collect output missing summary:\n%s", out.String())
+	}
+}
+
+// TestModeFlagValidation pins the argument contract: the external-server
+// modes refuse to run without -addr.
+func TestModeFlagValidation(t *testing.T) {
+	for _, mode := range []string{"-smoke", "-submit", "-collect"} {
+		var out bytes.Buffer
+		if err := run([]string{mode}, &out); err == nil {
+			t.Errorf("%s without -addr did not fail", mode)
+		}
+	}
+}

@@ -18,6 +18,9 @@
 //     packages must install a deferred recover() boundary — a panic in
 //     a bare goroutine has no request handler above it and kills the
 //     daemon.
+//   - closecheck: the persistence packages must not discard Close/Sync
+//     errors on writable files — they are the only signal a checkpoint
+//     or job record never reached the disk.
 package analyzers
 
 import (
@@ -80,7 +83,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every registered analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{MustRecover, SeededRand, UnrecoveredGo}
+	return []*Analyzer{MustRecover, SeededRand, UnrecoveredGo, CloseCheck}
 }
 
 // RunPackage runs each applicable analyzer over one parsed package and

@@ -1,0 +1,118 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloseCheckFlagsBareClose(t *testing.T) {
+	src := `package statestore
+import "os"
+func write(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Sync()
+	f.Close()
+	return nil
+}`
+	diags := runOn(t, CloseCheck, "internal/statestore", src, false)
+	if len(diags) != 2 {
+		t.Fatalf("diags = %v, want bare Sync and Close flagged", diags)
+	}
+	if !strings.Contains(diags[0].Msg, "f.Sync()") || !strings.Contains(diags[1].Msg, "f.Close()") {
+		t.Fatalf("diags = %v, want Sync then Close findings", diags)
+	}
+}
+
+func TestCloseCheckFlagsDeferredClose(t *testing.T) {
+	src := `package lts
+import "os"
+func checkpoint(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write([]byte("snapshot"))
+	return err
+}`
+	diags := runOn(t, CloseCheck, "internal/lts", src, false)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "deferred") {
+		t.Fatalf("diags = %v, want one deferred-Close finding", diags)
+	}
+}
+
+func TestCloseCheckAcceptsCheckedAndExplicitDiscard(t *testing.T) {
+	// The WriteFileAtomic shape: checked Close/Sync on the success path,
+	// `_ =` discard on cleanup paths whose write error is already
+	// reported — including inside a closure capturing the file.
+	src := `package statestore
+import "os"
+func write(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", "x-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func() {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}`
+	if diags := runOn(t, CloseCheck, "internal/statestore", src, false); len(diags) != 0 {
+		t.Fatalf("compliant atomic-write shape flagged: %v", diags)
+	}
+}
+
+func TestCloseCheckIgnoresReadOnlyFiles(t *testing.T) {
+	// os.Open handles are read-only: a dropped Close error loses nothing
+	// durable, and the repo closes them with plain defers everywhere.
+	src := `package serve
+import "os"
+func read(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return buf, err
+}`
+	if diags := runOn(t, CloseCheck, "internal/serve", src, false); len(diags) != 0 {
+		t.Fatalf("read-only handle flagged: %v", diags)
+	}
+}
+
+func TestCloseCheckScope(t *testing.T) {
+	// Outside the persistence packages a sloppy Close is not a recovery
+	// hazard; the pass must stay quiet there.
+	src := `package translate
+import "os"
+func dump(path string) {
+	f, _ := os.Create(path)
+	f.Close()
+}`
+	if diags := runOn(t, CloseCheck, "internal/translate", src, false); len(diags) != 0 {
+		t.Fatalf("out-of-scope package flagged: %v", diags)
+	}
+	if diags := runOn(t, CloseCheck, "internal/obs", src, false); len(diags) != 1 {
+		t.Fatalf("internal/obs not covered: %v", diags)
+	}
+}

@@ -1,0 +1,635 @@
+package csp
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file is the term codec: a stable, structural serialization of
+// process terms, expressions, values and events, built for the
+// checkpoint/resume machinery in lts. A checkpoint must persist the BFS
+// frontier — live Process terms — across a process death, and a resumed
+// exploration must behave byte-identically to an uninterrupted one, so
+// the codec guarantees a structural round-trip: Decode(Encode(p)) is
+// structurally equal to p, Key() agrees on both sides, and the
+// operational semantics produces the same transition lists for both.
+//
+// The encoding is a tagged JSON tree (one node type covers processes,
+// expressions, values, events and event sets), chosen over gob for
+// inspectability and because checkpoint files outlive any single binary
+// build. Map-shaped members (rename mappings, event-set members) are
+// encoded in sorted order so the same term always serializes to the
+// same bytes.
+
+// cnode is the one wire node of the codec. T discriminates the term
+// kind; the other fields carry the kind's payload and children.
+type cnode struct {
+	T string `json:"t"`
+	// S carries a name: variable, channel, symbol, process call.
+	S string `json:"s,omitempty"`
+	// N carries an integer payload: Int value, BinOp, UnOp.
+	N int64 `json:"n,omitempty"`
+	// B carries a boolean payload: Bool value, CommField.IsInput.
+	B bool `json:"b,omitempty"`
+	// L carries ordered children (sub-terms, field lists, set members).
+	L []cnode `json:"l,omitempty"`
+	// SS carries string lists: event-set channels, rename pairs.
+	SS []string `json:"ss,omitempty"`
+}
+
+// Node tags. Kept short: checkpoints serialize whole frontiers.
+const (
+	tagStop   = "stop"
+	tagSkip   = "skip"
+	tagOmega  = "omega"
+	tagPrefix = "pfx"
+	tagExtC   = "ext"
+	tagIntC   = "int"
+	tagSeq    = "seq"
+	tagPar    = "par"
+	tagHide   = "hide"
+	tagRename = "ren"
+	tagIf     = "if"
+	tagCall   = "call"
+
+	tagField = "fld"
+	tagNil   = "nil"
+
+	tagLit    = "lit"
+	tagVar    = "var"
+	tagBinary = "bin"
+	tagUnary  = "un"
+	tagDot    = "dot"
+	tagSetAdd = "sadd"
+	tagMember = "mem"
+
+	tagInt    = "i"
+	tagBool   = "b"
+	tagSym    = "sym"
+	tagDotted = "dval"
+	tagSetVal = "set"
+
+	tagEvent  = "ev"
+	tagEvtSet = "evset"
+)
+
+// EncodeProcess serializes a process term for a checkpoint.
+func EncodeProcess(p Process) ([]byte, error) {
+	n, err := encProc(p)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// DecodeProcess reconstructs a process term from EncodeProcess output.
+// The result is structurally equal to the original: same Key(), same
+// transitions under the same semantics.
+func DecodeProcess(data []byte) (Process, error) {
+	var n cnode
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("csp codec: %w", err)
+	}
+	return decProc(n)
+}
+
+// EncodeEvent serializes one event (the LTS event-table entry).
+func EncodeEvent(e Event) ([]byte, error) {
+	return json.Marshal(encEvent(e))
+}
+
+// DecodeEvent reconstructs an event from EncodeEvent output.
+func DecodeEvent(data []byte) (Event, error) {
+	var n cnode
+	if err := json.Unmarshal(data, &n); err != nil {
+		return Event{}, fmt.Errorf("csp codec: %w", err)
+	}
+	return decEvent(n)
+}
+
+func encProc(p Process) (cnode, error) {
+	switch t := p.(type) {
+	case StopProc:
+		return cnode{T: tagStop}, nil
+	case SkipProc:
+		return cnode{T: tagSkip}, nil
+	case OmegaProc:
+		return cnode{T: tagOmega}, nil
+	case PrefixProc:
+		kids := make([]cnode, 0, len(t.Fields)+1)
+		for _, f := range t.Fields {
+			fn, err := encField(f)
+			if err != nil {
+				return cnode{}, err
+			}
+			kids = append(kids, fn)
+		}
+		cont, err := encProc(t.Cont)
+		if err != nil {
+			return cnode{}, err
+		}
+		kids = append(kids, cont)
+		return cnode{T: tagPrefix, S: t.Chan, L: kids}, nil
+	case ExtChoiceProc:
+		return encBinProc(tagExtC, t.L, t.R)
+	case IntChoiceProc:
+		return encBinProc(tagIntC, t.L, t.R)
+	case SeqProc:
+		return encBinProc(tagSeq, t.L, t.R)
+	case ParProc:
+		n, err := encBinProc(tagPar, t.L, t.R)
+		if err != nil {
+			return cnode{}, err
+		}
+		n.L = append(n.L, encEventSet(t.Sync))
+		return n, nil
+	case HideProc:
+		pn, err := encProc(t.P)
+		if err != nil {
+			return cnode{}, err
+		}
+		return cnode{T: tagHide, L: []cnode{pn, encEventSet(t.Set)}}, nil
+	case RenameProc:
+		pn, err := encProc(t.P)
+		if err != nil {
+			return cnode{}, err
+		}
+		pairs := make([]string, 0, len(t.Mapping))
+		for from, to := range t.Mapping {
+			pairs = append(pairs, from+"="+to)
+		}
+		sort.Strings(pairs)
+		return cnode{T: tagRename, L: []cnode{pn}, SS: pairs}, nil
+	case IfProc:
+		cond, err := encExpr(t.Cond)
+		if err != nil {
+			return cnode{}, err
+		}
+		then, err := encProc(t.Then)
+		if err != nil {
+			return cnode{}, err
+		}
+		els, err := encProc(t.Else)
+		if err != nil {
+			return cnode{}, err
+		}
+		return cnode{T: tagIf, L: []cnode{cond, then, els}}, nil
+	case CallProc:
+		kids := make([]cnode, 0, len(t.Args))
+		for _, a := range t.Args {
+			an, err := encExpr(a)
+			if err != nil {
+				return cnode{}, err
+			}
+			kids = append(kids, an)
+		}
+		return cnode{T: tagCall, S: t.Name, L: kids}, nil
+	}
+	return cnode{}, fmt.Errorf("csp codec: unknown process type %T", p)
+}
+
+func encBinProc(tag string, l, r Process) (cnode, error) {
+	ln, err := encProc(l)
+	if err != nil {
+		return cnode{}, err
+	}
+	rn, err := encProc(r)
+	if err != nil {
+		return cnode{}, err
+	}
+	return cnode{T: tag, L: []cnode{ln, rn}}, nil
+}
+
+func encField(f CommField) (cnode, error) {
+	restrict := cnode{T: tagNil}
+	if f.Restrict != nil {
+		var err error
+		restrict, err = encExpr(f.Restrict)
+		if err != nil {
+			return cnode{}, err
+		}
+	}
+	expr := cnode{T: tagNil}
+	if f.Expr != nil {
+		var err error
+		expr, err = encExpr(f.Expr)
+		if err != nil {
+			return cnode{}, err
+		}
+	}
+	return cnode{T: tagField, S: f.Var, B: f.IsInput, L: []cnode{restrict, expr}}, nil
+}
+
+func encExpr(e Expr) (cnode, error) {
+	switch t := e.(type) {
+	case Lit:
+		vn, err := encValue(t.Val)
+		if err != nil {
+			return cnode{}, err
+		}
+		return cnode{T: tagLit, L: []cnode{vn}}, nil
+	case Var:
+		return cnode{T: tagVar, S: t.Name}, nil
+	case Binary:
+		ln, err := encExpr(t.L)
+		if err != nil {
+			return cnode{}, err
+		}
+		rn, err := encExpr(t.R)
+		if err != nil {
+			return cnode{}, err
+		}
+		return cnode{T: tagBinary, N: int64(t.Op), L: []cnode{ln, rn}}, nil
+	case Unary:
+		xn, err := encExpr(t.X)
+		if err != nil {
+			return cnode{}, err
+		}
+		return cnode{T: tagUnary, N: int64(t.Op), L: []cnode{xn}}, nil
+	case DotExpr:
+		kids := make([]cnode, 0, len(t.Args))
+		for _, a := range t.Args {
+			an, err := encExpr(a)
+			if err != nil {
+				return cnode{}, err
+			}
+			kids = append(kids, an)
+		}
+		return cnode{T: tagDot, S: string(t.Head), L: kids}, nil
+	case SetAddExpr:
+		bn, err := encExpr(t.Base)
+		if err != nil {
+			return cnode{}, err
+		}
+		en, err := encExpr(t.Elem)
+		if err != nil {
+			return cnode{}, err
+		}
+		return cnode{T: tagSetAdd, L: []cnode{bn, en}}, nil
+	case MemberExpr:
+		en, err := encExpr(t.Elem)
+		if err != nil {
+			return cnode{}, err
+		}
+		sn, err := encExpr(t.Set)
+		if err != nil {
+			return cnode{}, err
+		}
+		return cnode{T: tagMember, L: []cnode{en, sn}}, nil
+	}
+	return cnode{}, fmt.Errorf("csp codec: unknown expression type %T", e)
+}
+
+func encValue(v Value) (cnode, error) {
+	switch t := v.(type) {
+	case Int:
+		return cnode{T: tagInt, N: int64(t)}, nil
+	case Bool:
+		return cnode{T: tagBool, B: bool(t)}, nil
+	case Sym:
+		return cnode{T: tagSym, S: string(t)}, nil
+	case Dotted:
+		kids := make([]cnode, 0, len(t.Args))
+		for _, a := range t.Args {
+			an, err := encValue(a)
+			if err != nil {
+				return cnode{}, err
+			}
+			kids = append(kids, an)
+		}
+		return cnode{T: tagDotted, S: string(t.Head), L: kids}, nil
+	case SetValue:
+		kids := make([]cnode, 0, t.Len())
+		for _, e := range t.Elems() {
+			en, err := encValue(e)
+			if err != nil {
+				return cnode{}, err
+			}
+			kids = append(kids, en)
+		}
+		return cnode{T: tagSetVal, L: kids}, nil
+	}
+	return cnode{}, fmt.Errorf("csp codec: unknown value type %T", v)
+}
+
+func encEvent(e Event) cnode {
+	kids := make([]cnode, 0, len(e.Args))
+	for _, a := range e.Args {
+		// Event args are values produced by Eval; all concrete value
+		// kinds encode, so the error path is unreachable, but keep the
+		// codec total rather than panicking inside a checkpoint write.
+		an, err := encValue(a)
+		if err != nil {
+			an = cnode{T: tagSym, S: a.String()}
+		}
+		kids = append(kids, an)
+	}
+	return cnode{T: tagEvent, S: e.Chan, L: kids}
+}
+
+func encEventSet(s *EventSet) cnode {
+	if s == nil {
+		return cnode{T: tagNil}
+	}
+	chans := make([]string, 0, len(s.chans))
+	for c := range s.chans {
+		chans = append(chans, c)
+	}
+	sort.Strings(chans)
+	keys := make([]string, 0, len(s.events))
+	for k := range s.events {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]cnode, 0, len(keys))
+	for _, k := range keys {
+		kids = append(kids, encEvent(s.events[k]))
+	}
+	return cnode{T: tagEvtSet, SS: chans, L: kids}
+}
+
+func decProc(n cnode) (Process, error) {
+	switch n.T {
+	case tagStop:
+		return StopProc{}, nil
+	case tagSkip:
+		return SkipProc{}, nil
+	case tagOmega:
+		return OmegaProc{}, nil
+	case tagPrefix:
+		if len(n.L) < 1 {
+			return nil, fmt.Errorf("csp codec: prefix node without continuation")
+		}
+		fields := make([]CommField, 0, len(n.L)-1)
+		for _, fn := range n.L[:len(n.L)-1] {
+			f, err := decField(fn)
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, f)
+		}
+		cont, err := decProc(n.L[len(n.L)-1])
+		if err != nil {
+			return nil, err
+		}
+		return PrefixProc{Chan: n.S, Fields: fields, Cont: cont}, nil
+	case tagExtC, tagIntC, tagSeq, tagPar:
+		if len(n.L) < 2 {
+			return nil, fmt.Errorf("csp codec: %s node needs two children", n.T)
+		}
+		l, err := decProc(n.L[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := decProc(n.L[1])
+		if err != nil {
+			return nil, err
+		}
+		switch n.T {
+		case tagExtC:
+			return ExtChoiceProc{L: l, R: r}, nil
+		case tagIntC:
+			return IntChoiceProc{L: l, R: r}, nil
+		case tagSeq:
+			return SeqProc{L: l, R: r}, nil
+		}
+		if len(n.L) != 3 {
+			return nil, fmt.Errorf("csp codec: par node needs a sync set")
+		}
+		sync, err := decEventSet(n.L[2])
+		if err != nil {
+			return nil, err
+		}
+		return ParProc{L: l, R: r, Sync: sync}, nil
+	case tagHide:
+		if len(n.L) != 2 {
+			return nil, fmt.Errorf("csp codec: hide node needs two children")
+		}
+		p, err := decProc(n.L[0])
+		if err != nil {
+			return nil, err
+		}
+		set, err := decEventSet(n.L[1])
+		if err != nil {
+			return nil, err
+		}
+		return HideProc{P: p, Set: set}, nil
+	case tagRename:
+		if len(n.L) != 1 {
+			return nil, fmt.Errorf("csp codec: rename node needs one child")
+		}
+		p, err := decProc(n.L[0])
+		if err != nil {
+			return nil, err
+		}
+		mapping := make(map[string]string, len(n.SS))
+		for _, pair := range n.SS {
+			from, to, ok := strings.Cut(pair, "=")
+			if !ok {
+				return nil, fmt.Errorf("csp codec: malformed rename pair %q", pair)
+			}
+			mapping[from] = to
+		}
+		return RenameProc{P: p, Mapping: mapping}, nil
+	case tagIf:
+		if len(n.L) != 3 {
+			return nil, fmt.Errorf("csp codec: if node needs three children")
+		}
+		cond, err := decExpr(n.L[0])
+		if err != nil {
+			return nil, err
+		}
+		then, err := decProc(n.L[1])
+		if err != nil {
+			return nil, err
+		}
+		els, err := decProc(n.L[2])
+		if err != nil {
+			return nil, err
+		}
+		return IfProc{Cond: cond, Then: then, Else: els}, nil
+	case tagCall:
+		args := make([]Expr, 0, len(n.L))
+		for _, an := range n.L {
+			a, err := decExpr(an)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		return CallProc{Name: n.S, Args: args}, nil
+	}
+	return nil, fmt.Errorf("csp codec: unknown process tag %q", n.T)
+}
+
+func decField(n cnode) (CommField, error) {
+	if n.T != tagField || len(n.L) != 2 {
+		return CommField{}, fmt.Errorf("csp codec: malformed comm field node %q", n.T)
+	}
+	f := CommField{IsInput: n.B, Var: n.S}
+	if n.L[0].T != tagNil {
+		r, err := decExpr(n.L[0])
+		if err != nil {
+			return CommField{}, err
+		}
+		f.Restrict = r
+	}
+	if n.L[1].T != tagNil {
+		e, err := decExpr(n.L[1])
+		if err != nil {
+			return CommField{}, err
+		}
+		f.Expr = e
+	}
+	return f, nil
+}
+
+func decExpr(n cnode) (Expr, error) {
+	switch n.T {
+	case tagLit:
+		if len(n.L) != 1 {
+			return nil, fmt.Errorf("csp codec: literal node needs one child")
+		}
+		v, err := decValue(n.L[0])
+		if err != nil {
+			return nil, err
+		}
+		return Lit{Val: v}, nil
+	case tagVar:
+		return Var{Name: n.S}, nil
+	case tagBinary:
+		if len(n.L) != 2 {
+			return nil, fmt.Errorf("csp codec: binary node needs two children")
+		}
+		l, err := decExpr(n.L[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := decExpr(n.L[1])
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: BinOp(n.N), L: l, R: r}, nil
+	case tagUnary:
+		if len(n.L) != 1 {
+			return nil, fmt.Errorf("csp codec: unary node needs one child")
+		}
+		x, err := decExpr(n.L[0])
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: UnOp(n.N), X: x}, nil
+	case tagDot:
+		args := make([]Expr, 0, len(n.L))
+		for _, an := range n.L {
+			a, err := decExpr(an)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		return DotExpr{Head: Sym(n.S), Args: args}, nil
+	case tagSetAdd:
+		if len(n.L) != 2 {
+			return nil, fmt.Errorf("csp codec: union node needs two children")
+		}
+		b, err := decExpr(n.L[0])
+		if err != nil {
+			return nil, err
+		}
+		e, err := decExpr(n.L[1])
+		if err != nil {
+			return nil, err
+		}
+		return SetAddExpr{Base: b, Elem: e}, nil
+	case tagMember:
+		if len(n.L) != 2 {
+			return nil, fmt.Errorf("csp codec: member node needs two children")
+		}
+		e, err := decExpr(n.L[0])
+		if err != nil {
+			return nil, err
+		}
+		s, err := decExpr(n.L[1])
+		if err != nil {
+			return nil, err
+		}
+		return MemberExpr{Elem: e, Set: s}, nil
+	}
+	return nil, fmt.Errorf("csp codec: unknown expression tag %q", n.T)
+}
+
+func decValue(n cnode) (Value, error) {
+	switch n.T {
+	case tagInt:
+		return Int(n.N), nil
+	case tagBool:
+		return Bool(n.B), nil
+	case tagSym:
+		return Sym(n.S), nil
+	case tagDotted:
+		args := make([]Value, 0, len(n.L))
+		for _, an := range n.L {
+			a, err := decValue(an)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		return Dotted{Head: Sym(n.S), Args: args}, nil
+	case tagSetVal:
+		elems := make([]Value, 0, len(n.L))
+		for _, en := range n.L {
+			e, err := decValue(en)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		// NewSet re-canonicalizes (sort + dedup), so a decoded set is
+		// structurally identical to the encoded one.
+		return NewSet(elems...), nil
+	}
+	return nil, fmt.Errorf("csp codec: unknown value tag %q", n.T)
+}
+
+func decEvent(n cnode) (Event, error) {
+	if n.T != tagEvent {
+		return Event{}, fmt.Errorf("csp codec: expected event node, got %q", n.T)
+	}
+	args := make([]Value, 0, len(n.L))
+	for _, an := range n.L {
+		a, err := decValue(an)
+		if err != nil {
+			return Event{}, err
+		}
+		args = append(args, a)
+	}
+	if len(args) == 0 {
+		args = nil
+	}
+	return Event{Chan: n.S, Args: args}, nil
+}
+
+func decEventSet(n cnode) (*EventSet, error) {
+	if n.T == tagNil {
+		return nil, nil
+	}
+	if n.T != tagEvtSet {
+		return nil, fmt.Errorf("csp codec: expected event-set node, got %q", n.T)
+	}
+	s := NewEventSet()
+	for _, c := range n.SS {
+		s.AddChannel(c)
+	}
+	for _, en := range n.L {
+		e, err := decEvent(en)
+		if err != nil {
+			return nil, err
+		}
+		s.AddEvent(e)
+	}
+	return s, nil
+}

@@ -1,0 +1,193 @@
+package csp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/ota"
+)
+
+// exerciseAll builds a term covering every Process, Expr and Value kind
+// the codec must round-trip (checkpoint frontiers can contain any of
+// them).
+func exerciseAll() csp.Process {
+	sync := csp.NewEventSet().
+		AddChannel("net").
+		AddEvent(csp.Event{Chan: "upd", Args: []csp.Value{csp.Sym("fw"), csp.Int(2)}})
+	hide := csp.NewEventSet().AddChannel("internal")
+
+	knowledge := csp.Lit{Val: csp.NewSet(csp.Sym("k1"), csp.Dotted{Head: "mac", Args: []csp.Value{csp.Sym("k1"), csp.Int(7)}})}
+	cond := csp.Binary{
+		Op: csp.OpAnd,
+		L:  csp.MemberExpr{Elem: csp.Var{Name: "x"}, Set: knowledge},
+		R:  csp.Unary{Op: csp.OpNot, X: csp.LitBool(false)},
+	}
+	inner := csp.PrefixProc{
+		Chan: "net",
+		Fields: []csp.CommField{
+			csp.In("x"),
+			csp.InSuchThat("y", csp.Binary{Op: csp.OpLt, L: csp.Var{Name: "y"}, R: csp.LitInt(3)}),
+			csp.Out(csp.DotExpr{Head: "msg", Args: []csp.Expr{csp.Var{Name: "x"}, csp.LitInt(1)}}),
+			csp.OutVal(csp.Bool(true)),
+		},
+		Cont: csp.CallProc{
+			Name: "P",
+			Args: []csp.Expr{
+				csp.Binary{Op: csp.OpAdd, L: csp.Var{Name: "x"}, R: csp.Unary{Op: csp.OpNeg, X: csp.LitInt(4)}},
+				csp.SetAddExpr{Base: knowledge, Elem: csp.Var{Name: "x"}},
+			},
+		},
+	}
+	return csp.HideProc{
+		P: csp.ParProc{
+			L: csp.RenameProc{
+				P:       csp.SeqProc{L: inner, R: csp.SkipProc{}},
+				Mapping: map[string]string{"net": "wire", "upd": "flash"},
+			},
+			R: csp.ExtChoiceProc{
+				L: csp.IntChoiceProc{
+					L: csp.IfProc{Cond: cond, Then: csp.StopProc{}, Else: csp.OmegaProc{}},
+					R: csp.SkipProc{},
+				},
+				R: csp.StopProc{},
+			},
+			Sync: sync,
+		},
+		Set: hide,
+	}
+}
+
+func roundTrip(t *testing.T, p csp.Process) csp.Process {
+	t.Helper()
+	data, err := csp.EncodeProcess(p)
+	if err != nil {
+		t.Fatalf("EncodeProcess(%s): %v", p.Key(), err)
+	}
+	got, err := csp.DecodeProcess(data)
+	if err != nil {
+		t.Fatalf("DecodeProcess(%s): %v", p.Key(), err)
+	}
+	if got.Key() != p.Key() {
+		t.Fatalf("round-trip changed Key:\n  in:  %s\n  out: %s", p.Key(), got.Key())
+	}
+	// The encoding must be deterministic: re-encoding the decoded term
+	// yields the same bytes (checkpoint digests depend on this).
+	again, err := csp.EncodeProcess(got)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatalf("encoding not deterministic for %s", p.Key())
+	}
+	return got
+}
+
+func TestCodecRoundTripAllKinds(t *testing.T) {
+	roundTrip(t, exerciseAll())
+}
+
+func TestCodecRoundTripEvents(t *testing.T) {
+	events := []csp.Event{
+		{Chan: "a"},
+		{Chan: "upd", Args: []csp.Value{csp.Sym("fw"), csp.Int(-3), csp.Bool(true)}},
+		{Chan: "k", Args: []csp.Value{csp.Dotted{Head: "mac", Args: []csp.Value{csp.Sym("k1"), csp.Int(0)}}}},
+		{Chan: "s", Args: []csp.Value{csp.NewSet(csp.Int(2), csp.Int(1), csp.Int(2))}},
+		csp.Tau(),
+		csp.Tick(),
+	}
+	for _, e := range events {
+		data, err := csp.EncodeEvent(e)
+		if err != nil {
+			t.Fatalf("EncodeEvent(%s): %v", e.String(), err)
+		}
+		got, err := csp.DecodeEvent(data)
+		if err != nil {
+			t.Fatalf("DecodeEvent(%s): %v", e.String(), err)
+		}
+		if got.String() != e.String() {
+			t.Fatalf("event round-trip: in %s out %s", e.String(), got.String())
+		}
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	cases := []string{
+		``,
+		`{`,
+		`{"t":"nope"}`,
+		`{"t":"pfx"}`,
+		`{"t":"ren","l":[{"t":"stop"}],"ss":["broken"]}`,
+		`{"t":"if","l":[{"t":"stop"}]}`,
+	}
+	for _, c := range cases {
+		if _, err := csp.DecodeProcess([]byte(c)); err == nil {
+			t.Errorf("DecodeProcess(%q): want error, got nil", c)
+		}
+	}
+	if _, err := csp.DecodeEvent([]byte(`{"t":"stop"}`)); err == nil {
+		t.Error("DecodeEvent on non-event node: want error, got nil")
+	}
+}
+
+// TestCodecOverOTACorpus walks reachable states of the paper's systems
+// and round-trips every frontier term, checking Key fidelity and that
+// the decoded term has identical transitions — exactly what a resumed
+// exploration relies on.
+func TestCodecOverOTACorpus(t *testing.T) {
+	builds := map[string]func() (*ota.System, error){
+		"ota":         ota.Build,
+		"ota-flawed":  ota.BuildFlawed,
+		"ota-lossy-hardened": func() (*ota.System, error) {
+			return ota.BuildLossy(ota.HardenedGateway, ota.DefaultLossBudget)
+		},
+	}
+	const maxStates = 400
+	for name, build := range builds {
+		sys, err := build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		sem := csp.NewSemantics(sys.Model.Env, sys.Model.Ctx)
+		for _, a := range sys.Model.Asserts {
+			roots := []csp.Process{a.Impl}
+			if a.Spec != nil {
+				roots = append(roots, a.Spec)
+			}
+			for _, root := range roots {
+				seen := map[string]bool{}
+				frontier := []csp.Process{root}
+				for len(frontier) > 0 && len(seen) < maxStates {
+					p := frontier[0]
+					frontier = frontier[1:]
+					if seen[p.Key()] {
+						continue
+					}
+					seen[p.Key()] = true
+
+					got := roundTrip(t, p)
+					want, err := sem.Transitions(p)
+					if err != nil {
+						t.Fatalf("%s: transitions(%s): %v", name, p.Key(), err)
+					}
+					have, err := sem.Transitions(got)
+					if err != nil {
+						t.Fatalf("%s: transitions(decoded %s): %v", name, p.Key(), err)
+					}
+					if len(want) != len(have) {
+						t.Fatalf("%s: decoded term has %d transitions, want %d (%s)",
+							name, len(have), len(want), p.Key())
+					}
+					for i := range want {
+						if want[i].Ev.String() != have[i].Ev.String() ||
+							want[i].To.Key() != have[i].To.Key() {
+							t.Fatalf("%s: transition %d differs after round-trip of %s",
+								name, i, p.Key())
+						}
+						frontier = append(frontier, want[i].To)
+					}
+				}
+			}
+		}
+	}
+}

@@ -65,6 +65,24 @@ type Budget struct {
 	// context.DeadlineExceeded under errors.Is. nil (the default) means
 	// no cancellation.
 	Ctx context.Context
+	// CheckpointDir, when non-empty, makes the check crash-safe: the
+	// explorations write atomic level-granular snapshots under it and a
+	// re-run over the same directory resumes from them with a
+	// byte-identical verdict. Callers checking several assertions should
+	// pass a distinct directory per assertion.
+	CheckpointDir string
+	// CheckpointEveryLevels is the snapshot cadence in completed BFS
+	// levels; <= 0 means every level.
+	CheckpointEveryLevels int
+	// SoftMemBytes, when > 0, spills each exploration's visited index to
+	// disk past the watermark instead of holding it in RAM.
+	SoftMemBytes int64
+	// SpillDir is where spill shards live; empty means os.TempDir().
+	SpillDir string
+	// MaxMemBytes is a hard per-exploration resident-memory watermark;
+	// exceeding it yields a *refine.BudgetError with phase "memory". 0
+	// means unbounded.
+	MaxMemBytes int64
 }
 
 // RunAssert checks a single resolved assertion.
@@ -97,6 +115,11 @@ func RunAssertBudget(m *cspm.Model, a cspm.ResolvedAssert, bgt Budget) (res refi
 	c.Cache = bgt.Cache
 	c.Obs = bgt.Obs
 	c.Ctx = bgt.Ctx
+	c.CheckpointDir = bgt.CheckpointDir
+	c.CheckpointEveryLevels = bgt.CheckpointEveryLevels
+	c.SoftMemBytes = bgt.SoftMemBytes
+	c.SpillDir = bgt.SpillDir
+	c.MaxMemBytes = bgt.MaxMemBytes
 	switch a.Kind {
 	case cspm.AssertTraceRef:
 		return c.RefinesTraces(a.Spec, a.Impl)

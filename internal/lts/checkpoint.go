@@ -1,0 +1,234 @@
+package lts
+
+import (
+	"encoding/json"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/csp"
+	"repro/internal/obs"
+	"repro/internal/statestore"
+)
+
+// CheckpointOptions configures level-granular checkpointing of an
+// exploration. After every EveryLevels completed BFS levels (and once
+// more on completion, with an empty frontier), Explore writes an atomic
+// snapshot of the partial LTS — states, edges, event table, frontier
+// terms, elapsed budget — to Dir. A later Explore with the same root and
+// bound finds the snapshot, restores it and continues from the saved
+// frontier; the level-synchronized merge makes the resumed result
+// byte-identical to an uninterrupted run.
+type CheckpointOptions struct {
+	// Dir is the checkpoint directory (created if missing). One
+	// exploration per directory: the snapshot is keyed by root term and
+	// state bound, and a mismatched snapshot is ignored, not merged.
+	Dir string
+	// EveryLevels is the checkpoint cadence in completed BFS levels;
+	// <= 0 means 1 (checkpoint after every level).
+	EveryLevels int
+}
+
+// checkpointFile is the snapshot name inside CheckpointOptions.Dir.
+const checkpointFile = "checkpoint.json"
+
+// snapshotVersion guards the snapshot schema; a version bump makes old
+// snapshots invalid (ignored, re-explored) instead of misread.
+const snapshotVersion = 1
+
+// snapshot is the on-disk checkpoint document. The digest covers the
+// JSON encoding of every other field, so a torn or hand-edited file is
+// detected and ignored rather than resumed into a corrupt LTS.
+type snapshot struct {
+	Version   int    `json:"version"`
+	RootKey   string `json:"rootKey"`
+	MaxStates int    `json:"maxStates"`
+	// Levels is the number of completed BFS levels.
+	Levels int `json:"levels"`
+	// ElapsedNs is exploration wall-clock already spent, restored into
+	// the MaxDuration budget so a crash cannot extend a deadline.
+	ElapsedNs int64 `json:"elapsedNs"`
+
+	Init int      `json:"init"`
+	Keys []string `json:"keys"`
+	// Events holds codec-encoded visible events (IDs >= 2; tau and tick
+	// are implicit).
+	Events []json.RawMessage `json:"events"`
+	Edges  [][]Edge          `json:"edges"`
+	// Frontier lists the state IDs of the next unexpanded level, and
+	// FrontierProcs their codec-encoded terms (interior states never need
+	// their terms again, so only the frontier is serialized).
+	Frontier      []int             `json:"frontier"`
+	FrontierProcs []json.RawMessage `json:"frontierProcs"`
+
+	Digest uint64 `json:"digest"`
+}
+
+// digest computes the FNV-64a digest of the snapshot's JSON encoding
+// with the Digest field zeroed. Struct encoding is deterministic (no
+// maps), so write and load sides agree byte-for-byte.
+func (s *snapshot) digest() (uint64, error) {
+	saved := s.Digest
+	s.Digest = 0
+	data, err := json.Marshal(s)
+	s.Digest = saved
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64(), nil
+}
+
+// checkpointer writes and restores exploration snapshots. All failure
+// modes are soft: a checkpoint that cannot be written or parsed costs
+// re-exploration, never a wrong result.
+type checkpointer struct {
+	dir   string
+	every int
+
+	writesC  *obs.Counter
+	resumesC *obs.Counter
+	ignoredC *obs.Counter
+	errorsC  *obs.Counter
+}
+
+func newCheckpointer(opts *CheckpointOptions, o *obs.Observer) *checkpointer {
+	every := opts.EveryLevels
+	if every <= 0 {
+		every = 1
+	}
+	return &checkpointer{
+		dir:      opts.Dir,
+		every:    every,
+		writesC:  o.Counter("lts.checkpoint.writes"),
+		resumesC: o.Counter("lts.checkpoint.resumes"),
+		ignoredC: o.Counter("lts.checkpoint.ignored"),
+		errorsC:  o.Counter("lts.checkpoint.errors"),
+	}
+}
+
+// write snapshots the partial LTS after a completed level. Errors are
+// counted and swallowed: a failed checkpoint must not fail the check.
+func (c *checkpointer) write(l *LTS, frontier []int, levels int, elapsed time.Duration, rootKey string, maxStates int) {
+	snap := snapshot{
+		Version:   snapshotVersion,
+		RootKey:   rootKey,
+		MaxStates: maxStates,
+		Levels:    levels,
+		ElapsedNs: int64(elapsed),
+		Init:      l.Init,
+		Keys:      l.Keys,
+		Edges:     l.Edges,
+		Frontier:  frontier,
+	}
+	snap.Events = make([]json.RawMessage, 0, len(l.Events)-2)
+	for _, e := range l.Events[2:] {
+		data, err := csp.EncodeEvent(e)
+		if err != nil {
+			c.errorsC.Inc()
+			return
+		}
+		snap.Events = append(snap.Events, data)
+	}
+	snap.FrontierProcs = make([]json.RawMessage, 0, len(frontier))
+	for _, id := range frontier {
+		data, err := csp.EncodeProcess(l.Procs[id])
+		if err != nil {
+			c.errorsC.Inc()
+			return
+		}
+		snap.FrontierProcs = append(snap.FrontierProcs, data)
+	}
+	d, err := snap.digest()
+	if err != nil {
+		c.errorsC.Inc()
+		return
+	}
+	snap.Digest = d
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		c.errorsC.Inc()
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		c.errorsC.Inc()
+		return
+	}
+	if err := statestore.WriteFileAtomic(filepath.Join(c.dir, checkpointFile), data, 0o644); err != nil {
+		c.errorsC.Inc()
+		return
+	}
+	c.writesC.Inc()
+}
+
+// load restores a snapshot matching the exploration's root and bound
+// into a fresh LTS. It returns the restored LTS, frontier, completed
+// level count and already-spent wall clock, or ok=false when no valid
+// matching snapshot exists (missing, torn, different root or bound —
+// all of which simply mean "explore from scratch").
+func (c *checkpointer) load(rootKey string, maxStates int, visited statestore.Store) (l *LTS, frontier []int, levels int, elapsed time.Duration, ok bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, checkpointFile))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.ignoredC.Inc()
+		}
+		return nil, nil, 0, 0, false
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		c.ignoredC.Inc()
+		return nil, nil, 0, 0, false
+	}
+	if snap.Version != snapshotVersion || snap.RootKey != rootKey || snap.MaxStates != maxStates {
+		c.ignoredC.Inc()
+		return nil, nil, 0, 0, false
+	}
+	d, err := snap.digest()
+	if err != nil || d != snap.Digest {
+		c.ignoredC.Inc()
+		return nil, nil, 0, 0, false
+	}
+	if len(snap.Edges) != len(snap.Keys) ||
+		len(snap.FrontierProcs) != len(snap.Frontier) ||
+		snap.Init < 0 || snap.Init >= len(snap.Keys) {
+		c.ignoredC.Inc()
+		return nil, nil, 0, 0, false
+	}
+	l = &LTS{
+		Init:     snap.Init,
+		Keys:     snap.Keys,
+		Procs:    make([]csp.Process, len(snap.Keys)),
+		Edges:    snap.Edges,
+		Events:   []csp.Event{csp.Tau(), csp.Tick()},
+		eventIDs: map[string]int{},
+	}
+	for _, raw := range snap.Events {
+		e, err := csp.DecodeEvent(raw)
+		if err != nil {
+			c.ignoredC.Inc()
+			return nil, nil, 0, 0, false
+		}
+		l.eventIDs[e.String()] = len(l.Events)
+		l.Events = append(l.Events, e)
+	}
+	for i, raw := range snap.FrontierProcs {
+		id := snap.Frontier[i]
+		if id < 0 || id >= len(snap.Keys) {
+			c.ignoredC.Inc()
+			return nil, nil, 0, 0, false
+		}
+		p, err := csp.DecodeProcess(raw)
+		if err != nil || p.Key() != snap.Keys[id] {
+			c.ignoredC.Inc()
+			return nil, nil, 0, 0, false
+		}
+		l.Procs[id] = p
+	}
+	for id, k := range snap.Keys {
+		visited.Insert(k, id)
+	}
+	c.resumesC.Inc()
+	return l, snap.Frontier, snap.Levels, time.Duration(snap.ElapsedNs), true
+}

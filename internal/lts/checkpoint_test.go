@@ -1,0 +1,272 @@
+// Checkpoint/resume and spill-store acceptance tests. The invariant
+// under test is the PR's headline guarantee: an exploration interrupted
+// at an arbitrary point and resumed from its checkpoint produces a
+// byte-identical LTS to an uninterrupted run, and a disk-spilling
+// visited store never changes the result, only where it lives.
+package lts_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/lts"
+	"repro/internal/obs"
+	"repro/internal/ota"
+	"repro/internal/statestore"
+)
+
+// cancelStore wraps a Store and cancels a context after the Nth insert,
+// simulating a crash at a deterministic point mid-exploration.
+type cancelStore struct {
+	statestore.Store
+	remaining int
+	cancel    context.CancelFunc
+}
+
+func (s *cancelStore) Insert(key string, id int) {
+	s.Store.Insert(key, id)
+	s.remaining--
+	if s.remaining == 0 {
+		s.cancel()
+	}
+}
+
+// corpusRoots returns every assertion process term of the system.
+func corpusRoots(sys *ota.System) []csp.Process {
+	var roots []csp.Process
+	for _, a := range sys.Model.Asserts {
+		roots = append(roots, a.Impl)
+		if a.Spec != nil {
+			roots = append(roots, a.Spec)
+		}
+	}
+	return roots
+}
+
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, cs := range otaCorpus(t) {
+		sem := csp.NewSemantics(cs.sys.Model.Env, cs.sys.Model.Ctx)
+		for ri, root := range corpusRoots(cs.sys) {
+			ref, err := lts.Explore(sem, root, lts.Options{})
+			if err != nil {
+				t.Fatalf("%s root %d: reference explore: %v", cs.name, ri, err)
+			}
+			// Interrupt at a randomized number of interned states, at
+			// least 1 (immediately) and at most all of them (the final
+			// checkpoint path).
+			cut := 1 + rng.Intn(ref.NumStates())
+			dir := t.TempDir()
+			ctx, cancel := context.WithCancel(context.Background())
+			st := &cancelStore{Store: statestore.NewMem(), remaining: cut, cancel: cancel}
+			_, err = lts.Explore(sem, root, lts.Options{
+				Ctx:        ctx,
+				Store:      st,
+				Checkpoint: &lts.CheckpointOptions{Dir: dir},
+			})
+			cancel()
+			if err == nil {
+				// The cut landed on the final insert, after which the
+				// exploration may finish before probing the context —
+				// then the full result must already match.
+				if cut != ref.NumStates() {
+					t.Fatalf("%s root %d: interrupted explore (cut %d/%d) did not fail",
+						cs.name, ri, cut, ref.NumStates())
+				}
+			} else if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s root %d: interrupted explore: %v", cs.name, ri, err)
+			}
+
+			o := obs.New()
+			got, err := lts.Explore(sem, root, lts.Options{
+				Checkpoint: &lts.CheckpointOptions{Dir: dir},
+				Obs:        o,
+			})
+			if err != nil {
+				t.Fatalf("%s root %d: resumed explore: %v", cs.name, ri, err)
+			}
+			requireSameLTS(t, cs.name, ref, got)
+			resumes := o.Counter("lts.checkpoint.resumes").Value()
+			if cut > 1 && resumes != 1 {
+				// A cut of 1 may cancel before the first level completes,
+				// legitimately leaving no checkpoint; any later cut must
+				// leave one behind and the second run must use it.
+				t.Fatalf("%s root %d (cut %d): resumes = %d, want 1", cs.name, ri, cut, resumes)
+			}
+		}
+	}
+}
+
+func TestCheckpointFinalSnapshotResumesInstantly(t *testing.T) {
+	sys, err := ota.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := csp.NewSemantics(sys.Model.Env, sys.Model.Ctx)
+	root := sys.Model.Asserts[0].Impl
+	dir := t.TempDir()
+	ref, err := lts.Explore(sem, root, lts.Options{Checkpoint: &lts.CheckpointOptions{Dir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	got, err := lts.Explore(sem, root, lts.Options{
+		Checkpoint: &lts.CheckpointOptions{Dir: dir},
+		Obs:        o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameLTS(t, "final-snapshot", ref, got)
+	if o.Counter("lts.checkpoint.resumes").Value() != 1 {
+		t.Fatal("completed exploration was not resumed from its final snapshot")
+	}
+	// The resumed run had nothing to expand, so no fresh levels.
+	if o.Counter("lts.explore.levels").Value() != 0 {
+		t.Fatalf("resume from final snapshot expanded %d levels, want 0",
+			o.Counter("lts.explore.levels").Value())
+	}
+}
+
+func TestCheckpointIgnoresCorruptAndMismatched(t *testing.T) {
+	sys, err := ota.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := csp.NewSemantics(sys.Model.Env, sys.Model.Ctx)
+	roots := corpusRoots(sys)
+	ref, err := lts.Explore(sem, roots[0], lts.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("corrupt", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte(`{"version":1,"rootKey":`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		o := obs.New()
+		got, err := lts.Explore(sem, roots[0], lts.Options{
+			Checkpoint: &lts.CheckpointOptions{Dir: dir},
+			Obs:        o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameLTS(t, "corrupt-ignored", ref, got)
+		if o.Counter("lts.checkpoint.ignored").Value() != 1 {
+			t.Fatal("corrupt snapshot was not counted as ignored")
+		}
+	})
+
+	t.Run("truncated-digest", func(t *testing.T) {
+		// A structurally valid JSON document whose digest doesn't match
+		// (simulating a torn write that still parses).
+		dir := t.TempDir()
+		if _, err := lts.Explore(sem, roots[0], lts.Options{
+			Checkpoint: &lts.CheckpointOptions{Dir: dir},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "checkpoint.json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip a byte inside the document body.
+		data[len(data)/2]++
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		o := obs.New()
+		got, err := lts.Explore(sem, roots[0], lts.Options{
+			Checkpoint: &lts.CheckpointOptions{Dir: dir},
+			Obs:        o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameLTS(t, "digest-ignored", ref, got)
+		if o.Counter("lts.checkpoint.ignored").Value() != 1 {
+			t.Fatal("digest-mismatched snapshot was not counted as ignored")
+		}
+	})
+
+	t.Run("different-root", func(t *testing.T) {
+		dir := t.TempDir()
+		if _, err := lts.Explore(sem, roots[1], lts.Options{
+			Checkpoint: &lts.CheckpointOptions{Dir: dir},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		o := obs.New()
+		got, err := lts.Explore(sem, roots[0], lts.Options{
+			Checkpoint: &lts.CheckpointOptions{Dir: dir},
+			Obs:        o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameLTS(t, "other-root-ignored", ref, got)
+		if o.Counter("lts.checkpoint.resumes").Value() != 0 {
+			t.Fatal("snapshot of a different root was resumed")
+		}
+	})
+}
+
+// TestSpillStoreExploreIdentical pins the spill acceptance criterion: an
+// Explore whose visited set exceeds the soft watermark (forced to 0 here
+// so even small corpus models spill) completes on the disk store with a
+// byte-identical LTS and visible spill counters.
+func TestSpillStoreExploreIdentical(t *testing.T) {
+	for _, cs := range otaCorpus(t) {
+		sem := csp.NewSemantics(cs.sys.Model.Env, cs.sys.Model.Ctx)
+		root := corpusRoots(cs.sys)[0]
+		ref, err := lts.Explore(sem, root, lts.Options{})
+		if err != nil {
+			t.Fatalf("%s: reference explore: %v", cs.name, err)
+		}
+		o := obs.New()
+		st := statestore.NewSpill(statestore.SpillConfig{Dir: t.TempDir(), SoftMemBytes: 0, Obs: o})
+		got, err := lts.Explore(sem, root, lts.Options{Store: st})
+		if err != nil {
+			t.Fatalf("%s: spill explore: %v", cs.name, err)
+		}
+		requireSameLTS(t, cs.name+"-spill", ref, got)
+		if !st.Spilled() {
+			t.Fatalf("%s: store never spilled at watermark 0", cs.name)
+		}
+		if o.Counter("statestore.spill.keys").Value() != int64(ref.NumStates()) {
+			t.Fatalf("%s: spilled %d keys, want %d", cs.name,
+				o.Counter("statestore.spill.keys").Value(), ref.NumStates())
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("%s: close spill store: %v", cs.name, err)
+		}
+	}
+}
+
+func TestMemoryWatermarkReturnsStructuredError(t *testing.T) {
+	sys, err := ota.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sem := csp.NewSemantics(sys.Model.Env, sys.Model.Ctx)
+	root := corpusRoots(sys)[0]
+	_, err = lts.Explore(sem, root, lts.Options{MaxMemBytes: 1})
+	if !errors.Is(err, lts.ErrMemoryLimit) {
+		t.Fatalf("explore under 1-byte watermark: %v, want ErrMemoryLimit", err)
+	}
+	var me *lts.MemoryError
+	if !errors.As(err, &me) {
+		t.Fatalf("error %T does not expose *MemoryError", err)
+	}
+	if me.Explored <= 0 || me.EstimatedBytes <= me.Limit-1 {
+		t.Fatalf("MemoryError fields implausible: %+v", me)
+	}
+}

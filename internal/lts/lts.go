@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/csp"
 	"repro/internal/obs"
+	"repro/internal/statestore"
 )
 
 // Event label identifiers. Tau and Tick have fixed IDs; visible events
@@ -100,7 +101,53 @@ type Options struct {
 	// the cost of a nil check; measurements never influence the
 	// exploration itself.
 	Obs *obs.Observer
+	// Store, when non-nil, backs the visited-state index — e.g. a
+	// statestore.SpillStore that migrates to disk past a soft memory
+	// watermark. nil means a plain in-memory map (the historical
+	// behaviour, byte-identical). The store never influences state
+	// numbering, so the LTS is identical whichever store backs it. The
+	// caller owns the store's lifetime (Close).
+	Store statestore.Store
+	// MaxMemBytes is a hard watermark on the estimated resident size of
+	// the exploration (visited index + LTS under construction), checked
+	// once per BFS level. Exceeding it returns a *MemoryError — a
+	// structured budget verdict instead of an OOM kill. 0 means
+	// unbounded.
+	MaxMemBytes int64
+	// Checkpoint, when non-nil with a Dir, enables level-granular
+	// crash-safe checkpointing: snapshots are written atomically every
+	// EveryLevels completed levels, and an Explore finding a valid
+	// snapshot for the same root and bound resumes from it instead of
+	// starting over, with a byte-identical result.
+	Checkpoint *CheckpointOptions
 }
+
+// ErrMemoryLimit is returned when exploration exceeds its hard memory
+// watermark.
+var ErrMemoryLimit = errors.New("memory watermark exceeded during LTS exploration")
+
+// MemoryError is the concrete error returned when the estimated
+// resident size of an exploration passes Options.MaxMemBytes. It
+// matches ErrMemoryLimit under errors.Is and carries the partial
+// exploration size, so servers can degrade to a structured
+// budget-exhausted verdict instead of being OOM-killed.
+type MemoryError struct {
+	// Explored is the number of states discovered before the watermark.
+	Explored int
+	// EstimatedBytes is the resident-size estimate that tripped.
+	EstimatedBytes int64
+	// Limit is the configured watermark.
+	Limit int64
+}
+
+// Error describes the exceeded watermark.
+func (e *MemoryError) Error() string {
+	return fmt.Sprintf("%v (explored %d states, ~%d bytes resident, limit %d)",
+		ErrMemoryLimit, e.Explored, e.EstimatedBytes, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrMemoryLimit) hold.
+func (e *MemoryError) Is(target error) bool { return target == ErrMemoryLimit }
 
 // ErrDeadline is returned when exploration exceeds its wall-clock
 // budget.
@@ -203,6 +250,8 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err 
 			outcome = "state-limit"
 		case errors.Is(err, ErrDeadline):
 			outcome = "deadline"
+		case errors.Is(err, ErrMemoryLimit):
+			outcome = "memory-limit"
 		case errors.As(err, &ce):
 			outcome = "canceled"
 		case err != nil:
@@ -210,40 +259,74 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err 
 		}
 		span.End(obs.Int("states", explored), obs.String("outcome", outcome))
 	}()
+	visited := opts.Store
+	if visited == nil {
+		visited = statestore.NewMem()
+	}
+	// ltsBytes is a running estimate of the resident size of the LTS
+	// under construction (keys, term pointers, edge slices), combined
+	// with visited.Bytes() for the hard-watermark check.
+	var ltsBytes int64
 	l := &LTS{
 		Events:   []csp.Event{csp.Tau(), csp.Tick()},
 		eventIDs: map[string]int{},
 	}
-	index := map[string]int{}
 	// add interns a state, enforcing the exact bound: a state beyond
 	// MaxStates is never materialised, so LimitError.Explored <= Limit.
 	add := func(p csp.Process) (int, bool, error) {
 		k := p.Key()
-		if id, ok := index[k]; ok {
+		if id, ok := visited.Lookup(k); ok {
 			return id, false, nil
 		}
 		if len(l.Keys) >= maxStates {
 			return 0, false, &LimitError{Explored: len(l.Keys), Limit: maxStates}
 		}
 		id := len(l.Keys)
-		index[k] = id
+		visited.Insert(k, id)
 		l.Keys = append(l.Keys, k)
 		l.Procs = append(l.Procs, p)
 		l.Edges = append(l.Edges, nil)
+		ltsBytes += int64(len(k)) + ltsStateOverhead
 		return id, true, nil
 	}
-	rootID, _, err := add(root)
-	if err != nil {
-		return nil, err
-	}
-	l.Init = rootID
-	level := []int{rootID}
-	statesC.Inc() // the root
 	stop := &stopper{ctx: opts.Ctx, maxDur: opts.MaxDuration, start: time.Now()}
+	var ck *checkpointer
+	var level []int
+	levels := 0
+	resumed := false
+	if opts.Checkpoint != nil && opts.Checkpoint.Dir != "" {
+		ck = newCheckpointer(opts.Checkpoint, opts.Obs)
+		if rl, frontier, lv, elapsed, ok := ck.load(root.Key(), maxStates, visited); ok {
+			l, level, levels = rl, frontier, lv
+			for _, k := range l.Keys {
+				ltsBytes += int64(len(k)) + ltsStateOverhead
+			}
+			ltsBytes += int64(l.NumTransitions()) * ltsEdgeBytes
+			// Wall clock spent before the crash counts against the
+			// deadline budget: a crash must never extend a deadline.
+			stop.start = stop.start.Add(-elapsed)
+			statesC.Add(int64(len(l.Keys)))
+			resumed = true
+		}
+	}
+	if !resumed {
+		rootID, _, err := add(root)
+		if err != nil {
+			return nil, err
+		}
+		l.Init = rootID
+		level = []int{rootID}
+		statesC.Inc() // the root
+	}
 	expanded := 0
 	for len(level) > 0 {
 		levelsC.Inc()
 		frontierG.Max(int64(len(level)))
+		if opts.MaxMemBytes > 0 {
+			if est := visited.Bytes() + ltsBytes; est > opts.MaxMemBytes {
+				return nil, &MemoryError{Explored: len(l.Keys), EstimatedBytes: est, Limit: opts.MaxMemBytes}
+			}
+		}
 		if workers > 1 && len(level) >= parallelLevelThreshold {
 			parLevelsC.Inc()
 		}
@@ -276,12 +359,30 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err 
 		}
 		statesC.Add(int64(len(next)))
 		transC.Add(int64(levelEdges))
+		ltsBytes += int64(levelEdges) * ltsEdgeBytes
 		prog.Tick(int64(len(l.Keys)), obs.Int("frontier", int64(len(next))))
 		level = next
+		levels++
+		if ck != nil && len(level) > 0 && levels%ck.every == 0 {
+			ck.write(l, level, levels, time.Since(stop.start), root.Key(), maxStates)
+		}
+	}
+	if ck != nil {
+		// Final snapshot with an empty frontier: a crash after the
+		// exploration finished resumes instantly instead of re-exploring.
+		ck.write(l, nil, levels, time.Since(stop.start), root.Key(), maxStates)
 	}
 	prog.Flush(int64(len(l.Keys)))
 	return l, nil
 }
+
+// ltsStateOverhead approximates the per-state resident cost of the LTS
+// under construction beyond the key bytes: the Keys/Procs/Edges slice
+// slots plus the term pointer.
+const ltsStateOverhead = 64
+
+// ltsEdgeBytes is the resident cost of one Edge.
+const ltsEdgeBytes = 16
 
 // stopper bundles the two cooperative stop conditions of an exploration
 // — the wall-clock budget and the cancellation context — so every loop

@@ -61,6 +61,15 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add shifts the gauge by d — for gauges tracking a running total that
+// can both grow and shrink (resident bytes, open jobs).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
 // Max raises the gauge to v if v is larger — a high-water mark.
 func (g *Gauge) Max(v int64) {
 	if g == nil {

@@ -10,11 +10,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/csp"
 	"repro/internal/lts"
 	"repro/internal/obs"
+	"repro/internal/statestore"
 )
 
 // Model selects the semantic model a refinement check runs in.
@@ -110,6 +112,30 @@ type Checker struct {
 	// cancellation, the batch-CLI default. Cancellation never yields a
 	// verdict — like a budget exhaustion, the outcome is unknown.
 	Ctx context.Context
+	// CheckpointDir, when non-empty, makes the check crash-safe: each
+	// exploration writes atomic level-granular snapshots into a
+	// per-phase subdirectory ("spec", "impl"), and a re-run of the same
+	// check over the same directory resumes from them instead of
+	// starting over. Normalisation and the product search are
+	// recomputed deterministically from the restored LTSs, so the
+	// resumed verdict is byte-identical to an uninterrupted one.
+	CheckpointDir string
+	// CheckpointEveryLevels is the snapshot cadence in completed BFS
+	// levels; <= 0 means every level.
+	CheckpointEveryLevels int
+	// SoftMemBytes, when > 0, backs each exploration's visited index
+	// with a disk-spilling store that migrates past the watermark, so a
+	// check can exceed RAM instead of dying. The store never changes the
+	// result, only where the visited set lives.
+	SoftMemBytes int64
+	// SpillDir is where spill shards are created (a unique subdirectory
+	// per exploration, removed afterwards); empty means os.TempDir().
+	SpillDir string
+	// MaxMemBytes is a hard per-exploration watermark on estimated
+	// resident bytes; exceeding it yields a *BudgetError with phase
+	// "memory" — a structured budget-exhausted verdict instead of an
+	// OOM kill. 0 means unbounded.
+	MaxMemBytes int64
 }
 
 // BudgetError reports that a check ran out of its resource budget. The
@@ -120,10 +146,10 @@ type Checker struct {
 // pairs — discovered-but-unexamined frontier states are excluded — so
 // the number means the same thing regardless of which budget fired.
 type BudgetError struct {
-	// Phase names the stage that ran dry: "explore-spec",
-	// "explore-impl", "explore", "product", "product-steps", "trace",
-	// or a wall-clock phase "explore-deadline" / "product-deadline" /
-	// "trace-deadline".
+	// Phase names the stage that ran dry: "explore", "product",
+	// "product-steps", "trace", "memory" (hard resident-memory
+	// watermark), or a wall-clock phase "explore-deadline" /
+	// "product-deadline" / "trace-deadline".
 	Phase string
 	// Explored is the number of states (or steps, for "product-steps")
 	// completed before exhaustion.
@@ -171,20 +197,44 @@ func (c *Checker) deadline() time.Time {
 }
 
 func (c *Checker) explore(p csp.Process) (*lts.LTS, error) {
-	return c.exploreWithin(p, c.deadline())
+	return c.exploreWithin(p, c.deadline(), "impl")
 }
 
 // exploreWithin explores under the state budget and an absolute
 // wall-clock deadline (zero time means unbounded), consulting the
-// shared cache when one is configured.
-func (c *Checker) exploreWithin(p csp.Process, deadline time.Time) (*lts.LTS, error) {
-	opts := lts.Options{MaxStates: c.MaxStates, Workers: c.Workers, Obs: c.Obs, Ctx: c.Ctx}
+// shared cache when one is configured. role ("spec", "impl") selects
+// the checkpoint subdirectory when checkpointing is on, so the two
+// explorations of a refinement check never clobber each other's
+// snapshots.
+func (c *Checker) exploreWithin(p csp.Process, deadline time.Time, role string) (*lts.LTS, error) {
+	opts := lts.Options{
+		MaxStates:   c.MaxStates,
+		Workers:     c.Workers,
+		Obs:         c.Obs,
+		Ctx:         c.Ctx,
+		MaxMemBytes: c.MaxMemBytes,
+	}
 	if !deadline.IsZero() {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			remaining = time.Nanosecond
 		}
 		opts.MaxDuration = remaining
+	}
+	if c.CheckpointDir != "" {
+		opts.Checkpoint = &lts.CheckpointOptions{
+			Dir:         filepath.Join(c.CheckpointDir, role),
+			EveryLevels: c.CheckpointEveryLevels,
+		}
+	}
+	if c.SoftMemBytes > 0 {
+		sp := statestore.NewSpill(statestore.SpillConfig{
+			Dir:          c.SpillDir,
+			SoftMemBytes: c.SoftMemBytes,
+			Obs:          c.Obs,
+		})
+		defer sp.Close()
+		opts.Store = sp
 	}
 	var l *lts.LTS
 	var err error
@@ -202,6 +252,10 @@ func (c *Checker) exploreWithin(p csp.Process, deadline time.Time) (*lts.LTS, er
 		if errors.As(err, &de) {
 			return nil, &BudgetError{Phase: "explore-deadline", Explored: de.Explored,
 				Limit: int(c.MaxDuration / time.Millisecond)}
+		}
+		var me *lts.MemoryError
+		if errors.As(err, &me) {
+			return nil, &BudgetError{Phase: "memory", Explored: me.Explored, Limit: int(me.Limit)}
 		}
 		return nil, err
 	}
@@ -224,13 +278,13 @@ func (c *Checker) Refines(spec, impl csp.Process, model Model) (res Result, err 
 			obs.Int("productStates", int64(res.ProductStates)))
 	}()
 	phase := span.Child("refine.explore-spec")
-	specLTS, err := c.exploreWithin(spec, deadline)
+	specLTS, err := c.exploreWithin(spec, deadline, "spec")
 	phase.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("explore specification: %w", err)
 	}
 	phase = span.Child("refine.explore-impl")
-	implLTS, err := c.exploreWithin(impl, deadline)
+	implLTS, err := c.exploreWithin(impl, deadline, "impl")
 	phase.End()
 	if err != nil {
 		return Result{}, fmt.Errorf("explore implementation: %w", err)

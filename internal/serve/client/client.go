@@ -174,17 +174,37 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// retryAfterHint parses the Retry-After header (seconds form).
+// retryAfterHint parses the Retry-After header in both RFC 9110 forms:
+// delta-seconds ("2") and HTTP-date ("Mon, 02 Jan 2006 15:04:05 GMT").
+// Unparseable values, negative deltas and dates already in the past all
+// yield 0 — the caller falls back to the backoff schedule, so a
+// misbehaving proxy can delay a retry but never wedge or rush it.
 func retryAfterHint(resp *http.Response) time.Duration {
 	ra := resp.Header.Get("Retry-After")
 	if ra == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(ra)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(ra)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	d := time.Until(when)
+	if d < 0 {
+		return 0
+	}
+	// An HTTP-date far in the future is almost certainly clock skew, not
+	// a real hint; clamp so one bad header cannot stall a client.
+	const maxHint = time.Minute
+	if d > maxHint {
+		return maxHint
+	}
+	return d
 }
 
 // errorBody extracts the structured error field, falling back to the

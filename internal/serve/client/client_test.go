@@ -114,6 +114,59 @@ func TestCheckContextCancelsRetryLoop(t *testing.T) {
 	}
 }
 
+func TestRetryAfterHintForms(t *testing.T) {
+	mk := func(v string) *http.Response {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return &http.Response{Header: h}
+	}
+	httpDate := func(d time.Duration) string {
+		return time.Now().Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		name     string
+		value    string
+		min, max time.Duration
+	}{
+		{"absent", "", 0, 0},
+		{"delta-seconds", "2", 2 * time.Second, 2 * time.Second},
+		{"negative-delta", "-3", 0, 0},
+		{"garbage", "soon", 0, 0},
+		{"partial-date", "Mon, 02 Jan", 0, 0},
+		// A date resolves to the remaining wait, so allow scheduling slack.
+		{"http-date-future", httpDate(10 * time.Second), 8 * time.Second, 10 * time.Second},
+		{"http-date-past", httpDate(-time.Hour), 0, 0},
+		{"http-date-far-future", httpDate(48 * time.Hour), time.Minute, time.Minute},
+	}
+	for _, tc := range cases {
+		got := retryAfterHint(mk(tc.value))
+		if got < tc.min || got > tc.max {
+			t.Errorf("%s: retryAfterHint(%q) = %v, want in [%v, %v]",
+				tc.name, tc.value, got, tc.min, tc.max)
+		}
+	}
+}
+
+func TestCheckHonoursHTTPDateRetryAfter(t *testing.T) {
+	// The server hints a date ~80ms out; the retry must wait for it (the
+	// overall run takes at least the hint) and then succeed.
+	hint := time.Now().Add(80 * time.Millisecond).UTC().Format(http.TimeFormat)
+	ts, calls := flakyServer(t, []int{429}, hint)
+	c := fastClient(ts.URL)
+	resp, err := c.Check(context.Background(), serve.CheckRequest{CSPM: "P = STOP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2", got)
+	}
+}
+
 func TestCheckRetriesTransportErrors(t *testing.T) {
 	// A server that dies after the first response: the client must retry
 	// the connection refusal until retries exhaust.

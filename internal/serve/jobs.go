@@ -1,0 +1,364 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/statestore"
+)
+
+// The durable-job layer: POST /v1/jobs submits a check that runs
+// detached from the submitting connection, under the server's lifetime
+// rather than the request's. Job IDs are content-addressed (a digest of
+// the canonical request), so resubmitting the same model is idempotent
+// and a job survives its client. With Config.DataDir set, job records
+// persist to disk with atomic writes and explorations checkpoint under
+// per-assertion directories — a server killed outright (SIGKILL, OOM)
+// re-enqueues its unfinished jobs at the next boot and resumes their
+// explorations from the last checkpointed BFS level, producing verdicts
+// byte-identical to an uninterrupted run.
+
+// Job states reported by the API.
+const (
+	JobPending = "pending"
+	JobRunning = "running"
+	JobDone    = "done"
+)
+
+// JobStatus is the wire form of a job: the submit response and the
+// GET /v1/jobs/{id} body.
+type JobStatus struct {
+	// ID is the content-addressed job identifier.
+	ID string `json:"id"`
+	// State is "pending", "running" or "done".
+	State string `json:"state"`
+	// Response carries the check outcome once State is "done".
+	Response *CheckResponse `json:"response,omitempty"`
+}
+
+// job is the in-memory job record; state transitions are guarded by
+// Server.jobsMu.
+type job struct {
+	id    string
+	req   CheckRequest
+	state string
+	resp  *CheckResponse
+}
+
+// jobRecord is the on-disk job document, written atomically so a crash
+// leaves either the previous record or the new one, never a torn file.
+type jobRecord struct {
+	ID       string         `json:"id"`
+	Request  CheckRequest   `json:"request"`
+	Done     bool           `json:"done"`
+	Response *CheckResponse `json:"response,omitempty"`
+}
+
+// jobID derives the content-addressed identifier of a request. Struct
+// JSON encoding is deterministic, so equal requests (model + budget)
+// always map to the same job.
+func jobID(req *CheckRequest) string {
+	data, err := json.Marshal(req)
+	if err != nil {
+		// CheckRequest is strings and ints; Marshal cannot fail. Guard
+		// anyway so a future field keeps submission total.
+		data = []byte(req.CSPM)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:12])
+}
+
+func (s *Server) jobsDir() string { return filepath.Join(s.cfg.DataDir, "jobs") }
+func (s *Server) jobPath(id string) string {
+	return filepath.Join(s.jobsDir(), id+".json")
+}
+
+// jobCheckpointRoot is the directory a job's explorations checkpoint
+// under (one subdirectory per assertion).
+func (s *Server) jobCheckpointRoot(id string) string {
+	if s.cfg.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(s.jobsDir(), id+".cp")
+}
+
+// persistJob writes the job's disk record; no-op without a DataDir.
+func (s *Server) persistJob(j *job, done bool) error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
+		return err
+	}
+	rec := jobRecord{ID: j.id, Request: j.req, Done: done, Response: j.resp}
+	data, err := json.Marshal(&rec)
+	if err != nil {
+		return err
+	}
+	return statestore.WriteFileAtomic(s.jobPath(j.id), data, 0o644)
+}
+
+// statusOf snapshots a job for the wire; callers hold jobsMu.
+func statusOf(j *job) JobStatus {
+	return JobStatus{ID: j.id, State: j.state, Response: j.resp}
+}
+
+// handleJobSubmit is POST /v1/jobs: parse, dedup by content address,
+// persist as pending, enqueue for the dispatcher, answer 202. A
+// resubmission of a known job answers 200 with its current status — the
+// retry loop a crashed client runs is naturally idempotent.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.obs.Counter("serve.requests").Inc()
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, false, "POST required")
+		return
+	}
+	if s.draining.Load() {
+		s.obs.Counter("serve.rejected.draining").Inc()
+		s.reject(w, http.StatusServiceUnavailable, true, "draining")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req CheckRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.obs.Counter("serve.rejected.oversized").Inc()
+			s.reject(w, http.StatusRequestEntityTooLarge, false,
+				fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		s.obs.Counter("serve.rejected.malformed").Inc()
+		s.reject(w, http.StatusBadRequest, false, "malformed request: "+err.Error())
+		return
+	}
+	if req.CSPM == "" {
+		s.obs.Counter("serve.rejected.malformed").Inc()
+		s.reject(w, http.StatusBadRequest, false, "empty cspm")
+		return
+	}
+
+	id := jobID(&req)
+	s.jobsMu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		st := statusOf(j)
+		s.jobsMu.Unlock()
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	j := &job{id: id, req: req, state: JobPending}
+	s.jobs[id] = j
+	s.jobsMu.Unlock()
+
+	if err := s.persistJob(j, false); err != nil {
+		s.jobsMu.Lock()
+		delete(s.jobs, id)
+		s.jobsMu.Unlock()
+		s.obs.Counter("serve.jobs.persist.errors").Inc()
+		s.reject(w, http.StatusInternalServerError, false, "persist job: "+err.Error())
+		return
+	}
+	select {
+	case s.jobQueue <- j:
+	default:
+		s.jobsMu.Lock()
+		delete(s.jobs, id)
+		s.jobsMu.Unlock()
+		if s.cfg.DataDir != "" {
+			_ = os.Remove(s.jobPath(id))
+		}
+		s.obs.Counter("serve.rejected.overload").Inc()
+		s.reject(w, http.StatusTooManyRequests, true, "job queue full")
+		return
+	}
+	s.obs.Counter("serve.jobs.submitted").Inc()
+	writeJSON(w, http.StatusAccepted, JobStatus{ID: id, State: JobPending})
+}
+
+// handleJobGet is GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.reject(w, http.StatusMethodNotAllowed, false, "GET required")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		s.reject(w, http.StatusBadRequest, false, "malformed job id")
+		return
+	}
+	s.jobsMu.Lock()
+	j, ok := s.jobs[id]
+	var st JobStatus
+	if ok {
+		st = statusOf(j)
+	}
+	s.jobsMu.Unlock()
+	if !ok {
+		s.reject(w, http.StatusNotFound, false, "unknown job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// dispatch is the job scheduler: one long-lived goroutine pulling
+// pending jobs and handing each to a worker goroutine once a shared
+// admission slot frees up — jobs and synchronous /v1/check requests
+// compete for the same worker pool, so the concurrency cap holds across
+// both paths. It stops on drain (pending jobs stay pending, and durable
+// ones re-enqueue at next boot) and on Kill.
+func (s *Server) dispatch() {
+	defer s.jobWg.Done()
+	defer func() {
+		// The dispatcher must never take the daemon down; if it dies the
+		// sync path still works and pending jobs recover at next boot.
+		if r := recover(); r != nil {
+			s.obs.Counter("serve.panics").Inc()
+		}
+	}()
+	for {
+		var j *job
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-s.drainCh:
+			return
+		case j = <-s.jobQueue:
+		}
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-s.drainCh:
+			return
+		case s.sem <- struct{}{}:
+		}
+		s.wg.Add(1)
+		s.jobWg.Add(1)
+		go func(j *job) {
+			defer s.jobWg.Done()
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					// runCheck recovers check panics itself; this boundary
+					// guards the job bookkeeping.
+					s.obs.Counter("serve.panics").Inc()
+				}
+			}()
+			s.runJob(j)
+		}(j)
+	}
+}
+
+// runJob executes one job to completion under the server's lifetime
+// context. If the server is killed mid-run the verdict is discarded —
+// the job record on disk still says pending, so the next boot re-runs
+// it, resuming from its exploration checkpoints.
+func (s *Server) runJob(j *job) {
+	s.jobsMu.Lock()
+	j.state = JobRunning
+	s.jobsMu.Unlock()
+	s.obs.Gauge("serve.jobs.running").Add(1)
+	defer s.obs.Gauge("serve.jobs.running").Add(-1)
+
+	resp, _ := s.runCheck(s.baseCtx, &j.req, false, s.jobCheckpointRoot(j.id))
+	if s.baseCtx.Err() != nil {
+		// Killed mid-run: the response may be a partial cancellation
+		// artifact, never a verdict. Leave the job pending on disk.
+		s.jobsMu.Lock()
+		j.state = JobPending
+		s.jobsMu.Unlock()
+		return
+	}
+	s.jobsMu.Lock()
+	j.resp = &resp
+	j.state = JobDone
+	s.jobsMu.Unlock()
+	if err := s.persistJob(j, true); err != nil {
+		s.obs.Counter("serve.jobs.persist.errors").Inc()
+	} else if root := s.jobCheckpointRoot(j.id); root != "" {
+		// The verdict is durable; the exploration checkpoints have served
+		// their purpose.
+		_ = os.RemoveAll(root)
+	}
+	s.obs.Counter("serve.jobs.completed").Inc()
+}
+
+// recoverJobs loads the DataDir job records at boot: done jobs become
+// queryable immediately, unfinished ones re-enqueue in ID order. Called
+// from New before the dispatcher starts consuming.
+func (s *Server) recoverJobs() []*job {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	ents, err := os.ReadDir(s.jobsDir())
+	if err != nil {
+		return nil // no jobs dir yet: fresh DataDir
+	}
+	var pending []*job
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.jobsDir(), ent.Name()))
+		if err != nil {
+			s.obs.Counter("serve.jobs.corrupt").Inc()
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID == "" {
+			s.obs.Counter("serve.jobs.corrupt").Inc()
+			continue
+		}
+		j := &job{id: rec.ID, req: rec.Request, state: JobPending, resp: rec.Response}
+		if rec.Done {
+			j.state = JobDone
+		}
+		s.jobs[rec.ID] = j
+		if !rec.Done {
+			pending = append(pending, j)
+		}
+	}
+	sort.Slice(pending, func(i, k int) bool { return pending[i].id < pending[k].id })
+	s.obs.Counter("serve.jobs.recovered").Add(int64(len(pending)))
+	return pending
+}
+
+// enqueueRecovered feeds recovered pending jobs to the dispatcher from
+// its own goroutine, so a backlog larger than the queue buffer cannot
+// block server construction.
+func (s *Server) enqueueRecovered(pending []*job) {
+	defer s.jobWg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.obs.Counter("serve.panics").Inc()
+		}
+	}()
+	for _, j := range pending {
+		select {
+		case s.jobQueue <- j:
+		case <-s.baseCtx.Done():
+			return
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// Kill simulates abrupt process death for crash tests: it cancels the
+// server's lifetime context — aborting running jobs mid-BFS-level with
+// their verdicts discarded — and waits for the job machinery to
+// quiesce. Unlike Drain, nothing is flushed or finished: durable jobs
+// stay pending on disk, exactly as a SIGKILL would leave them, and a
+// new Server over the same DataDir picks them up.
+func (s *Server) Kill() {
+	s.baseCancel()
+	s.jobWg.Wait()
+}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -52,6 +54,23 @@ type Config struct {
 	// means entry count is bounded by CacheStates alone.
 	CacheEntries int
 	CacheStates  int
+	// DataDir, when non-empty, makes jobs durable: job records persist
+	// under DataDir/jobs with atomic writes, job explorations checkpoint
+	// under per-assertion directories, and a server rebuilt over the same
+	// DataDir after a crash re-enqueues unfinished jobs and resumes them.
+	// Empty means jobs live in memory only and die with the process.
+	DataDir string
+	// SoftMemBytes, when > 0, spills each exploration's visited index to
+	// disk once it crosses the watermark (see statestore.SpillConfig);
+	// 0 keeps everything in RAM.
+	SoftMemBytes int64
+	// MaxMemBytes is a hard per-exploration resident-memory watermark;
+	// past it a check degrades to a structured "budget:memory" verdict
+	// instead of growing without bound. 0 means unbounded.
+	MaxMemBytes int64
+	// CheckpointEveryLevels is the exploration snapshot cadence in BFS
+	// levels for durable jobs; <= 0 means every level.
+	CheckpointEveryLevels int
 	// Obs receives the server's metrics, exposed at /metrics; nil gets
 	// a fresh enabled Observer (a server without metrics is blind).
 	Obs *obs.Observer
@@ -75,6 +94,15 @@ type Server struct {
 	draining atomic.Bool
 	drainCh  chan struct{}
 	wg       sync.WaitGroup
+
+	// baseCtx is the server's lifetime: jobs run under it rather than
+	// under the submitting request, and Kill cancels it.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	jobsMu     sync.Mutex
+	jobs       map[string]*job
+	jobQueue   chan *job
+	jobWg      sync.WaitGroup
 }
 
 // New builds a Server, applying Config defaults.
@@ -110,12 +138,20 @@ func New(cfg Config) *Server {
 		cfg.Obs = obs.New()
 	}
 	s := &Server{
-		cfg:     cfg,
-		obs:     cfg.Obs,
-		cache:   lts.NewCache(),
-		mux:     http.NewServeMux(),
-		sem:     make(chan struct{}, cfg.Workers),
-		drainCh: make(chan struct{}),
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		cache:    lts.NewCache(),
+		mux:      http.NewServeMux(),
+		sem:      make(chan struct{}, cfg.Workers),
+		drainCh:  make(chan struct{}),
+		jobs:     make(map[string]*job),
+		jobQueue: make(chan *job, 4*(cfg.Workers+cfg.MaxQueue)),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if cfg.DataDir != "" {
+		// Best-effort: a spill dir that cannot be created degrades each
+		// exploration to its in-memory store, it does not fail checks.
+		_ = os.MkdirAll(filepath.Join(cfg.DataDir, "spill"), 0o755)
 	}
 	s.cache.Obs = s.obs
 	s.cache.MaxEntries = cfg.CacheEntries
@@ -124,6 +160,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/check", s.handleCheck)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobGet)
+	pending := s.recoverJobs()
+	s.jobWg.Add(1)
+	go s.dispatch()
+	if len(pending) > 0 {
+		s.jobWg.Add(1)
+		go s.enqueueRecovered(pending)
+	}
 	return s
 }
 
@@ -314,11 +359,23 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-// runRequest loads the model and checks every assertion under the
+// runRequest is the synchronous /v1/check path: the check runs under
+// the request's own context, with no durability.
+func (s *Server) runRequest(r *http.Request, req *CheckRequest) (CheckResponse, int) {
+	chaos := s.cfg.EnableChaos && r.Header.Get("X-Chaos-Panic") != ""
+	return s.runCheck(r.Context(), req, chaos, "")
+}
+
+// runCheck loads the model and checks every assertion under the
 // request budget, with panic isolation: a panic anywhere inside —
 // parser, evaluator, exploration, product search — is recovered into a
-// structured 500 response and the process survives.
-func (s *Server) runRequest(r *http.Request, req *CheckRequest) (resp CheckResponse, status int) {
+// structured 500 response and the process survives. A non-empty
+// ckptRoot makes each assertion's explorations checkpoint under its own
+// subdirectory, so a re-run (a recovered job) resumes instead of
+// restarting. The wall-clock budget is per run: a resumed job gets a
+// fresh timer but inherits the explored levels, so crash loops converge
+// instead of starving.
+func (s *Server) runCheck(ctx context.Context, req *CheckRequest, chaosPanic bool, ckptRoot string) (resp CheckResponse, status int) {
 	status = http.StatusOK
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -327,7 +384,7 @@ func (s *Server) runRequest(r *http.Request, req *CheckRequest) (resp CheckRespo
 			status = http.StatusInternalServerError
 		}
 	}()
-	if s.cfg.EnableChaos && r.Header.Get("X-Chaos-Panic") != "" {
+	if chaosPanic {
 		panic("chaos: injected handler panic")
 	}
 
@@ -338,20 +395,23 @@ func (s *Server) runRequest(r *http.Request, req *CheckRequest) (resp CheckRespo
 	}
 
 	bgt := s.budgetFor(req.Budget)
-	ctx, cancel := context.WithTimeout(r.Context(), bgt.MaxDuration)
+	cctx, cancel := context.WithTimeout(ctx, bgt.MaxDuration)
 	defer cancel()
-	bgt.Ctx = ctx
+	bgt.Ctx = cctx
 
 	results := make([]AssertVerdict, 0, len(model.Asserts))
-	for _, a := range model.Asserts {
+	for i, a := range model.Asserts {
+		if ckptRoot != "" {
+			bgt.CheckpointDir = filepath.Join(ckptRoot, fmt.Sprintf("a%03d", i))
+		}
 		results = append(results, s.runAssert(model, a, bgt))
-		if ctx.Err() != nil && len(results) < len(model.Asserts) {
+		if cctx.Err() != nil && len(results) < len(model.Asserts) {
 			// The request is dead; stamp the remaining assertions as
 			// canceled rather than burning the worker on them.
 			for _, rest := range model.Asserts[len(results):] {
 				results = append(results, AssertVerdict{
 					Assert:    rest.Text,
-					Error:     "canceled before start: " + ctx.Err().Error(),
+					Error:     "canceled before start: " + cctx.Err().Error(),
 					ErrorKind: "canceled",
 				})
 			}
@@ -372,6 +432,13 @@ func (s *Server) budgetFor(spec *BudgetSpec) fdr.Budget {
 		Workers:          s.cfg.ExploreWorkers,
 		Cache:            s.cache,
 		Obs:              s.obs,
+
+		SoftMemBytes:          s.cfg.SoftMemBytes,
+		MaxMemBytes:           s.cfg.MaxMemBytes,
+		CheckpointEveryLevels: s.cfg.CheckpointEveryLevels,
+	}
+	if s.cfg.DataDir != "" {
+		bgt.SpillDir = filepath.Join(s.cfg.DataDir, "spill")
 	}
 	if spec == nil {
 		return bgt
@@ -418,4 +485,3 @@ func (s *Server) runAssert(model *cspm.Model, a cspm.ResolvedAssert, bgt fdr.Bud
 	}
 	return v
 }
-

@@ -45,6 +45,9 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	srv := New(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	// Stop the job dispatcher so leakcheck sees a quiet process even in
+	// tests that never drain.
+	t.Cleanup(srv.Kill)
 	return srv, ts
 }
 

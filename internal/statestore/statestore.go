@@ -1,0 +1,337 @@
+// Package statestore provides the visited-state index behind
+// lts.Explore as a pluggable store with two implementations: the
+// in-memory map exploration has always used (the default — byte-for-byte
+// identical behaviour), and a hash-sharded disk-spilling store that
+// activates past a configurable soft memory watermark, letting a single
+// check's visited set exceed RAM instead of dying to the OOM killer.
+//
+// The store is deliberately not thread-safe: lts.Explore interns states
+// in its sequential level-merge loop (that sequencing is what makes the
+// LTS byte-identical at any worker count), so the store sees exactly one
+// goroutine and synchronisation would be pure overhead.
+package statestore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// Store is a visited-state index: a map from canonical state key to the
+// dense state ID the caller assigned at first sight. Implementations
+// trade memory for disk; none of them influence ID assignment, so
+// exploration results are identical whichever store backs them.
+type Store interface {
+	// Lookup returns the ID recorded for key, or ok=false if the key has
+	// never been inserted.
+	Lookup(key string) (id int, ok bool)
+	// Insert records key with the given ID. The caller guarantees the key
+	// is not already present (it looked it up first).
+	Insert(key string, id int)
+	// Len returns the number of entries.
+	Len() int
+	// Bytes estimates the resident (in-memory) size of the store,
+	// including per-entry bookkeeping. Spilling stores exclude what lives
+	// on disk.
+	Bytes() int64
+	// Close releases any resources (spill files). The store is unusable
+	// afterwards.
+	Close() error
+}
+
+// MemStore is the default in-memory store: a plain Go map, exactly what
+// lts.Explore used before stores were pluggable.
+type MemStore struct {
+	m     map[string]int
+	bytes int64
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore {
+	return &MemStore{m: map[string]int{}}
+}
+
+// memEntryOverhead approximates the per-entry cost of a Go map[string]int
+// beyond the key bytes themselves: the string header (16), the int (8)
+// and amortised bucket overhead.
+const memEntryOverhead = 48
+
+// Lookup implements Store.
+func (s *MemStore) Lookup(key string) (int, bool) {
+	id, ok := s.m[key]
+	return id, ok
+}
+
+// Insert implements Store.
+func (s *MemStore) Insert(key string, id int) {
+	s.m[key] = id
+	s.bytes += int64(len(key)) + memEntryOverhead
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int { return len(s.m) }
+
+// Bytes implements Store.
+func (s *MemStore) Bytes() int64 { return s.bytes }
+
+// Close implements Store; an in-memory store holds no resources.
+func (s *MemStore) Close() error { return nil }
+
+// SpillConfig configures a disk-spilling store.
+type SpillConfig struct {
+	// Dir is the directory spill shards are created under (a unique
+	// subdirectory per store, removed on Close). Empty means os.TempDir().
+	Dir string
+	// SoftMemBytes is the resident-size watermark past which the store
+	// migrates its keys to disk. 0 means spill immediately (useful in
+	// tests); negative disables spilling entirely (the store stays an
+	// in-memory map).
+	SoftMemBytes int64
+	// Shards is the number of append-only key files the spilled keys are
+	// hash-partitioned over. 0 means DefaultShards.
+	Shards int
+	// Obs receives spill counters (activations, spilled keys, disk
+	// reads); nil disables instrumentation.
+	Obs *obs.Observer
+}
+
+// DefaultShards is the shard count used when SpillConfig.Shards is 0.
+const DefaultShards = 16
+
+// shardBufSize is the per-shard write buffer. Reads of not-yet-flushed
+// keys are served straight from this buffer, so lookups never force a
+// flush; the buffer bounds resident overhead at Shards*shardBufSize.
+const shardBufSize = 64 << 10
+
+// loc records where a spilled key lives: shard file, byte offset, key
+// length, and the state ID it maps to. ~32 bytes per visited state
+// versus the full key string (state keys of ParProc-heavy compositions
+// run to hundreds of bytes), which is the whole point of spilling.
+type loc struct {
+	off   int64
+	id    int64
+	klen  int32
+	shard int32
+}
+
+// SpillStore is a visited-state index that starts as an in-memory map
+// and, past the soft watermark, migrates keys to hash-sharded
+// append-only files, keeping only an FNV-64 → location index in memory.
+// Lookups verify candidate entries by reading the key bytes back, so a
+// 64-bit hash collision can never alias two distinct states — the
+// byte-identical exploration guarantee survives spilling.
+type SpillStore struct {
+	cfg SpillConfig
+
+	// Pre-spill state.
+	mem *MemStore
+
+	// Post-spill state.
+	spilled  bool
+	dir      string
+	files    []*os.File
+	bufs     [][]byte // unflushed tail of each shard file
+	flushed  []int64  // on-disk length of each shard file
+	index    map[uint64][]loc
+	count    int
+	idxBytes int64
+
+	activC *obs.Counter
+	keysC  *obs.Counter
+	readsC *obs.Counter
+	diskG  *obs.Gauge
+}
+
+// spillEntryOverhead approximates the in-memory cost of one spilled
+// entry: the loc struct plus amortised map-bucket overhead for the
+// hash-keyed slice index.
+const spillEntryOverhead = 56
+
+// NewSpill returns a disk-spilling store. No files are created until the
+// watermark trips.
+func NewSpill(cfg SpillConfig) *SpillStore {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	return &SpillStore{
+		cfg:    cfg,
+		mem:    NewMem(),
+		activC: cfg.Obs.Counter("statestore.spill.activations"),
+		keysC:  cfg.Obs.Counter("statestore.spill.keys"),
+		readsC: cfg.Obs.Counter("statestore.spill.reads"),
+		diskG:  cfg.Obs.Gauge("statestore.spill.disk.bytes"),
+	}
+}
+
+func hashKey(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Lookup implements Store.
+func (s *SpillStore) Lookup(key string) (int, bool) {
+	if !s.spilled {
+		return s.mem.Lookup(key)
+	}
+	h := hashKey(key)
+	for _, l := range s.index[h] {
+		if int(l.klen) != len(key) {
+			continue
+		}
+		got, err := s.readKey(l)
+		if err != nil {
+			// A read failure on a file we wrote is a broken spill volume;
+			// treating the key as absent would corrupt the exploration
+			// (duplicate states, wrong verdicts), so fail loudly instead.
+			panic(fmt.Sprintf("statestore: spill read failed: %v", err))
+		}
+		if got == key {
+			return int(l.id), true
+		}
+	}
+	return 0, false
+}
+
+// Insert implements Store.
+func (s *SpillStore) Insert(key string, id int) {
+	if !s.spilled {
+		s.mem.Insert(key, id)
+		if s.cfg.SoftMemBytes >= 0 && s.mem.Bytes() > s.cfg.SoftMemBytes {
+			if err := s.activate(); err != nil {
+				// Spilling is a capacity upgrade; if the disk is unusable the
+				// store keeps working from memory (and the caller's hard
+				// watermark, if any, still protects the process).
+				s.cfg.SoftMemBytes = -1
+			}
+		}
+		return
+	}
+	s.put(key, id)
+}
+
+// activate migrates every in-memory entry to shard files and switches
+// the store to spilled mode.
+func (s *SpillStore) activate() error {
+	base := s.cfg.Dir
+	if base == "" {
+		base = os.TempDir()
+	}
+	dir, err := os.MkdirTemp(base, "statestore-spill-*")
+	if err != nil {
+		return err
+	}
+	files := make([]*os.File, s.cfg.Shards)
+	for i := range files {
+		f, err := os.OpenFile(filepath.Join(dir, fmt.Sprintf("shard-%02d.keys", i)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+		if err != nil {
+			for _, g := range files[:i] {
+				_ = g.Close()
+			}
+			_ = os.RemoveAll(dir)
+			return err
+		}
+		files[i] = f
+	}
+	s.dir = dir
+	s.files = files
+	s.bufs = make([][]byte, s.cfg.Shards)
+	s.flushed = make([]int64, s.cfg.Shards)
+	s.index = make(map[uint64][]loc, s.mem.Len()*2)
+	s.spilled = true
+	s.activC.Inc()
+	for k, id := range s.mem.m {
+		s.put(k, id)
+	}
+	s.mem = nil
+	return nil
+}
+
+// put appends the key to its shard and records its location.
+func (s *SpillStore) put(key string, id int) {
+	h := hashKey(key)
+	shard := int32(h % uint64(s.cfg.Shards))
+	off := s.flushed[shard] + int64(len(s.bufs[shard]))
+	s.bufs[shard] = append(s.bufs[shard], key...)
+	if len(s.bufs[shard]) >= shardBufSize {
+		s.flush(shard)
+	}
+	s.index[h] = append(s.index[h], loc{off: off, id: int64(id), klen: int32(len(key)), shard: shard})
+	s.count++
+	s.idxBytes += spillEntryOverhead
+	s.keysC.Inc()
+	s.diskG.Add(int64(len(key)))
+}
+
+// flush writes the shard's buffered tail to its file.
+func (s *SpillStore) flush(shard int32) {
+	if len(s.bufs[shard]) == 0 {
+		return
+	}
+	n, err := s.files[shard].WriteAt(s.bufs[shard], s.flushed[shard])
+	if err != nil {
+		panic(fmt.Sprintf("statestore: spill write failed: %v", err))
+	}
+	s.flushed[shard] += int64(n)
+	s.bufs[shard] = s.bufs[shard][:0]
+}
+
+// readKey reads a spilled key back, serving not-yet-flushed bytes from
+// the shard's write buffer so lookups don't force flushes.
+func (s *SpillStore) readKey(l loc) (string, error) {
+	if l.off >= s.flushed[l.shard] {
+		start := l.off - s.flushed[l.shard]
+		return string(s.bufs[l.shard][start : start+int64(l.klen)]), nil
+	}
+	s.readsC.Inc()
+	buf := make([]byte, l.klen)
+	if _, err := s.files[l.shard].ReadAt(buf, l.off); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Len implements Store.
+func (s *SpillStore) Len() int {
+	if !s.spilled {
+		return s.mem.Len()
+	}
+	return s.count
+}
+
+// Bytes implements Store.
+func (s *SpillStore) Bytes() int64 {
+	if !s.spilled {
+		return s.mem.Bytes()
+	}
+	buffered := int64(0)
+	for _, b := range s.bufs {
+		buffered += int64(len(b))
+	}
+	return s.idxBytes + buffered
+}
+
+// Spilled reports whether the store has migrated to disk.
+func (s *SpillStore) Spilled() bool { return s.spilled }
+
+// Close implements Store, removing the spill directory.
+func (s *SpillStore) Close() error {
+	if !s.spilled {
+		s.mem = nil
+		return nil
+	}
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = nil
+	if err := os.RemoveAll(s.dir); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

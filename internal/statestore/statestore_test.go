@@ -1,0 +1,173 @@
+package statestore
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// driveStore inserts n keys and checks every lookup both before and
+// after each insert, the access pattern lts.Explore produces.
+func driveStore(t *testing.T, s Store, n int) {
+	t.Helper()
+	key := func(i int) string {
+		// Variable-length keys of realistic size — canonical keys of
+		// ParProc-heavy compositions run to hundreds of bytes.
+		return fmt.Sprintf("(P%d [|{|net|}|] Q%s)", i, strings.Repeat("x", 180+i%97))
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := s.Lookup(key(i)); ok {
+			t.Fatalf("key %d present before insert", i)
+		}
+		s.Insert(key(i), i)
+		if got, ok := s.Lookup(key(i)); !ok || got != i {
+			t.Fatalf("lookup after insert: got (%d,%v), want (%d,true)", got, ok, i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	// Re-check everything at the end (spilled entries now on disk).
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if got, ok := s.Lookup(key(i)); !ok || got != i {
+			t.Fatalf("final lookup %d: got (%d,%v)", i, got, ok)
+		}
+	}
+	if _, ok := s.Lookup("never-inserted"); ok {
+		t.Fatal("lookup of absent key reported present")
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	s := NewMem()
+	driveStore(t, s, 500)
+	if s.Bytes() <= 0 {
+		t.Fatal("Bytes() not accounted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSpillStoreNeverTrips(t *testing.T) {
+	s := NewSpill(SpillConfig{Dir: t.TempDir(), SoftMemBytes: 1 << 30})
+	driveStore(t, s, 500)
+	if s.Spilled() {
+		t.Fatal("store spilled below the watermark")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSpillStoreSpills(t *testing.T) {
+	o := obs.New()
+	dir := t.TempDir()
+	s := NewSpill(SpillConfig{Dir: dir, SoftMemBytes: 4 << 10, Shards: 4, Obs: o})
+	driveStore(t, s, 3000)
+	if !s.Spilled() {
+		t.Fatal("store never spilled past a 4KiB watermark")
+	}
+	if got := o.Counter("statestore.spill.activations").Value(); got != 1 {
+		t.Fatalf("activations counter = %d, want 1", got)
+	}
+	if got := o.Counter("statestore.spill.keys").Value(); got != 3000 {
+		t.Fatalf("spilled-keys counter = %d, want 3000", got)
+	}
+	if got := o.Gauge("statestore.spill.disk.bytes").Value(); got <= 0 {
+		t.Fatal("disk-bytes gauge not accounted")
+	}
+	// Shard files must exist while open.
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("spill dir entries: %v, %v", ents, err)
+	}
+	// Resident size must be far below what the raw keys occupy.
+	raw := int64(0)
+	for i := 0; i < 3000; i++ {
+		raw += int64(len(fmt.Sprintf("(P%d [|{|net|}|] Q%s)", i, strings.Repeat("x", 180+i%97))))
+	}
+	if s.Bytes() > raw {
+		t.Fatalf("spilled resident bytes %d not below raw key bytes %d", s.Bytes(), raw)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ents, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir after close: %v", err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not cleaned up: %v", ents)
+	}
+}
+
+func TestSpillStoreImmediateSpill(t *testing.T) {
+	// SoftMemBytes 0 trips on the first insert — the configuration the
+	// lts spill-mode tests use to force disk from the start.
+	s := NewSpill(SpillConfig{Dir: t.TempDir(), SoftMemBytes: 0})
+	driveStore(t, s, 200)
+	if !s.Spilled() {
+		t.Fatal("watermark 0 did not spill immediately")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestSpillStoreHashCollision(t *testing.T) {
+	// Force two distinct keys into the same index bucket by inserting
+	// directly with a rigged hash: simulate by checking that same-length
+	// different keys with (astronomically unlikely) equal hashes would be
+	// disambiguated. We can't manufacture an FNV-64 collision cheaply, so
+	// instead verify the verification path: same-length keys sharing a
+	// bucket via modulo shard assignment still resolve correctly.
+	s := NewSpill(SpillConfig{Dir: t.TempDir(), SoftMemBytes: 0, Shards: 1})
+	const n = 2000
+	for i := 0; i < n; i++ {
+		s.Insert(fmt.Sprintf("key-%04d", i), i)
+	}
+	for i := 0; i < n; i++ {
+		if got, ok := s.Lookup(fmt.Sprintf("key-%04d", i)); !ok || got != i {
+			t.Fatalf("lookup %d: got (%d,%v)", i, got, ok)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.json")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v1" {
+		t.Fatalf("content = %q, want v1", got)
+	}
+	if err := WriteFileAtomic(path, []byte("v2"), 0o644); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "v2" {
+		t.Fatalf("content = %q, want v2", got)
+	}
+	// No temp debris left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want 1: %v", len(ents), ents)
+	}
+	// Missing parent directory errors instead of panicking.
+	if err := WriteFileAtomic(filepath.Join(dir, "no-such", "f"), nil, 0o644); err == nil {
+		t.Fatal("write into missing directory: want error")
+	}
+}

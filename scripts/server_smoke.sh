@@ -2,6 +2,9 @@
 # Server smoke: boot the fdrserve daemon, check the OTA corpus through
 # the HTTP API (verdicts diffed against the in-process library oracle by
 # serveload -smoke), then SIGTERM it and require a clean drain (exit 0).
+# Then the crash leg: boot a durable daemon, submit the corpus as jobs,
+# SIGKILL it mid-run, restart over the same data dir and require every
+# resumed job to finish with oracle-identical verdicts.
 # Referenced from .github/workflows/ci.yml.
 set -eu
 
@@ -48,5 +51,53 @@ grep -q "drained, exiting" /tmp/fdrserve.log
 
 echo "==> serveload chaos soak (fixed seed)"
 /tmp/serveload -seed 42 -requests 16
+
+echo "==> SIGKILL / restart / resume (durable jobs, verdicts must not change)"
+DATA_DIR="$(mktemp -d /tmp/fdrserve-data.XXXXXX)"
+/tmp/fdrserve -addr "$ADDR" -data-dir "$DATA_DIR" -checkpoint-levels 1 \
+    > /tmp/fdrserve-crash.log 2>&1 &
+SRV_PID=$!
+trap 'kill -9 "$SRV_PID" 2>/dev/null || true; rm -rf "$DATA_DIR"' EXIT
+i=0
+until curl -fsS "http://$ADDR/readyz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "fdrserve (durable) never became ready" >&2
+        cat /tmp/fdrserve-crash.log >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+/tmp/serveload -submit -addr "http://$ADDR"
+# Kill the daemon outright while the jobs run — no drain, no warning.
+sleep 0.2
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+
+/tmp/fdrserve -addr "$ADDR" -data-dir "$DATA_DIR" -checkpoint-levels 1 \
+    >> /tmp/fdrserve-crash.log 2>&1 &
+SRV_PID=$!
+i=0
+until curl -fsS "http://$ADDR/readyz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "fdrserve never came back after SIGKILL" >&2
+        cat /tmp/fdrserve-crash.log >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+/tmp/serveload -collect -addr "http://$ADDR"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || {
+    echo "fdrserve exited non-zero after the resume leg" >&2
+    cat /tmp/fdrserve-crash.log >&2
+    exit 1
+}
+trap - EXIT
+rm -rf "$DATA_DIR"
+
+echo "==> serveload crash schedule (in-process kill/restart/resume)"
+/tmp/serveload -crash -seed 42 -kills 4
 
 echo "server smoke OK"
