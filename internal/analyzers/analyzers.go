@@ -83,7 +83,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every registered analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{MustRecover, SeededRand, UnrecoveredGo, CloseCheck}
+	return []*Analyzer{MustRecover, SeededRand, UnrecoveredGo, CloseCheck, DiagReg}
 }
 
 // RunPackage runs each applicable analyzer over one parsed package and

@@ -1,0 +1,287 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// DiagReg cross-checks the caplint diagnostic-code registry. The
+// CAPLnnnn codes are a public, append-only contract: CI gates key on
+// them, EXPERIMENTS.md renders the catalog table, and suppressions in
+// user projects reference them by string. Three invariants keep that
+// contract honest, and each has been broken at least once by hand
+// before this pass existed:
+//
+//  1. every code string is declared by exactly one constant (a copy-
+//     pasted declaration silently aliases two meanings onto one code);
+//  2. every code constant is registered in Catalog(), in ascending
+//     code order (an unregistered code renders no docs row and falls
+//     back to a default severity);
+//  3. every code constant is referenced by at least one emit site —
+//     in internal/caplint itself or in a sibling emitter package
+//     (internal/translate emits the abstraction-info codes). A code
+//     nobody emits is dead registry weight or, worse, a pass that was
+//     meant to be wired up and never was.
+//
+// The pass is syntactic like the rest of this package: a code constant
+// is any string constant whose value matches CAPL followed by four
+// digits. Cross-package emit sites are found by parsing the sibling
+// emitter directories directly (the driver is per-package, so the
+// translate sources are not otherwise visible here).
+var DiagReg = &Analyzer{
+	Name: "diagreg",
+	Doc: "caplint diagnostic codes must be unique, registered in Catalog() " +
+		"in ascending order, and emitted by at least one site in " +
+		"internal/caplint or a sibling emitter package (internal/translate).",
+	AppliesTo: func(pkgDir string) bool {
+		return pkgDir == "internal/caplint" || strings.HasSuffix(pkgDir, "/internal/caplint")
+	},
+	Run: runDiagReg,
+}
+
+// diagEmitterSiblings are the sibling packages (relative to the
+// analyzed package's parent directory) whose sources also emit caplint
+// codes via the exported constants.
+var diagEmitterSiblings = []string{"translate"}
+
+// codeConst is one declared CAPLnnnn constant.
+type codeConst struct {
+	name  string
+	value string
+	pos   token.Pos
+}
+
+// isDiagCode reports whether s has the CAPLnnnn shape.
+func isDiagCode(s string) bool {
+	if len(s) != 8 || !strings.HasPrefix(s, "CAPL") {
+		return false
+	}
+	for _, r := range s[4:] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func runDiagReg(p *Pass) {
+	consts, declIdents := diagCodeConsts(p.Files)
+	if len(consts) == 0 {
+		return
+	}
+	byName := map[string]*codeConst{}
+	for i := range consts {
+		byName[consts[i].name] = &consts[i]
+	}
+
+	// Invariant 1: one constant per code string.
+	byValue := map[string]string{}
+	for _, c := range consts {
+		if prev, dup := byValue[c.value]; dup {
+			p.Reportf(c.pos, "diagnostic code %s is declared by both %s and %s; codes must be unique", c.value, prev, c.name)
+			continue
+		}
+		byValue[c.value] = c.name
+	}
+
+	// Invariant 2: Catalog() registers every code, in ascending order.
+	catalog := findFuncDecl(p.Files, "Catalog")
+	if catalog == nil {
+		p.Reportf(consts[0].pos, "package declares %d diagnostic codes but has no Catalog() function", len(consts))
+		return
+	}
+	registered := map[string]int{}
+	var order []*codeConst
+	ast.Inspect(catalog.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if c, isCode := byName[id.Name]; isCode {
+			registered[id.Name]++
+			order = append(order, c)
+			if registered[id.Name] == 2 {
+				p.Reportf(id.Pos(), "code constant %s appears more than once in Catalog()", id.Name)
+			}
+		}
+		return true
+	})
+	for i := 1; i < len(order); i++ {
+		if order[i].value < order[i-1].value {
+			p.Reportf(catalog.Pos(), "Catalog() lists %s (%s) after %s (%s); entries must be in ascending code order",
+				order[i].name, order[i].value, order[i-1].name, order[i-1].value)
+			break
+		}
+	}
+	for _, c := range consts {
+		if registered[c.name] == 0 {
+			p.Reportf(c.pos, "code constant %s (%s) is not registered in Catalog(); it would render no docs row and default to warning severity", c.name, c.value)
+		}
+	}
+
+	// Invariant 3: at least one emit site references each constant.
+	emitted := map[string]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// The catalog is registration, not emission.
+			if fd, ok := n.(*ast.FuncDecl); ok && fd == catalog {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok || declIdents[id.Pos()] {
+				return true
+			}
+			if _, isCode := byName[id.Name]; isCode {
+				emitted[id.Name] = true
+			}
+			return true
+		})
+	}
+	var missing []*codeConst
+	for i := range consts {
+		if !emitted[consts[i].name] {
+			missing = append(missing, &consts[i])
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	for name := range siblingEmitRefs(p, missingNames(missing)) {
+		emitted[name] = true
+	}
+	for _, c := range missing {
+		if !emitted[c.name] {
+			p.Reportf(c.pos, "code constant %s (%s) has no emit site in this package or in sibling emitter package(s) %s",
+				c.name, c.value, strings.Join(diagEmitterSiblings, ", "))
+		}
+	}
+}
+
+func missingNames(cs []*codeConst) map[string]bool {
+	out := make(map[string]bool, len(cs))
+	for _, c := range cs {
+		out[c.name] = true
+	}
+	return out
+}
+
+// diagCodeConsts collects every string constant with a CAPLnnnn value,
+// plus the positions of the declaring idents (so reference counting can
+// exclude the declarations themselves).
+func diagCodeConsts(files []*ast.File) ([]codeConst, map[token.Pos]bool) {
+	var out []codeConst
+	decls := map[token.Pos]bool{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					val, err := strconv.Unquote(lit.Value)
+					if err != nil || !isDiagCode(val) {
+						continue
+					}
+					out = append(out, codeConst{name: name.Name, value: val, pos: name.Pos()})
+					decls[name.Pos()] = true
+				}
+			}
+		}
+	}
+	return out, decls
+}
+
+// findFuncDecl returns the named top-level function, if declared.
+func findFuncDecl(files []*ast.File, name string) *ast.FuncDecl {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// siblingEmitRefs scans the sibling emitter packages on disk for
+// selector references (caplint.CodeX) to the given constants. The scan
+// is best-effort: an unreadable or absent sibling contributes no
+// references, and parse errors there are left for the compiler — this
+// pass only cares about identifier usage.
+func siblingEmitRefs(p *Pass, names map[string]bool) map[string]bool {
+	refs := map[string]bool{}
+	if len(p.Files) == 0 {
+		return refs
+	}
+	pkgPath := p.Fset.Position(p.Files[0].Pos()).Filename
+	parent := filepath.Dir(filepath.Dir(pkgPath))
+	for _, sib := range diagEmitterSiblings {
+		dir := filepath.Join(parent, sib)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			fname := e.Name()
+			if e.IsDir() || !strings.HasSuffix(fname, ".go") || strings.HasSuffix(fname, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, fname), nil, parser.SkipObjectResolution)
+			if err != nil {
+				continue
+			}
+			local, ok := caplintPkgName(f)
+			if !ok {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !names[sel.Sel.Name] {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == local {
+					refs[sel.Sel.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return refs
+}
+
+// caplintPkgName returns the local name under which the file imports
+// the caplint package, and whether it imports it at all.
+func caplintPkgName(f *ast.File) (string, bool) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || !strings.HasSuffix(path, "/internal/caplint") {
+			continue
+		}
+		if imp.Name == nil {
+			return "caplint", true
+		}
+		if imp.Name.Name == "_" || imp.Name.Name == "." {
+			return "", false
+		}
+		return imp.Name.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,195 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cleanRegistry is a minimal well-formed registry: unique codes, an
+// ordered catalog, and an in-package emit site for every constant.
+const cleanRegistry = `package caplint
+const (
+	CodeParse   = "CAPL0000"
+	CodeNarrow  = "CAPL0101"
+)
+type CatalogEntry struct{ Code, Title string }
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{CodeParse, "source does not parse"},
+		{CodeNarrow, "implicit narrowing"},
+	}
+}
+func emit() []string { return []string{CodeParse, CodeNarrow} }
+`
+
+// runDiagRegOn parses src at a real or fake path and runs DiagReg.
+func runDiagRegOn(t *testing.T, path, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunPackage(fset, "internal/caplint", []*ast.File{f}, nil, []*Analyzer{DiagReg})
+}
+
+func TestDiagRegClean(t *testing.T) {
+	if diags := runDiagRegOn(t, "diag.go", cleanRegistry); len(diags) != 0 {
+		t.Fatalf("clean registry flagged: %v", diags)
+	}
+}
+
+func TestDiagRegDuplicateCode(t *testing.T) {
+	src := `package caplint
+const (
+	CodeParse = "CAPL0000"
+	CodeAlias = "CAPL0000"
+)
+func Catalog() []struct{ Code, Title string } {
+	return []struct{ Code, Title string }{{CodeParse, "x"}, {CodeAlias, "y"}}
+}
+func emit() []string { return []string{CodeParse, CodeAlias} }
+`
+	diags := runDiagRegOn(t, "diag.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "declared by both CodeParse and CodeAlias") {
+		t.Fatalf("diags = %v, want one duplicate-code finding", diags)
+	}
+}
+
+func TestDiagRegUnregisteredCode(t *testing.T) {
+	src := `package caplint
+const (
+	CodeParse  = "CAPL0000"
+	CodeOrphan = "CAPL0001"
+)
+func Catalog() []struct{ Code, Title string } {
+	return []struct{ Code, Title string }{{CodeParse, "x"}}
+}
+func emit() []string { return []string{CodeParse, CodeOrphan} }
+`
+	diags := runDiagRegOn(t, "diag.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "CodeOrphan (CAPL0001) is not registered in Catalog()") {
+		t.Fatalf("diags = %v, want one unregistered-code finding", diags)
+	}
+}
+
+func TestDiagRegCatalogOrder(t *testing.T) {
+	src := `package caplint
+const (
+	CodeA = "CAPL0000"
+	CodeB = "CAPL0001"
+)
+func Catalog() []struct{ Code, Title string } {
+	return []struct{ Code, Title string }{{CodeB, "y"}, {CodeA, "x"}}
+}
+func emit() []string { return []string{CodeA, CodeB} }
+`
+	diags := runDiagRegOn(t, "diag.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "ascending code order") {
+		t.Fatalf("diags = %v, want one catalog-order finding", diags)
+	}
+}
+
+func TestDiagRegDuplicateCatalogEntry(t *testing.T) {
+	src := `package caplint
+const CodeA = "CAPL0000"
+func Catalog() []struct{ Code, Title string } {
+	return []struct{ Code, Title string }{{CodeA, "x"}, {CodeA, "x again"}}
+}
+func emit() string { return CodeA }
+`
+	diags := runDiagRegOn(t, "diag.go", src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "more than once in Catalog()") {
+		t.Fatalf("diags = %v, want one duplicate-entry finding", diags)
+	}
+}
+
+// TestDiagRegNoEmitSite covers invariant 3 without a sibling package on
+// disk: a constant referenced only by Catalog() is dead registry weight.
+func TestDiagRegNoEmitSite(t *testing.T) {
+	src := `package caplint
+const (
+	CodeLive = "CAPL0000"
+	CodeDead = "CAPL0001"
+)
+func Catalog() []struct{ Code, Title string } {
+	return []struct{ Code, Title string }{{CodeLive, "x"}, {CodeDead, "y"}}
+}
+func emit() string { return CodeLive }
+`
+	diags := runDiagRegOn(t, filepath.Join(t.TempDir(), "caplint", "diag.go"), src)
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "CodeDead (CAPL0001) has no emit site") {
+		t.Fatalf("diags = %v, want one no-emit-site finding", diags)
+	}
+}
+
+// TestDiagRegSiblingEmitSite proves the cross-package path: a code
+// emitted only from the sibling translate package is not flagged, and
+// the sibling's local import alias is honoured.
+func TestDiagRegSiblingEmitSite(t *testing.T) {
+	root := t.TempDir()
+	caplintDir := filepath.Join(root, "caplint")
+	translateDir := filepath.Join(root, "translate")
+	for _, dir := range []string{caplintDir, translateDir} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sibling := `package translate
+import cl "repro/internal/caplint"
+func emit() string { return cl.CodeRemote }
+`
+	if err := os.WriteFile(filepath.Join(translateDir, "emit.go"), []byte(sibling), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package caplint
+const CodeRemote = "CAPL0016"
+func Catalog() []struct{ Code, Title string } {
+	return []struct{ Code, Title string }{{CodeRemote, "abstracted"}}
+}
+`
+	if diags := runDiagRegOn(t, filepath.Join(caplintDir, "diag.go"), src); len(diags) != 0 {
+		t.Fatalf("sibling-emitted code flagged: %v", diags)
+	}
+}
+
+// TestDiagRegScope pins the pass to the caplint package directory.
+func TestDiagRegScope(t *testing.T) {
+	if !DiagReg.AppliesTo("internal/caplint") {
+		t.Error("pass does not apply to internal/caplint")
+	}
+	if DiagReg.AppliesTo("internal/translate") || DiagReg.AppliesTo("internal/caplgen") {
+		t.Error("pass applies outside internal/caplint")
+	}
+}
+
+// TestDiagRegRealRegistry runs the pass over the repository's actual
+// caplint package: the live registry must be clean.
+func TestDiagRegRealRegistry(t *testing.T) {
+	dir := filepath.Join("..", "caplint")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if diags := RunPackage(fset, "internal/caplint", files, nil, []*Analyzer{DiagReg}); len(diags) != 0 {
+		t.Fatalf("live caplint registry has findings:\n%v", diags)
+	}
+}

@@ -1,0 +1,308 @@
+package caplgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// genCtx threads the generator state through statement construction.
+type genCtx struct {
+	r     *rand.Rand
+	s     *Spec
+	inMsg bool // `this` is available
+	mnri  int  // minimum index of the next output(), keeping bursts ID-ordered
+	funcs map[string]bool
+	depth int
+}
+
+// pickGlobal returns a random global satisfying pred, or false.
+func (g *genCtx) pickGlobal(pred func(VarType) bool) (Global, bool) {
+	var cands []Global
+	for _, gl := range g.s.Globals {
+		if pred(gl.Type) {
+			cands = append(cands, gl)
+		}
+	}
+	if len(cands) == 0 {
+		return Global{}, false
+	}
+	return cands[g.r.Intn(len(cands))], true
+}
+
+// constFor picks a small constant representable in dst.
+func (g *genCtx) constFor(dst VarType) int64 {
+	lo, hi := typeRange(dst)
+	v := int64(g.r.Intn(100))
+	if v > hi {
+		v = hi
+	}
+	if dst == TInt || dst == TLong {
+		if g.r.Intn(4) == 0 {
+			v = -v
+		}
+	}
+	if v < lo {
+		v = lo
+	}
+	return v
+}
+
+// intExprFor builds a CAPL expression whose checker type fits dst —
+// operand variables are restricted to types whose whole range is
+// representable in dst, mirroring the typechecker's merge rule so the
+// generated program stays warning-free by construction.
+func (g *genCtx) intExprFor(dst VarType) string {
+	v, ok := g.pickGlobal(func(t VarType) bool {
+		if dst == TDouble {
+			return true
+		}
+		return t != TDouble && fitsIn(t, dst)
+	})
+	if !ok || g.r.Intn(4) == 0 {
+		return fmt.Sprintf("%d", g.constFor(dst))
+	}
+	switch g.r.Intn(4) {
+	case 0:
+		return v.Name
+	case 1:
+		op := "+"
+		if dst != TDouble && v.Type != TDouble && g.r.Intn(2) == 0 {
+			op = []string{"&", "|", "^"}[g.r.Intn(3)]
+		}
+		return fmt.Sprintf("%s %s %d", v.Name, op, g.constFor(TByte)&63)
+	case 2:
+		w, ok := g.pickGlobal(func(t VarType) bool {
+			if dst == TDouble {
+				return true
+			}
+			return t != TDouble && fitsIn(t, dst)
+		})
+		if !ok {
+			return v.Name
+		}
+		return fmt.Sprintf("%s + %s", v.Name, w.Name)
+	default:
+		if dst == TInt || dst == TLong || dst == TDouble {
+			return fmt.Sprintf("%s - %d", v.Name, g.constFor(TByte)&31)
+		}
+		return v.Name
+	}
+}
+
+// condExpr builds a numeric condition over the globals.
+func (g *genCtx) condExpr() string {
+	v, ok := g.pickGlobal(func(VarType) bool { return true })
+	if !ok {
+		return "1"
+	}
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s > %d", v.Name, g.r.Intn(40))
+	case 1:
+		return fmt.Sprintf("%s == %d", v.Name, g.r.Intn(8))
+	case 2:
+		if v.Type == TDouble {
+			return fmt.Sprintf("%s < %d", v.Name, g.r.Intn(50))
+		}
+		return fmt.Sprintf("(%s & %d) != %d", v.Name, 1+g.r.Intn(7), g.r.Intn(4))
+	default:
+		w, ok := g.pickGlobal(func(VarType) bool { return true })
+		if !ok {
+			return fmt.Sprintf("%s != %d", v.Name, g.r.Intn(9))
+		}
+		return fmt.Sprintf("%s < %s", v.Name, w.Name)
+	}
+}
+
+// plainStmt builds one event-free statement (no output, no setTimer).
+func (g *genCtx) plainStmt() Stmt {
+	for {
+		switch g.r.Intn(8) {
+		case 0, 1, 2: // assignment
+			if dst, ok := g.pickGlobal(func(VarType) bool { return true }); ok {
+				return Stmt{Line: fmt.Sprintf("%s = %s;", dst.Name, g.intExprFor(dst.Type))}
+			}
+		case 3: // helper function call
+			if dst, ok := g.pickGlobal(func(t VarType) bool { return t == TLong || t == TDouble }); ok && g.r.Intn(2) == 0 {
+				g.funcs["mix"] = true
+				return Stmt{Line: fmt.Sprintf("%s = mix(%s, %s);", dst.Name, g.intExprFor(TLong), g.intExprFor(TLong))}
+			}
+			if dst, ok := g.pickGlobal(func(t VarType) bool { return fitsIn(TByte, t) }); ok {
+				g.funcs["clip"] = true
+				return Stmt{Line: fmt.Sprintf("%s = clip(%s);", dst.Name, g.intExprFor(TByte))}
+			}
+		case 4: // read from the triggering frame
+			if !g.inMsg {
+				continue
+			}
+			if dst, ok := g.pickGlobal(func(t VarType) bool { return t == TDword }); ok && g.r.Intn(3) == 0 {
+				return Stmt{Line: fmt.Sprintf("%s = this.ID;", dst.Name)}
+			}
+			if dst, ok := g.pickGlobal(func(t VarType) bool { return fitsIn(TWord, t) }); ok && g.r.Intn(2) == 0 {
+				return Stmt{Line: fmt.Sprintf("%s = this.word(%d);", dst.Name, 2*g.r.Intn(4))}
+			}
+			if dst, ok := g.pickGlobal(func(t VarType) bool { return fitsIn(TByte, t) }); ok {
+				return Stmt{Line: fmt.Sprintf("%s = this.byte(%d);", dst.Name, g.r.Intn(8))}
+			}
+		case 5: // array traffic
+			if !g.s.HasArray {
+				continue
+			}
+			if g.r.Intn(2) == 0 {
+				idx := fmt.Sprintf("%d", g.r.Intn(8))
+				if v, ok := g.pickGlobal(func(t VarType) bool { return t != TDouble }); ok && g.r.Intn(2) == 0 {
+					idx = fmt.Sprintf("%s & 7", v.Name)
+				}
+				return Stmt{Line: fmt.Sprintf("buf[%s] = %s;", idx, g.intExprFor(TByte))}
+			}
+			if dst, ok := g.pickGlobal(func(t VarType) bool { return fitsIn(TByte, t) }); ok {
+				return Stmt{Line: fmt.Sprintf("%s = buf[%d];", dst.Name, g.r.Intn(8))}
+			}
+		case 6: // payload write into a response buffer
+			j := g.r.Intn(g.s.NResp)
+			if g.r.Intn(2) == 0 {
+				return Stmt{Line: fmt.Sprintf("%s.byte(%d) = %s;", respName(j), g.r.Intn(8), g.intExprFor(TByte))}
+			}
+			return Stmt{Line: fmt.Sprintf("%s.word(%d) = %s;", respName(j), 2*g.r.Intn(4), g.intExprFor(TWord))}
+		default: // cancel the cyclic timer
+			if g.inMsg && g.s.Timer != nil && g.r.Intn(3) == 0 {
+				return Stmt{Line: fmt.Sprintf("cancelTimer(%s);", g.s.Timer.Name)}
+			}
+		}
+	}
+}
+
+// plainStmts builds n event-free statements, folding some into a
+// data-dependent if (which the translator abstracts to internal
+// choice) when depth allows.
+func (g *genCtx) plainStmts(n int) []Stmt {
+	var out []Stmt
+	for i := 0; i < n; i++ {
+		if g.depth < 2 && g.r.Intn(4) == 0 {
+			g.depth++
+			st := Stmt{Cond: g.condExpr(), Then: g.plainStmts(1 + g.r.Intn(2))}
+			if g.r.Intn(2) == 0 {
+				st.Else = g.plainStmts(1)
+			}
+			g.depth--
+			out = append(out, st)
+			continue
+		}
+		out = append(out, g.plainStmt())
+	}
+	return out
+}
+
+// outputStmts builds count output() statements with non-decreasing
+// response indices (the bus transmits a burst lowest-identifier-first,
+// so any other order could be reordered on the wire and falsely
+// diverge from the model). Some outputs are guarded by a
+// data-dependent if: the model over-approximates those with internal
+// choice, so either runtime outcome stays a model trace.
+func (g *genCtx) outputStmts(count int) []Stmt {
+	var out []Stmt
+	for i := 0; i < count; i++ {
+		if g.s.NResp > g.mnri {
+			g.mnri += g.r.Intn(g.s.NResp - g.mnri)
+		}
+		j := g.mnri
+		if j >= g.s.NResp {
+			break
+		}
+		burst := []Stmt{}
+		if g.r.Intn(2) == 0 {
+			burst = append(burst, Stmt{Line: fmt.Sprintf("%s.byte(%d) = %s;", respName(j), g.r.Intn(8), g.intExprFor(TByte))})
+		}
+		burst = append(burst, Stmt{Line: fmt.Sprintf("output(%s);", respName(j))})
+		g.mnri = j + 1
+		if g.depth < 2 && g.r.Intn(3) == 0 {
+			out = append(out, Stmt{Cond: g.condExpr(), Then: burst})
+		} else {
+			out = append(out, burst...)
+		}
+	}
+	return out
+}
+
+// handlerBody interleaves event-free statements with an ordered output
+// burst.
+func (g *genCtx) handlerBody(maxPlain, maxOut int) []Stmt {
+	g.mnri = 0
+	body := g.plainStmts(1 + g.r.Intn(maxPlain))
+	body = append(body, g.outputStmts(g.r.Intn(maxOut+1))...)
+	if len(body) == 0 {
+		body = g.plainStmts(1)
+	}
+	return body
+}
+
+// generate builds one random program spec from its dedicated rng.
+func generate(r *rand.Rand, idx int, progSeed int64) *Spec {
+	s := &Spec{
+		Index:    idx,
+		ProgSeed: progSeed,
+		NStim:    1 + r.Intn(3),
+		NResp:    1 + r.Intn(3),
+		HasArray: r.Intn(2) == 0,
+	}
+	allTypes := []VarType{TByte, TWord, TInt, TLong, TDword, TDouble}
+	nGlob := 2 + r.Intn(4)
+	for i := 0; i < nGlob; i++ {
+		s.Globals = append(s.Globals, Global{Name: fmt.Sprintf("g%d", i), Type: allTypes[r.Intn(len(allTypes))]})
+	}
+	if r.Intn(2) == 0 {
+		s.Timer = &TimerSpec{Name: "t0", PeriodMs: 10 * int64(1+r.Intn(3))}
+	}
+
+	g := &genCtx{r: r, s: s, funcs: map[string]bool{}}
+
+	// `on start`: seed some state, maybe announce, arm the timer last.
+	var start []Stmt
+	if r.Intn(2) == 0 || s.Timer != nil {
+		g.inMsg = false
+		start = g.plainStmts(1 + r.Intn(2))
+		g.mnri = 0
+		if r.Intn(3) == 0 {
+			start = append(start, g.outputStmts(1)...)
+		}
+		if s.Timer != nil {
+			start = append(start, Stmt{Line: fmt.Sprintf("setTimer(%s, %d);", s.Timer.Name, s.Timer.PeriodMs)})
+		}
+		s.Handlers = append(s.Handlers, Handler{Kind: "start", Body: start})
+	}
+
+	// One handler per stimulus: the driver may send any of them.
+	for i := 0; i < s.NStim; i++ {
+		g.inMsg = true
+		s.Handlers = append(s.Handlers, Handler{Kind: "message", Target: stimName(i), Body: g.handlerBody(3, 2)})
+	}
+
+	// The cyclic timer handler re-arms itself unconditionally, keeping
+	// every firing on the 10 ms grid.
+	if s.Timer != nil {
+		g.inMsg = false
+		body := g.handlerBody(2, 2)
+		body = append(body, Stmt{Line: fmt.Sprintf("setTimer(%s, %d);", s.Timer.Name, s.Timer.PeriodMs)})
+		s.Handlers = append(s.Handlers, Handler{Kind: "timer", Target: s.Timer.Name, Body: body})
+	}
+
+	for fn := range funcDecls {
+		if g.funcs[fn] {
+			s.Funcs = append(s.Funcs, fn)
+		}
+	}
+	// Map iteration order must not leak into the spec.
+	if len(s.Funcs) == 2 && s.Funcs[0] > s.Funcs[1] {
+		s.Funcs[0], s.Funcs[1] = s.Funcs[1], s.Funcs[0]
+	}
+
+	steps := 4 + r.Intn(5)
+	for k := 0; k < steps; k++ {
+		st := DriverStep{Stim: r.Intn(s.NStim)}
+		for p := r.Intn(3); p > 0; p-- {
+			st.Payload = append(st.Payload, fmt.Sprintf("%s.byte(%d) = %d;", stimName(st.Stim), r.Intn(8), r.Intn(256)))
+		}
+		s.Driver = append(s.Driver, st)
+	}
+	return s
+}

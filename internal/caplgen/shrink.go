@@ -1,0 +1,177 @@
+package caplgen
+
+import (
+	"encoding/json"
+	"strings"
+)
+
+// shrinkBudget caps pipeline re-runs per failing program, so a
+// pathological case cannot stall the soak.
+const shrinkBudget = 200
+
+// copySpec deep-copies a spec through its JSON form (specs are pure
+// data, and shrinking must never alias the original's statement
+// slices).
+func copySpec(s *Spec) *Spec {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil
+	}
+	var out Spec
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil
+	}
+	return &out
+}
+
+// Shrink greedily minimises a failing spec while it keeps reproducing
+// the same verdict: shorter driver schedules, fewer handlers, fewer
+// statements, no timer. It is deterministic — candidates are tried in
+// a fixed order — and returns the smallest reproducer found (possibly
+// the original). Returns nil only if the input no longer fails.
+func Shrink(spec *Spec, cfg Config, verdict string) *Spec {
+	if RunOne(spec, cfg).Verdict != verdict {
+		return nil
+	}
+	cur := copySpec(spec)
+	runs := 0
+	tryAccept := func(cand *Spec) bool {
+		if cand == nil || runs >= shrinkBudget {
+			return false
+		}
+		runs++
+		if RunOne(cand, cfg).Verdict == verdict {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed && runs < shrinkBudget; {
+		changed = false
+		// Pass 1: drop driver steps, back to front.
+		for i := len(cur.Driver) - 1; i >= 0; i-- {
+			cand := copySpec(cur)
+			cand.Driver = append(cand.Driver[:i:i], cand.Driver[i+1:]...)
+			if tryAccept(cand) {
+				changed = true
+			}
+		}
+		// Pass 2: drop whole handlers (with the driver steps that feed
+		// them, so the schedule never sends an unhandled stimulus).
+		for i := len(cur.Handlers) - 1; i >= 0; i-- {
+			cand := copySpec(cur)
+			h := cand.Handlers[i]
+			cand.Handlers = append(cand.Handlers[:i:i], cand.Handlers[i+1:]...)
+			if h.Kind == "message" {
+				var keep []DriverStep
+				for _, st := range cand.Driver {
+					if stimName(st.Stim) != h.Target {
+						keep = append(keep, st)
+					}
+				}
+				cand.Driver = keep
+			}
+			if h.Kind == "timer" && cand.Timer != nil {
+				cand = removeTimer(cand)
+			}
+			if tryAccept(cand) {
+				changed = true
+			}
+		}
+		// Pass 3: drop the timer entirely.
+		if cur.Timer != nil {
+			if tryAccept(removeTimer(copySpec(cur))) {
+				changed = true
+			}
+		}
+		// Pass 4: drop individual statements, deepest-first.
+		for hi := range cur.Handlers {
+			for _, path := range stmtPaths(cur.Handlers[hi].Body, nil) {
+				cand := copySpec(cur)
+				cand.Handlers[hi].Body = removeAt(cand.Handlers[hi].Body, path)
+				if tryAccept(cand) {
+					changed = true
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// removeTimer strips the timer declaration, its handler and every
+// statement that mentions it, keeping the candidate lint-clean.
+func removeTimer(s *Spec) *Spec {
+	if s == nil || s.Timer == nil {
+		return s
+	}
+	name := s.Timer.Name
+	s.Timer = nil
+	var hs []Handler
+	for _, h := range s.Handlers {
+		if h.Kind == "timer" && h.Target == name {
+			continue
+		}
+		h.Body = stripMentions(h.Body, name)
+		hs = append(hs, h)
+	}
+	s.Handlers = hs
+	return s
+}
+
+// stripMentions removes leaf statements whose text references name.
+func stripMentions(body []Stmt, name string) []Stmt {
+	var out []Stmt
+	for _, st := range body {
+		if st.Cond == "" {
+			if strings.Contains(st.Line, name) {
+				continue
+			}
+			out = append(out, st)
+			continue
+		}
+		st.Then = stripMentions(st.Then, name)
+		st.Else = stripMentions(st.Else, name)
+		out = append(out, st)
+	}
+	return out
+}
+
+// stmtPaths enumerates the index path of every statement in the body,
+// deepest paths first so inner deletions are attempted before the
+// enclosing if disappears.
+func stmtPaths(body []Stmt, prefix []int) [][]int {
+	var out [][]int
+	for i, st := range body {
+		p := append(append([]int{}, prefix...), i)
+		if st.Cond != "" {
+			out = append(out, stmtPaths(st.Then, append(p, 0))...)
+			out = append(out, stmtPaths(st.Else, append(p, 1))...)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// removeAt deletes the statement addressed by path. Paths into an if
+// statement alternate (index, branch) pairs: [i, b, j, ...] addresses
+// statement j of branch b (0 = Then, 1 = Else) of statement i.
+func removeAt(body []Stmt, path []int) []Stmt {
+	i := path[0]
+	if i >= len(body) {
+		return body
+	}
+	if len(path) == 1 {
+		return append(body[:i:i], body[i+1:]...)
+	}
+	st := body[i]
+	branch, rest := path[1], path[2:]
+	if branch == 0 {
+		st.Then = removeAt(st.Then, rest)
+	} else {
+		st.Else = removeAt(st.Else, rest)
+	}
+	out := append([]Stmt{}, body...)
+	out[i] = st
+	return out
+}

@@ -1,0 +1,251 @@
+// Package caplgen generates random *well-typed* CAPL programs and
+// pushes each one through the entire extraction pipeline — lint +
+// typecheck, CSPm translation, model exploration, CANoe-style bus
+// simulation and trace-membership conformance — as a deterministic
+// differential soak. Because every generated program is well typed by
+// construction, any program the typechecker accepts that then crashes
+// or diverges downstream is a real bug in the pipeline, not noise; the
+// failing program is shrunk structurally and kept in the report.
+//
+// The generator is careful to emit programs whose concrete bus
+// behaviour is a trace of their extracted model *by construction*:
+//
+//   - Responses use lower CAN identifiers than stimuli, so a node's
+//     queued replies always win arbitration over the next stimulus and
+//     a handler's burst is never split by a late-delivered trigger.
+//   - Within one handler, output() calls appear in non-decreasing
+//     identifier order on every execution path, matching the bus's
+//     identifier-priority transmission order.
+//   - Node timers fire on the 10 ms grid while driver stimuli arrive
+//     at 5 ms offsets, so no two handler activations ever coincide.
+package caplgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Message identifier layout: responses outrank stimuli on the bus.
+const (
+	respBaseID = 0x110
+	stimBaseID = 0x210
+)
+
+// VarType enumerates the scalar CAPL types the generator uses.
+type VarType int
+
+// The generator's scalar type universe.
+const (
+	TByte VarType = iota
+	TWord
+	TInt
+	TLong
+	TDword
+	TDouble
+)
+
+// typeName is the CAPL spelling of each VarType.
+var typeName = map[VarType]string{
+	TByte: "byte", TWord: "word", TInt: "int",
+	TLong: "long", TDword: "dword", TDouble: "double",
+}
+
+// typeRange returns the representable range of an integer VarType.
+// Doubles report the widest range (they accept any numeric RHS).
+func typeRange(t VarType) (lo, hi int64) {
+	switch t {
+	case TByte:
+		return 0, 255
+	case TWord:
+		return 0, 65535
+	case TInt:
+		return -32768, 32767
+	case TLong:
+		return -2147483648, 2147483647
+	case TDword:
+		return 0, 4294967295
+	}
+	return -1 << 62, 1 << 62
+}
+
+// fitsIn reports whether every value of type src is representable in
+// dst — the generator's mirror of the typechecker's narrowing rule, so
+// generated assignments never trip CAPL0101.
+func fitsIn(src, dst VarType) bool {
+	if dst == TDouble {
+		return true
+	}
+	if src == TDouble {
+		return false
+	}
+	slo, shi := typeRange(src)
+	dlo, dhi := typeRange(dst)
+	return slo >= dlo && shi <= dhi
+}
+
+// Global is one generated global variable.
+type Global struct {
+	Name string  `json:"name"`
+	Type VarType `json:"type"`
+}
+
+// Stmt is one generated statement. Leaf statements carry their exact
+// CAPL text; an if-statement carries the condition and branch bodies.
+// Storing rendered text keeps shrinking purely structural: passes only
+// ever delete statements, never rewrite them.
+type Stmt struct {
+	Line string `json:"line,omitempty"`
+	Cond string `json:"cond,omitempty"`
+	Then []Stmt `json:"then,omitempty"`
+	Else []Stmt `json:"else,omitempty"`
+}
+
+// Handler is one generated event procedure.
+type Handler struct {
+	// Kind is "start", "message" or "timer".
+	Kind string `json:"kind"`
+	// Target is the stimulus variable ("message") or timer ("timer").
+	Target string `json:"target,omitempty"`
+	Body   []Stmt `json:"body"`
+}
+
+// TimerSpec is the node's (single) cyclic timer. Its period is a
+// multiple of 10 ms so firings stay on the collision-free grid.
+type TimerSpec struct {
+	Name     string `json:"name"`
+	PeriodMs int64  `json:"periodMs"`
+}
+
+// DriverStep is one phase of the driver schedule: at 5 ms + k*10 ms the
+// driver fills in some payload bytes and outputs one stimulus.
+type DriverStep struct {
+	Stim    int      `json:"stim"`
+	Payload []string `json:"payload,omitempty"`
+}
+
+// Spec is a fully-determined generated program: node, driver and CAN
+// database all render from it. It is the unit of shrinking.
+type Spec struct {
+	Index    int          `json:"index"`
+	ProgSeed int64        `json:"seed"`
+	NStim    int          `json:"nStim"`
+	NResp    int          `json:"nResp"`
+	Globals  []Global     `json:"globals"`
+	HasArray bool         `json:"hasArray,omitempty"`
+	Timer    *TimerSpec   `json:"timer,omitempty"`
+	Funcs    []string     `json:"funcs,omitempty"`
+	Handlers []Handler    `json:"handlers"`
+	Driver   []DriverStep `json:"driver"`
+}
+
+func stimName(i int) string { return fmt.Sprintf("stim%d", i) }
+func respName(j int) string { return fmt.Sprintf("resp%d", j) }
+
+// funcDecls holds the pre-typed helper functions a program may call.
+// They are emitted only when referenced, keyed by name.
+var funcDecls = map[string]string{
+	"mix":  "long mix(long a, long b)\n{\n  return a * 31 + b;\n}",
+	"clip": "byte clip(byte v)\n{\n  return v & 15;\n}",
+}
+
+// writeStmts renders a statement list at the given indent depth.
+func writeStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	pad := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		if s.Cond == "" {
+			b.WriteString(pad)
+			b.WriteString(s.Line)
+			b.WriteByte('\n')
+			continue
+		}
+		fmt.Fprintf(b, "%sif (%s) {\n", pad, s.Cond)
+		writeStmts(b, s.Then, depth+1)
+		if len(s.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", pad)
+			writeStmts(b, s.Else, depth+1)
+		}
+		fmt.Fprintf(b, "%s}\n", pad)
+	}
+}
+
+// NodeSource renders the node-under-test CAPL program.
+func (s *Spec) NodeSource() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/*@!Encoding:1310*/\n// caplgen program %d (seed %d): generated well-typed node.\nvariables\n{\n", s.Index, s.ProgSeed)
+	for i := 0; i < s.NStim; i++ {
+		fmt.Fprintf(&b, "  message 0x%X %s;\n", stimBaseID+i, stimName(i))
+	}
+	for j := 0; j < s.NResp; j++ {
+		fmt.Fprintf(&b, "  message 0x%X %s;\n", respBaseID+j, respName(j))
+	}
+	if s.Timer != nil {
+		fmt.Fprintf(&b, "  msTimer %s;\n", s.Timer.Name)
+	}
+	if s.HasArray {
+		b.WriteString("  byte buf[8];\n")
+	}
+	for _, g := range s.Globals {
+		fmt.Fprintf(&b, "  %s %s;\n", typeName[g.Type], g.Name)
+	}
+	b.WriteString("}\n")
+	for _, fn := range s.Funcs {
+		b.WriteString("\n")
+		b.WriteString(funcDecls[fn])
+		b.WriteString("\n")
+	}
+	for _, h := range s.Handlers {
+		b.WriteString("\n")
+		switch h.Kind {
+		case "start":
+			b.WriteString("on start\n{\n")
+		case "message":
+			fmt.Fprintf(&b, "on message %s\n{\n", h.Target)
+		case "timer":
+			fmt.Fprintf(&b, "on timer %s\n{\n", h.Target)
+		}
+		writeStmts(&b, h.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// DriverSource renders the stimulus-driver CAPL program: a timer that
+// fires at 5 ms and then every 10 ms, outputting one scheduled
+// stimulus per phase.
+func (s *Spec) DriverSource() string {
+	var b strings.Builder
+	b.WriteString("/*@!Encoding:1310*/\n// caplgen driver: scheduled stimulus source.\nvariables\n{\n")
+	for i := 0; i < s.NStim; i++ {
+		fmt.Fprintf(&b, "  message 0x%X %s;\n", stimBaseID+i, stimName(i))
+	}
+	b.WriteString("  msTimer drive;\n  long step;\n}\n\non start\n{\n  setTimer(drive, 5);\n}\n\non timer drive\n{\n  step = step + 1;\n")
+	for k, st := range s.Driver {
+		fmt.Fprintf(&b, "  if (step == %d) {\n", k+1)
+		for _, p := range st.Payload {
+			fmt.Fprintf(&b, "    %s\n", p)
+		}
+		fmt.Fprintf(&b, "    output(%s);\n  }\n", stimName(st.Stim))
+	}
+	fmt.Fprintf(&b, "  if (step < %d) {\n    setTimer(drive, 10);\n  }\n}\n", len(s.Driver))
+	return b.String()
+}
+
+// DBC renders the CAN database covering every generated message, so
+// the lint pass cross-checks declarations against it (CAPL0013).
+func (s *Spec) DBC() string {
+	var b strings.Builder
+	b.WriteString("VERSION \"caplgen\"\n\nNS_ :\n\nBS_:\n\nBU_: DRV NODE\n\n")
+	for i := 0; i < s.NStim; i++ {
+		fmt.Fprintf(&b, "BO_ %d Stim%d: 8 DRV\n SG_ Raw : 0|8@1+ (1,0) [0|255] \"\" NODE\n\n", stimBaseID+i, i)
+	}
+	for j := 0; j < s.NResp; j++ {
+		fmt.Fprintf(&b, "BO_ %d Resp%d: 8 NODE\n SG_ Raw : 0|8@1+ (1,0) [0|255] \"\" DRV\n\n", respBaseID+j, j)
+	}
+	return b.String()
+}
+
+// HorizonUs returns the simulation horizon covering the whole driver
+// schedule, every in-flight reply and a final grid slot of slack.
+func (s *Spec) HorizonUs() int64 {
+	return (5 + 10*int64(len(s.Driver)) + 25) * 1000
+}

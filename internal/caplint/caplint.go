@@ -52,6 +52,7 @@ func Analyze(prog *capl.Program, opts Options) []Diagnostic {
 	a.checkTimers()
 	a.checkDB()
 	a.checkSoundness()
+	a.checkTypes()
 	Sort(a.diags)
 	return dedupe(a.diags)
 }

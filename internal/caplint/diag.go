@@ -156,6 +156,20 @@ const (
 	CodeBadOutputArity  = "CAPL0021" // output() takes exactly one argument
 	CodeThisOutsideMsg  = "CAPL0022" // `this` outside an `on message` handler
 	CodeEmptyNode       = "CAPL0023" // node has no handlers; model is STOP
+
+	// Typechecker codes (the CAPL0100+ range). CAPL has no declared type
+	// system of its own; these diagnostics come from the typecheck pass
+	// (typecheck.go) that closes ROADMAP item 5.
+	CodeTypeMismatch   = "CAPL0100" // operand/assignment type class mismatch
+	CodeNarrowing      = "CAPL0101" // implicit lossy narrowing conversion
+	CodeConstOverflow  = "CAPL0102" // constant does not fit the target type
+	CodeCallArity      = "CAPL0103" // wrong argument count in function call
+	CodeCallArgType    = "CAPL0104" // argument type incompatible with parameter
+	CodeBadReturn      = "CAPL0105" // return disagrees with declared return type
+	CodeArrayMisuse    = "CAPL0106" // bad indexing, bounds or array-as-scalar use
+	CodeBadCondition   = "CAPL0107" // condition or switch tag is not numeric
+	CodeSignalNarrow   = "CAPL0108" // expression type wider than the signal bit width
+	CodeBadBuiltinArg  = "CAPL0109" // builtin called with a wrongly typed argument
 )
 
 // CatalogEntry documents one lint code.
@@ -194,6 +208,16 @@ func Catalog() []CatalogEntry {
 		{CodeBadOutputArity, SevError, "output() takes exactly one message argument"},
 		{CodeThisOutsideMsg, SevError, "`this` used outside an `on message` handler"},
 		{CodeEmptyNode, SevWarning, "node has no message or timer handlers; model is STOP"},
+		{CodeTypeMismatch, SevError, "operand or assignment type mismatch"},
+		{CodeNarrowing, SevWarning, "implicit conversion may lose value range or sign"},
+		{CodeConstOverflow, SevError, "constant value does not fit the target type"},
+		{CodeCallArity, SevError, "wrong number of arguments in function call"},
+		{CodeCallArgType, SevError, "argument type is incompatible with the parameter"},
+		{CodeBadReturn, SevError, "return statement disagrees with the declared return type"},
+		{CodeArrayMisuse, SevError, "array indexed, bounded or used incorrectly"},
+		{CodeBadCondition, SevError, "condition or switch tag is not a numeric value"},
+		{CodeSignalNarrow, SevWarning, "expression range exceeds the declared signal bit width"},
+		{CodeBadBuiltinArg, SevError, "built-in function called with a wrongly typed argument"},
 	}
 }
 

@@ -30,6 +30,7 @@ func TestGolden(t *testing.T) {
 		{"capl_timer", "../capl/testdata/timer.can", ""},
 		{"malformed", "../capl/testdata/malformed.can", ""},
 		{"flawed_gateway", "../../examples/caplcheck/flawed_gateway.can", "../../testdata/ota.dbc"},
+		{"ill_typed", "../../examples/caplcheck/ill_typed.can", "../../testdata/ota.dbc"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

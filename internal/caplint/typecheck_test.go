@@ -1,0 +1,285 @@
+package caplint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/candb"
+	"repro/internal/capl"
+)
+
+// otaDB loads the OTA CAN database the corpus is checked against.
+func otaDB(t testing.TB) *candb.Database {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "ota.dbc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := candb.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestTypecheckDefectClasses exercises each CAPL0100+ code on a
+// minimal program, one code per case, complementing the ill_typed.can
+// golden with isolated triggers.
+func TestTypecheckDefectClasses(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		useDB bool
+		want  []string
+	}{
+		{"message-in-arithmetic", `variables { message 0x1 m; int x; }
+			on start { x = m + 1; write("%d", x); }`, false,
+			[]string{CodeTypeMismatch}},
+		{"message-assigned-number", `variables { message 0x1 m; }
+			on message m { m = 5; output(m); }`, false,
+			[]string{CodeTypeMismatch}},
+		{"timer-assigned", `variables { msTimer t; }
+			on start { t = 5; setTimer(t, 10); }
+			on timer t { write("x"); }`, false,
+			[]string{CodeTypeMismatch}},
+		{"narrowing-long-to-int", `variables { long l; int i; }
+			on start { i = l; write("%d", i); }`, false,
+			[]string{CodeNarrowing}},
+		{"narrowing-float-to-int", `variables { double d; int i; }
+			on start { i = d; write("%d", i); }`, false,
+			[]string{CodeNarrowing}},
+		{"narrowing-compound", `variables { long l; int i; }
+			on start { i += l; write("%d", i); }`, false,
+			[]string{CodeNarrowing}},
+		{"const-overflow-byte", `variables { byte b; }
+			on start { b = 300; write("%d", b); }`, false,
+			[]string{CodeConstOverflow}},
+		{"const-overflow-negative-into-word", `variables { word w; }
+			on start { w = -1; write("%d", w); }`, false,
+			[]string{CodeConstOverflow}},
+		{"call-arity", `variables { int x; }
+			int twice(int v) { return v + v; }
+			on start { x = twice(1, 2); write("%d", x); }`, false,
+			[]string{CodeCallArity}},
+		{"call-arg-type", `variables { message 0x1 m; int x; }
+			int twice(int v) { return v + v; }
+			on start { x = twice(m); write("%d", x); }`, false,
+			[]string{CodeCallArgType}},
+		{"call-arg-const-overflow", `variables { int x; }
+			int half(byte v) { return v / 2; }
+			on start { x = half(999); write("%d", x); }`, false,
+			[]string{CodeConstOverflow}},
+		{"return-value-from-void", `void f() { return 1; }
+			on start { f(); }`, false,
+			[]string{CodeBadReturn}},
+		{"return-bare-from-long", `long f() { return; }
+			on start { f(); }`, false,
+			[]string{CodeBadReturn}},
+		{"return-wrong-class", `variables { message 0x1 m; }
+			long f() { return m; }
+			on start { f(); }`, false,
+			[]string{CodeBadReturn}},
+		{"return-never-returns-value", `long f() { write("x"); }
+			on start { f(); }`, false,
+			[]string{CodeBadReturn}},
+		{"return-value-from-handler", `on start { return 1; }`, false,
+			[]string{CodeBadReturn}},
+		{"array-index-out-of-bounds", `variables { byte buf[4]; }
+			on start { buf[4] = 1; write("%d", buf[0]); }`, false,
+			[]string{CodeArrayMisuse}},
+		{"array-assigned-whole", `variables { byte buf[4]; }
+			on start { buf = 1; write("%d", buf[0]); }`, false,
+			[]string{CodeArrayMisuse}},
+		{"array-as-scalar", `variables { byte buf[4]; int x; }
+			on start { x = buf + 1; write("%d", x); }`, false,
+			[]string{CodeArrayMisuse}},
+		{"index-non-array", `variables { int x; int y; }
+			on start { y = x[0]; write("%d", y); }`, false,
+			[]string{CodeArrayMisuse}},
+		{"message-condition", `variables { message 0x1 m; }
+			on start { if (m) { output(m); } }`, false,
+			[]string{CodeBadCondition}},
+		{"message-switch-tag", `variables { message 0x1 m; int x; }
+			on start { switch (m) { default: x = 1; } write("%d", x); }`, false,
+			[]string{CodeBadCondition}},
+		{"signal-width-nonconst", `variables { message 0x102 rpt; int lvl; }
+			on message 0x101 { rpt.Status = lvl + lvl; output(rpt); }`, true,
+			[]string{CodeSignalNarrow}},
+		{"settimer-duration-type", `variables { msTimer t; message 0x1 m; }
+			on start { setTimer(t, m); }
+			on timer t { write("x"); }`, false,
+			[]string{CodeBadBuiltinArg}},
+		{"settimer-arity", `variables { msTimer t; }
+			on start { setTimer(t); }
+			on timer t { write("x"); }`, false,
+			[]string{CodeBadBuiltinArg}},
+		{"write-format-type", `variables { int x; }
+			on start { x = 1; write(x); }`, false,
+			[]string{CodeBadBuiltinArg}},
+		{"selector-arity", `variables { message 0x1 m; int x; }
+			on message m { x = this.byte(0, 1); write("%d", x); }`, false,
+			[]string{CodeBadBuiltinArg}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{}
+			if tc.useDB {
+				opts.DB = otaDB(t)
+			}
+			diags := AnalyzeSource(tc.name+".can", tc.src, opts)
+			got := map[string]bool{}
+			for _, d := range diags {
+				got[d.Code] = true
+			}
+			for _, code := range tc.want {
+				if !got[code] {
+					t.Errorf("missing %s; got %v", code, diags)
+				}
+			}
+		})
+	}
+}
+
+// TestTypecheckCleanSnippets pins well-typed programs that must stay
+// silent: the typechecker's value depends on accepting CAPL's normal
+// forgiving numeric style, not just on rejecting abuse.
+func TestTypecheckCleanSnippets(t *testing.T) {
+	typeCodes := map[string]bool{
+		CodeTypeMismatch: true, CodeNarrowing: true, CodeConstOverflow: true,
+		CodeCallArity: true, CodeCallArgType: true, CodeBadReturn: true,
+		CodeArrayMisuse: true, CodeBadCondition: true, CodeSignalNarrow: true,
+		CodeBadBuiltinArg: true,
+	}
+	cases := []struct {
+		name  string
+		src   string
+		useDB bool
+	}{
+		// Same-width increment: the everyday counter idiom.
+		{"counter-increment", `variables { int hits; }
+			on start { hits = hits + 1; }`, false},
+		// A constant that fits is not a narrowing.
+		{"fitting-constant", `variables { byte b; }
+			on start { b = 255; write("%d", b); }`, false},
+		// Widening is always safe.
+		{"widening", `variables { int i; long l; double d; }
+			on start { l = i; d = l; write("%d", l); }`, false},
+		// Comparison results are 0/1 and fit any integer type.
+		{"comparison-result", `variables { byte flag; int a; int b; }
+			on start { flag = a < b; write("%d", flag); }`, false},
+		// Message copy assignment is legal CAPL.
+		{"message-copy", `variables { message 0x1 a; message 0x2 b; }
+			on start { a = b; output(a); }`, false},
+		// In-bounds constant and variable indexing of a sized array.
+		{"array-indexing", `variables { byte buf[8]; int i; }
+			on start { buf[0] = 1; buf[7] = 2; buf[i] = 3; write("%d", buf[0]); }`, false},
+		// char buffers may be initialised from a string literal.
+		{"char-array-string-init", `on start { char name[8] = "ecu"; write(name[0] ? "y" : "n"); }`, false},
+		// A constant signal write that fits is CAPL0014-clean and ours too.
+		{"fitting-signal-write", `variables { message 0x102 rpt; }
+			on message 0x101 { rpt.Status = 3; output(rpt); }`, true},
+		// A narrow expression fits a wide signal (SessionId is 16 bits).
+		{"byte-into-wide-signal", `variables { message 0x101 req; byte n; }
+			on start { req.SessionId = n; output(req); }`, true},
+		// setTimer with a computed numeric duration.
+		{"computed-duration", `variables { msTimer t; int base; }
+			on start { setTimer(t, base * 2 + 5); }
+			on timer t { write("x"); }`, false},
+		// User function call with exact types, value returned and used.
+		{"well-typed-call", `variables { long total; }
+			long add(long a, long b) { return a + b; }
+			on start { total = add(total, 1); }`, false},
+		// Message selectors read and written at their declared widths.
+		{"builtin-selectors", `variables { message 0x1 m; dword id; }
+			on message m { id = this.ID; m.byte(0) = 1; output(m); }`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{}
+			if tc.useDB {
+				opts.DB = otaDB(t)
+			}
+			for _, d := range AnalyzeSource(tc.name+".can", tc.src, opts) {
+				if typeCodes[d.Code] {
+					t.Errorf("false positive %v", d)
+				}
+			}
+		})
+	}
+}
+
+// TestTypeSpecArrayRendering pins TypeSpec.String's array forms (the
+// typechecker's diagnostics embed them, so `byte[8]` must not regress
+// to `byte[]`).
+func TestTypeSpecArrayRendering(t *testing.T) {
+	cases := []struct {
+		spec capl.TypeSpec
+		want string
+	}{
+		{capl.TypeSpec{Base: capl.TypeByte}, "byte"},
+		{capl.TypeSpec{Base: capl.TypeByte, ArrayDims: []int{8}}, "byte[8]"},
+		{capl.TypeSpec{Base: capl.TypeInt, ArrayDims: []int{0}}, "int[]"},
+		{capl.TypeSpec{Base: capl.TypeChar, ArrayDims: []int{4, 16}}, "char[4][16]"},
+		{capl.TypeSpec{Base: capl.TypeLong, ArrayDims: []int{2, 0}}, "long[2][]"},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.String(); got != tc.want {
+			t.Errorf("TypeSpec%v.String() = %q, want %q", tc.spec, got, tc.want)
+		}
+		if got := tyOfSpec(tc.spec).String(); got != tc.want {
+			t.Errorf("tyOfSpec(%v).String() = %q, want %q", tc.spec, got, tc.want)
+		}
+	}
+}
+
+// FuzzTypecheck asserts typechecker totality in isolation: for any
+// parseable program, the checkTypes pass must terminate without
+// panicking and report only its own code range, at sane positions —
+// with and without a CAN database attached.
+func FuzzTypecheck(f *testing.F) {
+	for _, glob := range []string{
+		filepath.Join("..", "capl", "testdata", "*.can"),
+		filepath.Join("..", "..", "testdata", "*.can"),
+		filepath.Join("..", "..", "examples", "caplcheck", "*.can"),
+	} {
+		paths, err := filepath.Glob(glob)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			data, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(data))
+		}
+	}
+	f.Add("on start { char name[8] = \"x\"; name[0] = name[1] + 1; }")
+	f.Add("variables { message 0x102 m; } on message 0x101 { m.Status = this.SessionId; output(m); }")
+	f.Add("double f(double d) { return d > 0 ? d : -d; } on start { write(\"%d\", 0); }")
+	db := otaDB(f)
+	known := map[string]bool{}
+	for _, e := range Catalog() {
+		known[e.Code] = true
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := capl.Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		for _, opts := range []Options{{File: "fuzz.can"}, {File: "fuzz.can", DB: db}} {
+			a := &analysis{prog: prog, opts: opts}
+			a.collectDecls()
+			a.checkTypes()
+			for _, d := range a.diags {
+				if !known[d.Code] {
+					t.Errorf("unknown diagnostic code %q", d.Code)
+				}
+				if d.Line < 0 || d.Col < 0 {
+					t.Errorf("negative position in %v", d)
+				}
+			}
+		}
+	})
+}

@@ -8,7 +8,9 @@ cd "$(dirname "$0")/.."
 echo "==> go vet ./..."
 go vet ./...
 
-# Custom analyzer passes (internal/analyzers). The environment is
+# Custom analyzer passes (internal/analyzers): mustrecover, seededrand,
+# unrecoveredgo, closecheck and diagreg (the caplint CAPLnnnn code
+# registry must stay unique, cataloged and emitted). The environment is
 # offline, so this is a go/parser driver instead of `go vet -vettool`.
 echo "==> repolint ./..."
 go run ./cmd/repolint ./...
@@ -20,6 +22,10 @@ go run ./cmd/caplcheck -severity warning -dbc testdata/ota.dbc \
 echo "==> caplcheck (seeded defects must trip the gate)"
 if go run ./cmd/caplcheck -dbc testdata/ota.dbc examples/caplcheck/flawed_gateway.can >/dev/null; then
     echo "caplcheck failed to reject examples/caplcheck/flawed_gateway.can" >&2
+    exit 1
+fi
+if go run ./cmd/caplcheck -dbc testdata/ota.dbc examples/caplcheck/ill_typed.can >/dev/null; then
+    echo "caplcheck failed to reject examples/caplcheck/ill_typed.can" >&2
     exit 1
 fi
 
