@@ -298,6 +298,20 @@ func BenchmarkExplore(b *testing.B) {
 	}
 	sem := csp.NewSemantics(sys.Model.Env, sys.Model.Ctx)
 	system := csp.Call("SYSTEML")
+	// The frozen string-keyed reference engine prices what term
+	// interning replaced: every visited-set probe rendered the state's
+	// full canonical key string.
+	b.Run("stringkeys", func(b *testing.B) {
+		states := 0
+		for i := 0; i < b.N; i++ {
+			l, err := lts.ExploreReference(sem, system, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states = l.NumStates()
+		}
+		b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+	})
 	for _, bc := range []struct {
 		name    string
 		workers int

@@ -11,12 +11,30 @@
 // With -gate, a previously committed BENCH_refine.json acts as the
 // reference: any benchmark whose fresh ns/op exceeds the reference by
 // more than -gate-factor fails the run, which is how CI turns the
-// artefact into a regression gate.
+// artefact into a regression gate. ns/op ratios are only meaningful
+// between runs on comparable hosts, so a reference captured at a
+// different GOMAXPROCS fails the run (-gate-procs-mismatch fail, the
+// default) or skips the comparison with a logged reason
+// (-gate-procs-mismatch skip) — it is never compared silently.
+//
+// Two further gates compare measurements within the fresh run, so they
+// hold on any host without a committed reference:
+//
+//   - -gate-speedup F requires Explore/par to beat Explore/seq by at
+//     least F in states/s. Parallel speedup needs cores: when
+//     GOMAXPROCS is below -gate-speedup-procs the gate is skipped with
+//     a logged reason instead of measuring scheduler overhead.
+//   - -gate-intern F requires Explore/seq to beat Explore/stringkeys
+//     (the frozen string-keyed reference engine) by at least F in
+//     states/s. This pins the interned-representation win and is
+//     environment-independent.
 //
 // Usage:
 //
 //	benchsmoke [-o BENCH_refine.json] [-bench regexp] [-benchtime 2s|10x]
 //	           [-gate BENCH_refine.json] [-gate-factor 2]
+//	           [-gate-procs-mismatch fail|skip]
+//	           [-gate-speedup F] [-gate-speedup-procs N] [-gate-intern F]
 //	           [-metrics] [-tracefile trace.jsonl] [-progress]
 package main
 
@@ -63,12 +81,16 @@ type Output struct {
 
 // runConfig bundles the command's flags.
 type runConfig struct {
-	outPath    string
-	pattern    string
-	benchtime  string
-	gatePath   string    // reference BENCH_refine.json; empty disables the gate
-	gateFactor float64   // max allowed fresh/reference ns/op ratio
-	obs        obs.Flags // -metrics / -tracefile / -progress
+	outPath       string
+	pattern       string
+	benchtime     string
+	gatePath      string    // reference BENCH_refine.json; empty disables the gate
+	gateFactor    float64   // max allowed fresh/reference ns/op ratio
+	procsMismatch string    // "fail" or "skip" when reference goMaxProcs differs
+	speedupFloor  float64   // min Explore/par vs Explore/seq states/s ratio; 0 disables
+	speedupProcs  int       // min GOMAXPROCS for the speedup gate to apply
+	internFloor   float64   // min Explore/seq vs Explore/stringkeys states/s ratio; 0 disables
+	obs           obs.Flags // -metrics / -tracefile / -progress
 }
 
 func main() {
@@ -78,6 +100,10 @@ func main() {
 	flag.StringVar(&cfg.benchtime, "benchtime", "", `per-benchmark budget, a duration ("2s") or count ("10x"); empty uses the testing default`)
 	flag.StringVar(&cfg.gatePath, "gate", "", "reference BENCH_refine.json to gate against (empty: no gate)")
 	flag.Float64Var(&cfg.gateFactor, "gate-factor", 2, "fail when fresh ns/op exceeds the reference by more than this factor")
+	flag.StringVar(&cfg.procsMismatch, "gate-procs-mismatch", "fail", `"fail" or "skip" the -gate comparison when the reference was captured at a different GOMAXPROCS`)
+	flag.Float64Var(&cfg.speedupFloor, "gate-speedup", 0, "fail unless Explore/par beats Explore/seq by this states/s factor (0: no gate; skipped below -gate-speedup-procs)")
+	flag.IntVar(&cfg.speedupProcs, "gate-speedup-procs", 4, "minimum GOMAXPROCS for -gate-speedup to apply")
+	flag.Float64Var(&cfg.internFloor, "gate-intern", 0, "fail unless Explore/seq beats Explore/stringkeys by this states/s factor (0: no gate)")
 	cfg.obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if err := run(cfg, os.Stdout); err != nil {
@@ -93,6 +119,12 @@ func run(cfg runConfig, stdout io.Writer) error {
 	}
 	if cfg.gateFactor <= 0 {
 		return fmt.Errorf("gate factor must be positive, got %v", cfg.gateFactor)
+	}
+	if cfg.procsMismatch == "" {
+		cfg.procsMismatch = "fail"
+	}
+	if cfg.procsMismatch != "fail" && cfg.procsMismatch != "skip" {
+		return fmt.Errorf(`-gate-procs-mismatch must be "fail" or "skip", got %q`, cfg.procsMismatch)
 	}
 	if cfg.benchtime != "" {
 		// testing.Init is idempotent, so this also works from tests.
@@ -156,9 +188,86 @@ func run(cfg runConfig, stdout io.Writer) error {
 		return err
 	}
 	if cfg.gatePath != "" {
-		if err := checkGate(ms, cfg.gatePath, cfg.gateFactor, stdout); err != nil {
+		if err := checkGate(ms, cfg.gatePath, cfg.gateFactor, cfg.procsMismatch, stdout); err != nil {
 			return err
 		}
+	}
+	if cfg.speedupFloor > 0 {
+		if err := checkSpeedupGate(ms, cfg.speedupFloor, cfg.speedupProcs, runtime.GOMAXPROCS(0), stdout); err != nil {
+			return err
+		}
+	}
+	if cfg.internFloor > 0 {
+		if err := checkInternGate(ms, cfg.internFloor, stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// statesPerSec returns the states/s metric of the named measurement.
+func statesPerSec(ms []Measurement, name string) (float64, error) {
+	for _, m := range ms {
+		if m.Name == name {
+			if m.StatesPerSec <= 0 {
+				return 0, fmt.Errorf("%s has no states/s metric", name)
+			}
+			return m.StatesPerSec, nil
+		}
+	}
+	return 0, fmt.Errorf("%s was not measured (check -bench)", name)
+}
+
+// checkSpeedupGate pins the parallel exploration win within a single
+// run: Explore/par must beat Explore/seq by at least floor in states/s.
+// The gate only applies on hosts with at least minProcs schedulable
+// CPUs — below that there is no parallelism to demonstrate, so the gate
+// is skipped with a logged reason rather than measuring coordination
+// overhead and calling it a regression.
+func checkSpeedupGate(ms []Measurement, floor float64, minProcs, procs int, stdout io.Writer) error {
+	if procs < minProcs {
+		fmt.Fprintf(stdout, "gate: speedup skipped: GOMAXPROCS=%d < %d, no parallelism to demonstrate on this host\n",
+			procs, minProcs)
+		return nil
+	}
+	seq, err := statesPerSec(ms, "Explore/seq")
+	if err != nil {
+		return fmt.Errorf("speedup gate: %w", err)
+	}
+	par, err := statesPerSec(ms, "Explore/par")
+	if err != nil {
+		return fmt.Errorf("speedup gate: %w", err)
+	}
+	ratio := par / seq
+	fmt.Fprintf(stdout, "gate: speedup %.0f vs %.0f states/s (%.2fx, floor %.2fx, GOMAXPROCS=%d)\n",
+		par, seq, ratio, floor, procs)
+	if ratio < floor {
+		return fmt.Errorf("speedup gate failed: Explore/par %.0f states/s is only %.2fx of Explore/seq %.0f (floor %.2fx at GOMAXPROCS=%d)",
+			par, ratio, seq, floor, procs)
+	}
+	return nil
+}
+
+// checkInternGate pins the interned-representation win within a single
+// run: the production sequential engine must beat the frozen
+// string-keyed reference engine by at least floor in states/s. Both
+// sides run in the same process on the same host, so this gate needs no
+// committed reference and holds on single-core runners.
+func checkInternGate(ms []Measurement, floor float64, stdout io.Writer) error {
+	strk, err := statesPerSec(ms, "Explore/stringkeys")
+	if err != nil {
+		return fmt.Errorf("intern gate: %w", err)
+	}
+	seq, err := statesPerSec(ms, "Explore/seq")
+	if err != nil {
+		return fmt.Errorf("intern gate: %w", err)
+	}
+	ratio := seq / strk
+	fmt.Fprintf(stdout, "gate: intern %.0f vs %.0f states/s (%.2fx, floor %.2fx)\n",
+		seq, strk, ratio, floor)
+	if ratio < floor {
+		return fmt.Errorf("intern gate failed: Explore/seq %.0f states/s is only %.2fx of Explore/stringkeys %.0f (floor %.2fx)",
+			seq, ratio, strk, floor)
 	}
 	return nil
 }
@@ -168,7 +277,13 @@ func run(cfg runConfig, stdout io.Writer) error {
 // factor. Benchmarks present on only one side are reported but never
 // fail the gate, so adding or renaming a benchmark does not require a
 // lockstep reference update.
-func checkGate(fresh []Measurement, refPath string, factor float64, stdout io.Writer) error {
+// A reference captured at a different GOMAXPROCS is a different
+// machine shape: its ns/op carry a different parallelism, so comparing
+// against it yields false regressions (or worse, false passes). Such a
+// reference fails the gate under onMismatch "fail" (the default for CI,
+// where runner shape is pinned) and skips it with a logged reason under
+// "skip" (for local runs on arbitrary hardware).
+func checkGate(fresh []Measurement, refPath string, factor float64, onMismatch string, stdout io.Writer) error {
 	data, err := os.ReadFile(refPath)
 	if err != nil {
 		return fmt.Errorf("gate reference: %w", err)
@@ -176,6 +291,15 @@ func checkGate(fresh []Measurement, refPath string, factor float64, stdout io.Wr
 	var ref Output
 	if err := json.Unmarshal(data, &ref); err != nil {
 		return fmt.Errorf("gate reference %s: %w", refPath, err)
+	}
+	if procs := runtime.GOMAXPROCS(0); ref.GoMaxProcs != procs {
+		if onMismatch == "skip" {
+			fmt.Fprintf(stdout, "gate: skipped: reference %s was captured at GOMAXPROCS=%d, this host runs %d — ns/op ratios across machine shapes are not comparable\n",
+				refPath, ref.GoMaxProcs, procs)
+			return nil
+		}
+		return fmt.Errorf("gate reference %s was captured at GOMAXPROCS=%d but this host runs %d; ns/op ratios across machine shapes are not comparable (re-capture the reference or pass -gate-procs-mismatch skip)",
+			refPath, ref.GoMaxProcs, procs)
 	}
 	refNs := make(map[string]int64, len(ref.Benchmarks))
 	for _, m := range ref.Benchmarks {
@@ -232,6 +356,20 @@ func suite(o *obs.Observer) ([]namedBench, error) {
 	spec := plain.Model.Asserts[ota.AssertR02].Spec
 	impl := plain.Model.Asserts[ota.AssertR02].Impl
 
+	exploreStringKeys := func(b *testing.B) {
+		// The frozen string-keyed engine prices what term interning
+		// replaced: every visited-set probe rendered the state's full
+		// canonical key string. Within-run baseline for -gate-intern.
+		states := 0
+		for i := 0; i < b.N; i++ {
+			l, err := lts.ExploreReference(sem, system, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states = l.NumStates()
+		}
+		b.ReportMetric(float64(states)*float64(b.N)/b.Elapsed().Seconds(), "states/s")
+	}
 	explore := func(workers int) func(b *testing.B) {
 		return func(b *testing.B) {
 			states := 0
@@ -313,6 +451,7 @@ func suite(o *obs.Observer) ([]namedBench, error) {
 	primed := lts.NewCache()
 	primed.Obs = o
 	return []namedBench{
+		{"Explore/stringkeys", exploreStringKeys},
 		{"Explore/seq", explore(1)},
 		{"Explore/par", explore(0)},
 		{"Explore/spill", exploreSpill},

@@ -101,7 +101,8 @@ func TestRunWithMetricsFoldsSnapshot(t *testing.T) {
 func TestGate(t *testing.T) {
 	fresh := []Measurement{{Name: "Refines/cold", NsPerOp: 1000}, {Name: "New/bench", NsPerOp: 5}}
 	write := func(ns int64) string {
-		ref := Output{Benchmarks: []Measurement{{Name: "Refines/cold", NsPerOp: ns}}}
+		ref := Output{GoMaxProcs: runtime.GOMAXPROCS(0),
+			Benchmarks: []Measurement{{Name: "Refines/cold", NsPerOp: ns}}}
 		data, err := json.Marshal(ref)
 		if err != nil {
 			t.Fatal(err)
@@ -114,21 +115,103 @@ func TestGate(t *testing.T) {
 	}
 
 	var stdout bytes.Buffer
-	if err := checkGate(fresh, write(400), 2, &stdout); err == nil {
+	if err := checkGate(fresh, write(400), 2, "fail", &stdout); err == nil {
 		t.Error("2.5x slowdown passed a 2x gate")
 	} else if !strings.Contains(err.Error(), "Refines/cold") {
 		t.Errorf("gate error does not name the regression: %v", err)
 	}
 
 	stdout.Reset()
-	if err := checkGate(fresh, write(600), 2, &stdout); err != nil {
+	if err := checkGate(fresh, write(600), 2, "fail", &stdout); err != nil {
 		t.Errorf("1.67x slowdown failed a 2x gate: %v", err)
 	}
 	if !strings.Contains(stdout.String(), "no reference entry") {
 		t.Errorf("unreferenced benchmark not reported as skipped:\n%s", stdout.String())
 	}
 
-	if err := checkGate(fresh, filepath.Join(t.TempDir(), "missing.json"), 2, &stdout); err == nil {
+	if err := checkGate(fresh, filepath.Join(t.TempDir(), "missing.json"), 2, "fail", &stdout); err == nil {
 		t.Error("missing reference file accepted")
+	}
+}
+
+// TestGateProcsMismatch pins the cross-environment guard: a reference
+// captured at a different GOMAXPROCS must never be compared silently —
+// the run fails by default, or logs an explicit skip when configured
+// to.
+func TestGateProcsMismatch(t *testing.T) {
+	fresh := []Measurement{{Name: "Refines/cold", NsPerOp: 1000}}
+	ref := Output{GoMaxProcs: runtime.GOMAXPROCS(0) + 1,
+		// An absurdly fast reference entry: under "skip" the mismatch
+		// must short-circuit before any ratio is computed.
+		Benchmarks: []Measurement{{Name: "Refines/cold", NsPerOp: 1}}}
+	data, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "ref.json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout bytes.Buffer
+	if err := checkGate(fresh, p, 2, "fail", &stdout); err == nil {
+		t.Error("GOMAXPROCS mismatch passed under \"fail\"")
+	} else if !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Errorf("mismatch error does not explain itself: %v", err)
+	}
+
+	stdout.Reset()
+	if err := checkGate(fresh, p, 2, "skip", &stdout); err != nil {
+		t.Errorf("GOMAXPROCS mismatch failed under \"skip\": %v", err)
+	}
+	if !strings.Contains(stdout.String(), "skipped") || !strings.Contains(stdout.String(), "GOMAXPROCS") {
+		t.Errorf("skip not logged with a reason:\n%s", stdout.String())
+	}
+}
+
+// TestSpeedupGate covers the within-run parallel-speedup gate,
+// including the single-core skip path with its logged reason.
+func TestSpeedupGate(t *testing.T) {
+	ms := []Measurement{
+		{Name: "Explore/seq", NsPerOp: 100, StatesPerSec: 1000},
+		{Name: "Explore/par", NsPerOp: 40, StatesPerSec: 2500},
+	}
+	var stdout bytes.Buffer
+	if err := checkSpeedupGate(ms, 2, 4, 8, &stdout); err != nil {
+		t.Errorf("2.5x speedup failed a 2x floor: %v", err)
+	}
+	if err := checkSpeedupGate(ms, 3, 4, 8, &stdout); err == nil {
+		t.Error("2.5x speedup passed a 3x floor")
+	}
+
+	stdout.Reset()
+	if err := checkSpeedupGate(ms, 3, 4, 1, &stdout); err != nil {
+		t.Errorf("speedup gate applied on a single-core host: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "skipped") || !strings.Contains(stdout.String(), "GOMAXPROCS=1") {
+		t.Errorf("single-core skip not logged with a reason:\n%s", stdout.String())
+	}
+
+	if err := checkSpeedupGate(ms[:1], 2, 4, 8, &stdout); err == nil {
+		t.Error("missing Explore/par measurement accepted")
+	}
+}
+
+// TestInternGate covers the within-run interning gate: the production
+// engine must beat the string-keyed reference engine.
+func TestInternGate(t *testing.T) {
+	ms := []Measurement{
+		{Name: "Explore/stringkeys", NsPerOp: 300, StatesPerSec: 1000},
+		{Name: "Explore/seq", NsPerOp: 100, StatesPerSec: 3000},
+	}
+	var stdout bytes.Buffer
+	if err := checkInternGate(ms, 2, &stdout); err != nil {
+		t.Errorf("3x interning win failed a 2x floor: %v", err)
+	}
+	if err := checkInternGate(ms, 4, &stdout); err == nil {
+		t.Error("3x interning win passed a 4x floor")
+	}
+	if err := checkInternGate(ms[1:], 2, &stdout); err == nil {
+		t.Error("missing Explore/stringkeys measurement accepted")
 	}
 }

@@ -1,0 +1,481 @@
+package csp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// TermID is the dense identifier of a hash-consed term node. Two terms
+// receive the same TermID exactly when they are structurally equal, so
+// exploration dedup becomes an integer comparison instead of a
+// canonical-string comparison.
+type TermID uint32
+
+// InternTable is the index backing an Interner: a map from a node's
+// canonical key bytes to the dense ID the interner assigned at first
+// sight. The hash argument is always the FNV-64a of key, precomputed by
+// the interner so disk-backed tables (statestore.SpillStore) never
+// rehash. statestore.Store satisfies this interface, which is how
+// exploration's visited index and the interner share one spillable
+// table without csp importing statestore.
+type InternTable interface {
+	// Lookup returns the ID recorded for key, or ok=false if the key has
+	// never been inserted.
+	Lookup(hash uint64, key []byte) (id int, ok bool)
+	// Insert records key with the given ID. The caller guarantees the
+	// key is not already present (it looked it up first).
+	Insert(hash uint64, key []byte, id int)
+	// Len returns the number of entries.
+	Len() int
+	// Bytes estimates the resident size of the table.
+	Bytes() int64
+}
+
+// mapTable is the built-in in-memory InternTable used when NewInterner
+// is given nil.
+type mapTable struct {
+	m     map[string]int
+	bytes int64
+}
+
+// mapEntryOverhead mirrors statestore's per-entry map cost estimate.
+const mapEntryOverhead = 48
+
+func (t *mapTable) Lookup(_ uint64, key []byte) (int, bool) {
+	id, ok := t.m[string(key)] // no allocation: the compiler optimises this lookup
+	return id, ok
+}
+
+func (t *mapTable) Insert(_ uint64, key []byte, id int) {
+	t.m[string(key)] = id
+	t.bytes += int64(len(key)) + mapEntryOverhead
+}
+
+func (t *mapTable) Len() int     { return len(t.m) }
+func (t *mapTable) Bytes() int64 { return t.bytes }
+
+// Node tags. Every interned node's key starts with its tag byte; the
+// remaining payload is an unambiguous (length-prefixed / counted)
+// encoding of the node's own data plus the TermIDs of its children, so
+// key equality is exactly structural term equality.
+const (
+	itagStop byte = iota + 1
+	itagSkip
+	itagOmega
+	itagPrefix
+	itagExtChoice
+	itagIntChoice
+	itagSeq
+	itagPar
+	itagHide
+	itagRename
+	itagIf
+	itagCall
+	itagFieldOut
+	itagFieldIn
+	itagFieldInRestrict
+	itagExprLit
+	itagExprVar
+	itagExprBinary
+	itagExprUnary
+	itagExprDot
+	itagExprSetAdd
+	itagExprMember
+	itagValInt
+	itagValBool
+	itagValSym
+	itagValDotted
+	itagValSet
+	itagEvent
+	itagEventSet
+	itagMapping
+)
+
+// FNV-64a, inlined so hashing the scratch key allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Interner hash-conses CSP terms bottom-up: every distinct subterm
+// (process, communication field, expression, value, event, event set)
+// is assigned a stable dense TermID, and structurally equal terms — the
+// state-identity relation of exploration — always map to the same ID.
+// Interning a term walks it once and performs one table hit per node
+// with no allocation on the hit path, replacing the recursive
+// canonical-string rendering (Process.Key) that previously dominated
+// state interning.
+//
+// Equality is structural, which is strictly finer than Key-string
+// equality: value kinds that render identically (Sym("5") vs Int(5))
+// intern differently. For models whose value spaces do not pun on
+// rendered syntax — all models this library builds — the two relations
+// coincide.
+//
+// An Interner is not safe for concurrent use; exploration interns from
+// its single sequential merge goroutine only. EventSets and rename
+// mappings are memoized by pointer (they are structurally shared across
+// Subst), so they must not be mutated once interning has begun — the
+// same immutability exploration already requires of them.
+type Interner struct {
+	table   InternTable
+	n       int
+	scratch []byte
+	sets    map[*EventSet]TermID
+	maps    map[uintptr]TermID
+}
+
+// NewInterner returns an interner over the given table; nil means a
+// fresh built-in in-memory table. The table must be empty (or belong to
+// a previous interner whose ID sequence this one continues).
+func NewInterner(t InternTable) *Interner {
+	if t == nil {
+		t = &mapTable{m: map[string]int{}}
+	}
+	return &Interner{
+		table:   t,
+		n:       t.Len(),
+		scratch: make([]byte, 0, 128),
+		sets:    map[*EventSet]TermID{},
+		maps:    map[uintptr]TermID{},
+	}
+}
+
+// Len returns the number of interned nodes (the next TermID to be
+// assigned).
+func (in *Interner) Len() int { return in.n }
+
+// Table exposes the backing table (for memory accounting).
+func (in *Interner) Table() InternTable { return in.table }
+
+// finish interns the node encoded in scratch and returns its ID.
+func (in *Interner) finish() TermID {
+	h := fnv64a(in.scratch)
+	if id, ok := in.table.Lookup(h, in.scratch); ok {
+		return TermID(id)
+	}
+	id := in.n
+	in.n++
+	in.table.Insert(h, in.scratch, id)
+	return TermID(id)
+}
+
+func (in *Interner) begin(tag byte) { in.scratch = append(in.scratch[:0], tag) }
+
+func (in *Interner) str(s string) {
+	in.scratch = binary.AppendUvarint(in.scratch, uint64(len(s)))
+	in.scratch = append(in.scratch, s...)
+}
+
+func (in *Interner) id(t TermID) {
+	in.scratch = binary.AppendUvarint(in.scratch, uint64(t))
+}
+
+func (in *Interner) count(n int) {
+	in.scratch = binary.AppendUvarint(in.scratch, uint64(n))
+}
+
+func (in *Interner) leaf(tag byte) TermID {
+	in.begin(tag)
+	return in.finish()
+}
+
+// Process interns a process term, hash-consing every subterm.
+func (in *Interner) Process(p Process) TermID {
+	switch x := p.(type) {
+	case StopProc:
+		return in.leaf(itagStop)
+	case SkipProc:
+		return in.leaf(itagSkip)
+	case OmegaProc:
+		return in.leaf(itagOmega)
+	case PrefixProc:
+		var arr [8]TermID
+		fields := arr[:0]
+		for _, f := range x.Fields {
+			fields = append(fields, in.field(f))
+		}
+		cont := in.Process(x.Cont)
+		in.begin(itagPrefix)
+		in.str(x.Chan)
+		in.count(len(fields))
+		for _, f := range fields {
+			in.id(f)
+		}
+		in.id(cont)
+		return in.finish()
+	case ExtChoiceProc:
+		return in.binaryProc(itagExtChoice, x.L, x.R)
+	case IntChoiceProc:
+		return in.binaryProc(itagIntChoice, x.L, x.R)
+	case SeqProc:
+		return in.binaryProc(itagSeq, x.L, x.R)
+	case ParProc:
+		l, r, s := in.Process(x.L), in.Process(x.R), in.set(x.Sync)
+		in.begin(itagPar)
+		in.id(l)
+		in.id(r)
+		in.id(s)
+		return in.finish()
+	case HideProc:
+		p, s := in.Process(x.P), in.set(x.Set)
+		in.begin(itagHide)
+		in.id(p)
+		in.id(s)
+		return in.finish()
+	case RenameProc:
+		p, m := in.Process(x.P), in.mapping(x.Mapping)
+		in.begin(itagRename)
+		in.id(p)
+		in.id(m)
+		return in.finish()
+	case IfProc:
+		c, t, e := in.expr(x.Cond), in.Process(x.Then), in.Process(x.Else)
+		in.begin(itagIf)
+		in.id(c)
+		in.id(t)
+		in.id(e)
+		return in.finish()
+	case CallProc:
+		var arr [8]TermID
+		args := arr[:0]
+		for _, a := range x.Args {
+			args = append(args, in.expr(a))
+		}
+		in.begin(itagCall)
+		in.str(x.Name)
+		in.count(len(args))
+		for _, a := range args {
+			in.id(a)
+		}
+		return in.finish()
+	}
+	panic(fmt.Sprintf("csp: interner: unknown process type %T", p))
+}
+
+func (in *Interner) binaryProc(tag byte, l, r Process) TermID {
+	li, ri := in.Process(l), in.Process(r)
+	in.begin(tag)
+	in.id(li)
+	in.id(ri)
+	return in.finish()
+}
+
+func (in *Interner) field(f CommField) TermID {
+	if !f.IsInput {
+		e := in.expr(f.Expr)
+		in.begin(itagFieldOut)
+		in.id(e)
+		return in.finish()
+	}
+	if f.Restrict == nil {
+		in.begin(itagFieldIn)
+		in.str(f.Var)
+		return in.finish()
+	}
+	r := in.expr(f.Restrict)
+	in.begin(itagFieldInRestrict)
+	in.str(f.Var)
+	in.id(r)
+	return in.finish()
+}
+
+func (in *Interner) expr(x Expr) TermID {
+	switch e := x.(type) {
+	case Lit:
+		v := in.value(e.Val)
+		in.begin(itagExprLit)
+		in.id(v)
+		return in.finish()
+	case Var:
+		in.begin(itagExprVar)
+		in.str(e.Name)
+		return in.finish()
+	case Binary:
+		l, r := in.expr(e.L), in.expr(e.R)
+		in.begin(itagExprBinary)
+		in.scratch = append(in.scratch, byte(e.Op))
+		in.id(l)
+		in.id(r)
+		return in.finish()
+	case Unary:
+		xi := in.expr(e.X)
+		in.begin(itagExprUnary)
+		in.scratch = append(in.scratch, byte(e.Op))
+		in.id(xi)
+		return in.finish()
+	case DotExpr:
+		var arr [8]TermID
+		args := arr[:0]
+		for _, a := range e.Args {
+			args = append(args, in.expr(a))
+		}
+		in.begin(itagExprDot)
+		in.str(string(e.Head))
+		in.count(len(args))
+		for _, a := range args {
+			in.id(a)
+		}
+		return in.finish()
+	case SetAddExpr:
+		b, el := in.expr(e.Base), in.expr(e.Elem)
+		in.begin(itagExprSetAdd)
+		in.id(b)
+		in.id(el)
+		return in.finish()
+	case MemberExpr:
+		el, s := in.expr(e.Elem), in.expr(e.Set)
+		in.begin(itagExprMember)
+		in.id(el)
+		in.id(s)
+		return in.finish()
+	}
+	panic(fmt.Sprintf("csp: interner: unknown expression type %T", x))
+}
+
+func (in *Interner) value(v Value) TermID {
+	switch x := v.(type) {
+	case Int:
+		in.begin(itagValInt)
+		in.scratch = binary.AppendVarint(in.scratch, int64(x))
+		return in.finish()
+	case Bool:
+		in.begin(itagValBool)
+		if x {
+			in.scratch = append(in.scratch, 1)
+		} else {
+			in.scratch = append(in.scratch, 0)
+		}
+		return in.finish()
+	case Sym:
+		in.begin(itagValSym)
+		in.str(string(x))
+		return in.finish()
+	case Dotted:
+		var arr [8]TermID
+		args := arr[:0]
+		for _, a := range x.Args {
+			args = append(args, in.value(a))
+		}
+		in.begin(itagValDotted)
+		in.str(string(x.Head))
+		in.count(len(args))
+		for _, a := range args {
+			in.id(a)
+		}
+		return in.finish()
+	case SetValue:
+		// Elements are already in canonical (sorted, deduplicated) order.
+		var arr [8]TermID
+		elems := arr[:0]
+		for _, e := range x.Elems() {
+			elems = append(elems, in.value(e))
+		}
+		in.begin(itagValSet)
+		in.count(len(elems))
+		for _, e := range elems {
+			in.id(e)
+		}
+		return in.finish()
+	}
+	panic(fmt.Sprintf("csp: interner: unknown value type %T", v))
+}
+
+// Event interns an event (tau and tick included; their reserved channel
+// names keep them distinct from every visible event).
+func (in *Interner) Event(e Event) TermID {
+	var arr [8]TermID
+	args := arr[:0]
+	for _, a := range e.Args {
+		args = append(args, in.value(a))
+	}
+	in.begin(itagEvent)
+	in.str(e.Chan)
+	in.count(len(args))
+	for _, a := range args {
+		in.id(a)
+	}
+	return in.finish()
+}
+
+// set interns an event set by content. A nil set encodes identically to
+// an empty set — the same identification the canonical Key strings have
+// always made — and distinct *EventSet pointers with equal content
+// intern to the same ID. The per-pointer memo only skips re-encoding.
+func (in *Interner) set(s *EventSet) TermID {
+	if s != nil {
+		if id, ok := in.sets[s]; ok {
+			return id
+		}
+	}
+	var chans []string
+	var evIDs []TermID
+	if s != nil {
+		chans = make([]string, 0, len(s.chans))
+		for c := range s.chans {
+			chans = append(chans, c)
+		}
+		sort.Strings(chans)
+		keys := make([]string, 0, len(s.events))
+		for k := range s.events {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			evIDs = append(evIDs, in.Event(s.events[k]))
+		}
+	}
+	in.begin(itagEventSet)
+	in.count(len(chans))
+	for _, c := range chans {
+		in.str(c)
+	}
+	in.count(len(evIDs))
+	for _, e := range evIDs {
+		in.id(e)
+	}
+	id := in.finish()
+	if s != nil {
+		in.sets[s] = id
+	}
+	return id
+}
+
+// mapping interns a rename mapping by content, memoized by map pointer
+// (mappings are shared unchanged across Subst).
+func (in *Interner) mapping(m map[string]string) TermID {
+	var ptr uintptr
+	if m != nil {
+		ptr = reflect.ValueOf(m).Pointer()
+		if id, ok := in.maps[ptr]; ok {
+			return id
+		}
+	}
+	froms := make([]string, 0, len(m))
+	for from := range m {
+		froms = append(froms, from)
+	}
+	sort.Strings(froms)
+	in.begin(itagMapping)
+	in.count(len(froms))
+	for _, from := range froms {
+		in.str(from)
+		in.str(m[from])
+	}
+	id := in.finish()
+	if m != nil {
+		in.maps[ptr] = id
+	}
+	return id
+}

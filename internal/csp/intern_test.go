@@ -1,0 +1,158 @@
+package csp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildTerm constructs a moderately deep process term exercising every
+// node kind, parameterized so distinct n yield structurally distinct
+// terms.
+func buildTerm(n int) Process {
+	sync := NewEventSet()
+	sync.AddChannel("update")
+	sync.AddEvent(Event{Chan: "fw", Args: []Value{Sym("ok")}})
+	ren := RenameProc{
+		P:       Call("NODE", Lit{Val: Int(n)}),
+		Mapping: map[string]string{"a": "b", "c": "d"},
+	}
+	inner := ParProc{
+		L:    Prefix("update", []CommField{In("x"), Out(Binary{Op: OpAdd, L: Var{Name: "x"}, R: Lit{Val: Int(n)}})}, Stop()),
+		R:    HideProc{P: ren, Set: sync},
+		Sync: sync,
+	}
+	cond := IfProc{
+		Cond: Binary{Op: OpLt, L: Lit{Val: Int(n)}, R: Lit{Val: Int(100)}},
+		Then: SeqProc{L: Skip(), R: inner},
+		Else: IntChoiceProc{L: Stop(), R: Skip()},
+	}
+	return ExtChoiceProc{L: cond, R: Prefix("log", []CommField{Out(Lit{Val: NewSet(Int(1), Sym("s"), Dotted{Head: "pair", Args: []Value{Int(n), Bool(true)}})})}, OmegaProc{})}
+}
+
+func TestInternerKeyEquivalence(t *testing.T) {
+	// Structural interning must agree with canonical Key strings on the
+	// terms this library builds: same Key ⇒ same TermID and different
+	// Key ⇒ different TermID.
+	in := NewInterner(nil)
+	byKey := map[string]TermID{}
+	for n := 0; n < 50; n++ {
+		for rep := 0; rep < 2; rep++ { // second build: fresh structurally-equal term
+			p := buildTerm(n % 25)
+			id := in.Process(p)
+			k := p.Key()
+			if prev, ok := byKey[k]; ok {
+				if prev != id {
+					t.Fatalf("key %q interned to both %d and %d", k, prev, id)
+				}
+			} else {
+				for k2, id2 := range byKey {
+					if id2 == id {
+						t.Fatalf("distinct keys %q and %q share TermID %d", k, k2, id)
+					}
+				}
+				byKey[k] = id
+			}
+		}
+	}
+}
+
+func TestInternerEventIdentity(t *testing.T) {
+	in := NewInterner(nil)
+	a := in.Event(Event{Chan: "can", Args: []Value{Sym("tx"), Int(5)}})
+	b := in.Event(Event{Chan: "can", Args: []Value{Sym("tx"), Int(5)}})
+	c := in.Event(Event{Chan: "can", Args: []Value{Sym("tx"), Int(6)}})
+	if a != b {
+		t.Fatalf("equal events interned to %d and %d", a, b)
+	}
+	if a == c {
+		t.Fatalf("distinct events share TermID %d", a)
+	}
+	if in.Event(Tau()) == in.Event(Tick()) {
+		t.Fatal("tau and tick interned identically")
+	}
+}
+
+func TestInternerNilSetEqualsEmptySet(t *testing.T) {
+	// A nil sync set and an empty one have the same canonical Key
+	// ("{}"), so they must intern identically or state identity would
+	// diverge from the reference engine.
+	in := NewInterner(nil)
+	withNil := in.Process(ParProc{L: Stop(), R: Skip(), Sync: nil})
+	withEmpty := in.Process(ParProc{L: Stop(), R: Skip(), Sync: NewEventSet()})
+	if withNil != withEmpty {
+		t.Fatalf("nil sync set interned to %d, empty to %d", withNil, withEmpty)
+	}
+}
+
+func TestInternerSharedSetByContent(t *testing.T) {
+	// Distinct *EventSet pointers with equal content must intern to the
+	// same ID (the pointer memo is only a cache).
+	in := NewInterner(nil)
+	s1, s2 := NewEventSet(), NewEventSet()
+	s1.AddChannel("update")
+	s2.AddChannel("update")
+	a := in.Process(HideProc{P: Stop(), Set: s1})
+	b := in.Process(HideProc{P: Stop(), Set: s2})
+	if a != b {
+		t.Fatalf("content-equal sets interned to %d and %d", a, b)
+	}
+}
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner(nil)
+	if in.Len() != 0 {
+		t.Fatalf("fresh interner has %d nodes", in.Len())
+	}
+	in.Process(Stop())
+	in.Process(Skip())
+	in.Process(Stop())
+	if in.Len() != 2 {
+		t.Fatalf("expected 2 nodes after STOP,SKIP,STOP; got %d", in.Len())
+	}
+}
+
+func TestInternerRestrictedInputDistinct(t *testing.T) {
+	// "?x" and "?x:pred" must not collide, nor "?x" with "!x".
+	in := NewInterner(nil)
+	plain := in.Process(Prefix("c", []CommField{In("x")}, Stop()))
+	restricted := in.Process(Prefix("c", []CommField{InSuchThat("x", Binary{Op: OpLt, L: Var{Name: "x"}, R: Lit{Val: Int(3)}})}, Stop()))
+	out := in.Process(Prefix("c", []CommField{Out(Var{Name: "x"})}, Stop()))
+	if plain == restricted || plain == out || restricted == out {
+		t.Fatalf("field kinds collided: plain=%d restricted=%d out=%d", plain, restricted, out)
+	}
+}
+
+func BenchmarkInternProcess(b *testing.B) {
+	terms := make([]Process, 64)
+	for i := range terms {
+		terms[i] = buildTerm(i)
+	}
+	in := NewInterner(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Process(terms[i%len(terms)])
+	}
+}
+
+func BenchmarkKeyString(b *testing.B) {
+	terms := make([]Process, 64)
+	for i := range terms {
+		terms[i] = buildTerm(i)
+	}
+	m := map[string]int{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := terms[i%len(terms)].Key()
+		if _, ok := m[k]; !ok {
+			m[k] = len(m)
+		}
+	}
+}
+
+func ExampleInterner() {
+	in := NewInterner(nil)
+	a := in.Process(Prefix("update", []CommField{In("x")}, Stop()))
+	b := in.Process(Prefix("update", []CommField{In("x")}, Stop()))
+	fmt.Println(a == b)
+	// Output: true
+}

@@ -129,8 +129,8 @@ func TestCacheOversizedEntryEvictedImmediately(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(l.Keys) != 50 {
-		t.Fatalf("exploration returned %d states, want 50", len(l.Keys))
+	if l.NumStates() != 50 {
+		t.Fatalf("exploration returned %d states, want 50", l.NumStates())
 	}
 	// The result is returned to the caller but not retained: staying
 	// under the watermark wins over keeping an oversized entry.

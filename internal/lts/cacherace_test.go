@@ -98,9 +98,9 @@ func TestCacheEvictionRacesCancellation(t *testing.T) {
 			t.Fatalf("post-storm explore %d: %d states / %d transitions, want %d / %d",
 				i, l.NumStates(), l.NumTransitions(), refs[i].NumStates(), refs[i].NumTransitions())
 		}
-		for s := range l.Keys {
-			if l.Keys[s] != refs[i].Keys[s] {
-				t.Fatalf("post-storm explore %d: state %d key %q, want %q", i, s, l.Keys[s], refs[i].Keys[s])
+		for s := 0; s < l.NumStates(); s++ {
+			if l.Key(s) != refs[i].Key(s) {
+				t.Fatalf("post-storm explore %d: state %d key %q, want %q", i, s, l.Key(s), refs[i].Key(s))
 			}
 		}
 	}

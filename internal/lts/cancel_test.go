@@ -135,12 +135,12 @@ func TestExploreUncancelledContextIsByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(plain.Keys) != len(withCtx.Keys) {
-		t.Fatalf("state counts diverge: %d vs %d", len(plain.Keys), len(withCtx.Keys))
+	if plain.NumStates() != withCtx.NumStates() {
+		t.Fatalf("state counts diverge: %d vs %d", plain.NumStates(), withCtx.NumStates())
 	}
-	for i := range plain.Keys {
-		if plain.Keys[i] != withCtx.Keys[i] {
-			t.Fatalf("state %d diverges: %q vs %q", i, plain.Keys[i], withCtx.Keys[i])
+	for i := 0; i < plain.NumStates(); i++ {
+		if plain.Key(i) != withCtx.Key(i) {
+			t.Fatalf("state %d diverges: %q vs %q", i, plain.Key(i), withCtx.Key(i))
 		}
 		if len(plain.Edges[i]) != len(withCtx.Edges[i]) {
 			t.Fatalf("edge counts at state %d diverge", i)
@@ -174,8 +174,8 @@ func TestCacheCancelledFlightIsEvicted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(l.Keys) != 1001 {
-		t.Errorf("retry explored %d states, want 1001", len(l.Keys))
+	if l.NumStates() != 1001 {
+		t.Errorf("retry explored %d states, want 1001", l.NumStates())
 	}
 	if _, misses := c.Stats(); misses != 2 {
 		t.Errorf("misses = %d, want 2 (cancelled flight forgotten)", misses)

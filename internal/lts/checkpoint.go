@@ -14,12 +14,12 @@ import (
 
 // CheckpointOptions configures level-granular checkpointing of an
 // exploration. After every EveryLevels completed BFS levels (and once
-// more on completion, with an empty frontier), Explore writes an atomic
-// snapshot of the partial LTS — states, edges, event table, frontier
-// terms, elapsed budget — to Dir. A later Explore with the same root and
-// bound finds the snapshot, restores it and continues from the saved
-// frontier; the level-synchronized merge makes the resumed result
-// byte-identical to an uninterrupted run.
+// more on completion), Explore writes an atomic snapshot of the partial
+// LTS — state terms, edges, event table, merge position, elapsed budget
+// — to Dir. A later Explore with the same root and bound finds the
+// snapshot, restores it and continues from the saved position; the
+// sequential interning merge makes the resumed result byte-identical to
+// an uninterrupted run.
 type CheckpointOptions struct {
 	// Dir is the checkpoint directory (created if missing). One
 	// exploration per directory: the snapshot is keyed by root term and
@@ -34,8 +34,13 @@ type CheckpointOptions struct {
 const checkpointFile = "checkpoint.json"
 
 // snapshotVersion guards the snapshot schema; a version bump makes old
-// snapshots invalid (ignored, re-explored) instead of misread.
-const snapshotVersion = 1
+// snapshots invalid (ignored, re-explored) instead of misread. Version
+// 2 replaced the canonical-key-string state table of version 1 with
+// codec-encoded terms for every state (the interned engine re-derives
+// identity from the terms themselves) and the explicit frontier list
+// with the merge position: states [Merged, N) are exactly the
+// unexpanded tail of the BFS order.
+const snapshotVersion = 2
 
 // snapshot is the on-disk checkpoint document. The digest covers the
 // JSON encoding of every other field, so a torn or hand-edited file is
@@ -50,17 +55,17 @@ type snapshot struct {
 	// the MaxDuration budget so a crash cannot extend a deadline.
 	ElapsedNs int64 `json:"elapsedNs"`
 
-	Init int      `json:"init"`
-	Keys []string `json:"keys"`
+	Init int `json:"init"`
+	// Merged is the number of leading states whose edges are final;
+	// states [Merged, len(Terms)) are the unexpanded frontier.
+	Merged int `json:"merged"`
+	// Terms holds the codec-encoded process term of every state, in
+	// state-ID order.
+	Terms []json.RawMessage `json:"terms"`
 	// Events holds codec-encoded visible events (IDs >= 2; tau and tick
 	// are implicit).
 	Events []json.RawMessage `json:"events"`
 	Edges  [][]Edge          `json:"edges"`
-	// Frontier lists the state IDs of the next unexpanded level, and
-	// FrontierProcs their codec-encoded terms (interior states never need
-	// their terms again, so only the frontier is serialized).
-	Frontier      []int             `json:"frontier"`
-	FrontierProcs []json.RawMessage `json:"frontierProcs"`
 
 	Digest uint64 `json:"digest"`
 }
@@ -79,6 +84,20 @@ func (s *snapshot) digest() (uint64, error) {
 	h := fnv.New64a()
 	h.Write(data)
 	return h.Sum64(), nil
+}
+
+// resumeState is a validated snapshot, decoded and ready for the engine
+// to register into its live interner. Validation happens entirely
+// against a throwaway interner inside load, so a snapshot rejected
+// halfway leaves no residue in the exploration.
+type resumeState struct {
+	init    int
+	procs   []csp.Process
+	events  []csp.Event
+	edges   [][]Edge
+	merged  int
+	levels  int
+	elapsed time.Duration
 }
 
 // checkpointer writes and restores exploration snapshots. All failure
@@ -111,7 +130,7 @@ func newCheckpointer(opts *CheckpointOptions, o *obs.Observer) *checkpointer {
 
 // write snapshots the partial LTS after a completed level. Errors are
 // counted and swallowed: a failed checkpoint must not fail the check.
-func (c *checkpointer) write(l *LTS, frontier []int, levels int, elapsed time.Duration, rootKey string, maxStates int) {
+func (c *checkpointer) write(l *LTS, merged, levels int, elapsed time.Duration, rootKey string, maxStates int) {
 	snap := snapshot{
 		Version:   snapshotVersion,
 		RootKey:   rootKey,
@@ -119,9 +138,17 @@ func (c *checkpointer) write(l *LTS, frontier []int, levels int, elapsed time.Du
 		Levels:    levels,
 		ElapsedNs: int64(elapsed),
 		Init:      l.Init,
-		Keys:      l.Keys,
+		Merged:    merged,
 		Edges:     l.Edges,
-		Frontier:  frontier,
+	}
+	snap.Terms = make([]json.RawMessage, 0, len(l.Procs))
+	for _, p := range l.Procs {
+		data, err := csp.EncodeProcess(p)
+		if err != nil {
+			c.errorsC.Inc()
+			return
+		}
+		snap.Terms = append(snap.Terms, data)
 	}
 	snap.Events = make([]json.RawMessage, 0, len(l.Events)-2)
 	for _, e := range l.Events[2:] {
@@ -131,15 +158,6 @@ func (c *checkpointer) write(l *LTS, frontier []int, levels int, elapsed time.Du
 			return
 		}
 		snap.Events = append(snap.Events, data)
-	}
-	snap.FrontierProcs = make([]json.RawMessage, 0, len(frontier))
-	for _, id := range frontier {
-		data, err := csp.EncodeProcess(l.Procs[id])
-		if err != nil {
-			c.errorsC.Inc()
-			return
-		}
-		snap.FrontierProcs = append(snap.FrontierProcs, data)
 	}
 	d, err := snap.digest()
 	if err != nil {
@@ -163,72 +181,92 @@ func (c *checkpointer) write(l *LTS, frontier []int, levels int, elapsed time.Du
 	c.writesC.Inc()
 }
 
-// load restores a snapshot matching the exploration's root and bound
-// into a fresh LTS. It returns the restored LTS, frontier, completed
-// level count and already-spent wall clock, or ok=false when no valid
-// matching snapshot exists (missing, torn, different root or bound —
-// all of which simply mean "explore from scratch").
-func (c *checkpointer) load(rootKey string, maxStates int, visited statestore.Store) (l *LTS, frontier []int, levels int, elapsed time.Duration, ok bool) {
+// load restores and fully validates a snapshot matching the
+// exploration's root and bound, or returns ok=false when no valid
+// matching snapshot exists (missing, torn, wrong version, different
+// root or bound — all of which simply mean "explore from scratch").
+// Terms are decoded and checked for duplicates against a throwaway
+// interner, so the engine can register the result into its own interner
+// without re-validating.
+func (c *checkpointer) load(rootKey string, maxStates int) (*resumeState, bool) {
 	data, err := os.ReadFile(filepath.Join(c.dir, checkpointFile))
 	if err != nil {
 		if !os.IsNotExist(err) {
 			c.ignoredC.Inc()
 		}
-		return nil, nil, 0, 0, false
+		return nil, false
 	}
 	var snap snapshot
 	if err := json.Unmarshal(data, &snap); err != nil {
 		c.ignoredC.Inc()
-		return nil, nil, 0, 0, false
+		return nil, false
 	}
 	if snap.Version != snapshotVersion || snap.RootKey != rootKey || snap.MaxStates != maxStates {
 		c.ignoredC.Inc()
-		return nil, nil, 0, 0, false
+		return nil, false
 	}
 	d, err := snap.digest()
 	if err != nil || d != snap.Digest {
 		c.ignoredC.Inc()
-		return nil, nil, 0, 0, false
+		return nil, false
 	}
-	if len(snap.Edges) != len(snap.Keys) ||
-		len(snap.FrontierProcs) != len(snap.Frontier) ||
-		snap.Init < 0 || snap.Init >= len(snap.Keys) {
+	n := len(snap.Terms)
+	if n == 0 || n > maxStates || len(snap.Edges) != n ||
+		snap.Init < 0 || snap.Init >= n ||
+		snap.Merged < 0 || snap.Merged > n {
 		c.ignoredC.Inc()
-		return nil, nil, 0, 0, false
+		return nil, false
 	}
-	l = &LTS{
-		Init:     snap.Init,
-		Keys:     snap.Keys,
-		Procs:    make([]csp.Process, len(snap.Keys)),
-		Edges:    snap.Edges,
-		Events:   []csp.Event{csp.Tau(), csp.Tick()},
-		eventIDs: map[string]int{},
+	rs := &resumeState{
+		init:    snap.Init,
+		procs:   make([]csp.Process, 0, n),
+		edges:   snap.Edges,
+		merged:  snap.Merged,
+		levels:  snap.Levels,
+		elapsed: time.Duration(snap.ElapsedNs),
+	}
+	check := csp.NewInterner(nil)
+	seen := make(map[csp.TermID]bool, n)
+	for _, raw := range snap.Terms {
+		p, err := csp.DecodeProcess(raw)
+		if err != nil {
+			c.ignoredC.Inc()
+			return nil, false
+		}
+		tid := check.Process(p)
+		if seen[tid] {
+			// Two states with one term would corrupt interned identity.
+			c.ignoredC.Inc()
+			return nil, false
+		}
+		seen[tid] = true
+		rs.procs = append(rs.procs, p)
+	}
+	if rs.procs[snap.Init].Key() != rootKey {
+		c.ignoredC.Inc()
+		return nil, false
 	}
 	for _, raw := range snap.Events {
 		e, err := csp.DecodeEvent(raw)
 		if err != nil {
 			c.ignoredC.Inc()
-			return nil, nil, 0, 0, false
+			return nil, false
 		}
-		l.eventIDs[e.String()] = len(l.Events)
-		l.Events = append(l.Events, e)
+		rs.events = append(rs.events, e)
 	}
-	for i, raw := range snap.FrontierProcs {
-		id := snap.Frontier[i]
-		if id < 0 || id >= len(snap.Keys) {
+	maxEv := 2 + len(rs.events)
+	for id, edges := range snap.Edges {
+		if id >= snap.Merged && len(edges) > 0 {
 			c.ignoredC.Inc()
-			return nil, nil, 0, 0, false
+			return nil, false
 		}
-		p, err := csp.DecodeProcess(raw)
-		if err != nil || p.Key() != snap.Keys[id] {
-			c.ignoredC.Inc()
-			return nil, nil, 0, 0, false
+		for _, e := range edges {
+			if e.Ev < 0 || e.Ev >= maxEv || e.To < 0 || e.To >= n {
+				c.ignoredC.Inc()
+				return nil, false
+			}
 		}
-		l.Procs[id] = p
-	}
-	for id, k := range snap.Keys {
-		visited.Insert(k, id)
 	}
 	c.resumesC.Inc()
-	return l, snap.Frontier, snap.Levels, time.Duration(snap.ElapsedNs), true
+	return rs, true
 }

@@ -21,15 +21,18 @@ import (
 )
 
 // cancelStore wraps a Store and cancels a context after the Nth insert,
-// simulating a crash at a deterministic point mid-exploration.
+// simulating a crash at a deterministic point mid-exploration. Inserts
+// now count interned term nodes (states and their subterms), so a given
+// budget cuts even earlier in the exploration than the same number of
+// states would.
 type cancelStore struct {
 	statestore.Store
 	remaining int
 	cancel    context.CancelFunc
 }
 
-func (s *cancelStore) Insert(key string, id int) {
-	s.Store.Insert(key, id)
+func (s *cancelStore) Insert(hash uint64, key []byte, id int) {
+	s.Store.Insert(hash, key, id)
 	s.remaining--
 	if s.remaining == 0 {
 		s.cancel()
@@ -57,31 +60,29 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s root %d: reference explore: %v", cs.name, ri, err)
 			}
-			// Interrupt at a randomized number of interned states, at
-			// least 1 (immediately) and at most all of them (the final
-			// checkpoint path).
+			// Interrupt at a randomized number of interner inserts, at
+			// least 1 (immediately) and at most the state count — node
+			// inserts outnumber states, so this always cancels somewhere
+			// inside the run.
 			cut := 1 + rng.Intn(ref.NumStates())
 			dir := t.TempDir()
 			ctx, cancel := context.WithCancel(context.Background())
 			st := &cancelStore{Store: statestore.NewMem(), remaining: cut, cancel: cancel}
-			_, err = lts.Explore(sem, root, lts.Options{
+			part, err := lts.Explore(sem, root, lts.Options{
 				Ctx:        ctx,
 				Store:      st,
 				Checkpoint: &lts.CheckpointOptions{Dir: dir},
 			})
 			cancel()
 			if err == nil {
-				// The cut landed on the final insert, after which the
-				// exploration may finish before probing the context —
-				// then the full result must already match.
-				if cut != ref.NumStates() {
-					t.Fatalf("%s root %d: interrupted explore (cut %d/%d) did not fail",
-						cs.name, ri, cut, ref.NumStates())
-				}
+				// The cut landed after the last stop probe; the completed
+				// result must already match.
+				requireSameLTS(t, cs.name+"-completed", ref, part)
 			} else if !errors.Is(err, context.Canceled) {
 				t.Fatalf("%s root %d: interrupted explore: %v", cs.name, ri, err)
 			}
 
+			_, statErr := os.Stat(filepath.Join(dir, "checkpoint.json"))
 			o := obs.New()
 			got, err := lts.Explore(sem, root, lts.Options{
 				Checkpoint: &lts.CheckpointOptions{Dir: dir},
@@ -92,11 +93,13 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 			}
 			requireSameLTS(t, cs.name, ref, got)
 			resumes := o.Counter("lts.checkpoint.resumes").Value()
-			if cut > 1 && resumes != 1 {
-				// A cut of 1 may cancel before the first level completes,
-				// legitimately leaving no checkpoint; any later cut must
-				// leave one behind and the second run must use it.
-				t.Fatalf("%s root %d (cut %d): resumes = %d, want 1", cs.name, ri, cut, resumes)
+			if statErr == nil {
+				// A very early cut may cancel before the first level
+				// completes, legitimately leaving no checkpoint; whenever
+				// one was written, the second run must use it.
+				if resumes != 1 {
+					t.Fatalf("%s root %d (cut %d): resumes = %d, want 1", cs.name, ri, cut, resumes)
+				}
 			}
 		}
 	}
@@ -197,6 +200,29 @@ func TestCheckpointIgnoresCorruptAndMismatched(t *testing.T) {
 		}
 	})
 
+	t.Run("old-version", func(t *testing.T) {
+		// A well-formed document from a previous snapshot schema must be
+		// ignored (version mismatch), never misread into a resume.
+		dir := t.TempDir()
+		v1 := `{"version":1,"rootKey":"X","maxStates":1048576,"levels":1,"elapsedNs":0,` +
+			`"init":0,"keys":["X"],"events":[],"edges":[[]],"frontier":[],"frontierProcs":[],"digest":0}`
+		if err := os.WriteFile(filepath.Join(dir, "checkpoint.json"), []byte(v1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		o := obs.New()
+		got, err := lts.Explore(sem, roots[0], lts.Options{
+			Checkpoint: &lts.CheckpointOptions{Dir: dir},
+			Obs:        o,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameLTS(t, "v1-ignored", ref, got)
+		if o.Counter("lts.checkpoint.ignored").Value() != 1 {
+			t.Fatal("v1 snapshot was not counted as ignored")
+		}
+	})
+
 	t.Run("different-root", func(t *testing.T) {
 		dir := t.TempDir()
 		if _, err := lts.Explore(sem, roots[1], lts.Options{
@@ -241,8 +267,10 @@ func TestSpillStoreExploreIdentical(t *testing.T) {
 		if !st.Spilled() {
 			t.Fatalf("%s: store never spilled at watermark 0", cs.name)
 		}
-		if o.Counter("statestore.spill.keys").Value() != int64(ref.NumStates()) {
-			t.Fatalf("%s: spilled %d keys, want %d", cs.name,
+		// The store interns every term node, not just states, so the
+		// spilled-key count is at least the state count.
+		if o.Counter("statestore.spill.keys").Value() < int64(ref.NumStates()) {
+			t.Fatalf("%s: spilled %d keys, want >= %d", cs.name,
 				o.Counter("statestore.spill.keys").Value(), ref.NumStates())
 		}
 		if err := st.Close(); err != nil {

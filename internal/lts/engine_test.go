@@ -1,0 +1,165 @@
+// Regression tests against the exploration engine's internals: panic
+// attribution under parallel expansion, and the resident-size estimate
+// actually covering the event-intern table. Both need package-internal
+// access — the transitionSource seam and the size constants.
+package lts
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/csp"
+	"repro/internal/statestore"
+)
+
+// panicSource is a fake operational semantics over a binary tree of
+// Call("S", n) terms: state n steps to 2n+1 and 2n+2 below size, leaves
+// are silent, and evaluating the term with n == panicAt panics. It
+// reproduces the shape that once misattributed worker panics: many
+// states per level, exactly one of them poisonous.
+type panicSource struct {
+	size    int
+	panicAt int
+	byKey   map[string]int
+}
+
+func treeTerm(n int) csp.Process { return csp.Call("S", csp.LitInt(n)) }
+
+func newPanicSource(size, panicAt int) *panicSource {
+	s := &panicSource{size: size, panicAt: panicAt, byKey: map[string]int{}}
+	for n := 0; n < size; n++ {
+		s.byKey[treeTerm(n).Key()] = n
+	}
+	return s
+}
+
+func (s *panicSource) Transitions(p csp.Process) ([]csp.Transition, error) {
+	n, ok := s.byKey[p.Key()]
+	if !ok {
+		return nil, fmt.Errorf("unknown state %q", p.Key())
+	}
+	if n == s.panicAt {
+		panic(fmt.Sprintf("poisoned state %d", n))
+	}
+	var trs []csp.Transition
+	for _, c := range []int{2*n + 1, 2*n + 2} {
+		if c < s.size {
+			trs = append(trs, csp.Transition{Ev: csp.Event{Chan: "step"}, To: treeTerm(c)})
+		}
+	}
+	return trs, nil
+}
+
+// TestWorkerPanicNamesTheFaultingState pins panic attribution: whatever
+// worker evaluates the poisoned state, the error must name that state's
+// term — not whichever state a stale claim range happened to point at
+// (the old parallel expander reused its claim slice across batches
+// without resetting it, so a panic could be reported against a state
+// from a previous batch).
+func TestWorkerPanicNamesTheFaultingState(t *testing.T) {
+	const size, panicAt = 127, 37
+	wantKey := treeTerm(panicAt).Key()
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		src := newPanicSource(size, panicAt)
+		_, err := explore(src, treeTerm(0), Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: exploration of a panicking semantics succeeded", workers)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("state %q", wantKey)) {
+			t.Fatalf("workers=%d: panic attributed to the wrong state:\n  got  %v\n  want mention of state %q",
+				workers, err, wantKey)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("poisoned state %d", panicAt)) {
+			t.Fatalf("workers=%d: panic payload lost: %v", workers, err)
+		}
+	}
+}
+
+// eventHeavySem builds a 3-level model whose memory is dominated by its
+// event table: root offers N distinct events ch.i, all leading to one
+// intermediate state D, which steps once more to STOP. 3 states, N+1
+// events.
+func eventHeavySem(t *testing.T, n int) (*csp.Semantics, csp.Process) {
+	t.Helper()
+	ctx := csp.NewContext()
+	ctx.MustChannel("ch", csp.IntRange{Lo: 0, Hi: n})
+	ctx.MustChannel("done", csp.IntRange{Lo: 0, Hi: 1})
+	env := csp.NewEnv()
+	env.MustDefine("D", nil,
+		csp.Prefix("done", []csp.CommField{csp.Out(csp.LitInt(0))}, csp.Stop()))
+	branches := make([]csp.Process, n)
+	for i := 0; i < n; i++ {
+		branches[i] = csp.Prefix("ch", []csp.CommField{csp.Out(csp.LitInt(i))}, csp.Call("D"))
+	}
+	return csp.NewSemantics(env, ctx), csp.ExtChoice(branches...)
+}
+
+// TestMaxMemBytesCountsEventTable pins the resident-size estimate
+// against an event-heavy model. The limit is set to everything the
+// exploration resides in *except* the event-intern table (rendered
+// labels plus per-entry overhead); the watermark must still trip,
+// which it only does if events are part of the estimate. The old
+// accounting ignored them, so a model with few states but a huge
+// alphabet sailed under any watermark.
+func TestMaxMemBytesCountsEventTable(t *testing.T) {
+	const n = 64
+	sem, root := eventHeavySem(t, n)
+
+	// Reference run: capture the store's resident size and the exact
+	// LTS shape.
+	store := statestore.NewMem()
+	ref, err := Explore(sem, root, Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumStates() != 3 || len(ref.Events) != 2+n+1 {
+		t.Fatalf("model shape drifted: %d states, %d events", ref.NumStates(), len(ref.Events))
+	}
+	edges := 0
+	eventBytes := int64(0)
+	for i := 0; i < ref.NumStates(); i++ {
+		edges += len(ref.Edges[i])
+	}
+	for _, ev := range ref.Events[2:] {
+		eventBytes += int64(len(ev.String())) + eventEntryOverhead
+	}
+
+	// Everything except the event table fits under this limit; the
+	// event table alone pushes the estimate over it. The estimate is
+	// checked at each level boundary, and all events are interned while
+	// merging the root, so the trip lands at the level-1 boundary with
+	// Explored == number of states merged so far.
+	limit := store.Bytes() + int64(ref.NumStates())*ltsStateOverhead + int64(edges)*ltsEdgeBytes
+	_, err = Explore(sem, root, Options{MaxMemBytes: limit})
+	var me *MemoryError
+	if !errors.As(err, &me) {
+		t.Fatalf("event-table bytes not counted: err = %v, want *MemoryError", err)
+	}
+	if me.EstimatedBytes <= limit {
+		t.Fatalf("MemoryError with estimate %d <= limit %d", me.EstimatedBytes, limit)
+	}
+
+	// Resume path: a snapshot with only the root merged re-registers the
+	// event table on load, so the same limit must trip immediately on
+	// resume, too.
+	dir := t.TempDir()
+	ck := newCheckpointer(&CheckpointOptions{Dir: dir}, nil)
+	partial := &LTS{
+		Init:     ref.Init,
+		Procs:    ref.Procs,
+		Events:   ref.Events,
+		eventIDs: ref.eventIDs,
+		Edges:    make([][]Edge, ref.NumStates()),
+	}
+	partial.Edges[0] = ref.Edges[0]
+	ck.write(partial, 1, 1, 0, root.Key(), DefaultMaxStates)
+	_, err = Explore(sem, root, Options{
+		MaxMemBytes: limit,
+		Checkpoint:  &CheckpointOptions{Dir: dir},
+	})
+	if !errors.As(err, &me) {
+		t.Fatalf("resume path: event-table bytes not counted: err = %v, want *MemoryError", err)
+	}
+}

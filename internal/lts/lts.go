@@ -50,13 +50,15 @@ func (e *LimitError) Error() string {
 // Is makes errors.Is(err, ErrStateLimit) hold.
 func (e *LimitError) Is(target error) bool { return target == ErrStateLimit }
 
-// LTS is an explicit-state labelled transition system.
+// LTS is an explicit-state labelled transition system. States are
+// identified by dense integer IDs in discovery (BFS) order; the terms
+// themselves are held as interned csp.Process values, and canonical key
+// strings are only rendered on demand (Key) for reports and
+// counterexamples — the exploration hot path never builds them.
 type LTS struct {
 	// Init is the index of the initial state.
 	Init int
-	// Keys holds the canonical process term of each state.
-	Keys []string
-	// Procs holds the process term of each state (same indexing as Keys).
+	// Procs holds the process term of each state.
 	Procs []csp.Process
 	// Edges holds the outgoing transitions of each state.
 	Edges [][]Edge
@@ -66,6 +68,10 @@ type LTS struct {
 
 	eventIDs map[string]int
 }
+
+// Key renders the canonical process term of a state. It is rendered on
+// demand: states no longer carry their key strings.
+func (l *LTS) Key(id int) string { return l.Procs[id].Key() }
 
 // Edge is a transition to state To labelled with event ID Ev.
 type Edge struct {
@@ -85,9 +91,11 @@ type Options struct {
 	MaxDuration time.Duration
 	// Workers is the number of goroutines evaluating transitions
 	// concurrently. 0 means GOMAXPROCS; 1 forces sequential exploration.
-	// Exploration is level-synchronized, so the resulting LTS (state
-	// numbering, Keys, Edges, Events) is byte-identical to the
-	// sequential result at any worker count.
+	// Workers share the frontier through work-stealing chunked claiming,
+	// but all state interning and event-ID assignment happen in a single
+	// sequential merge, so the resulting LTS (state numbering, Edges,
+	// Events) is byte-identical to the sequential result at any worker
+	// count.
 	Workers int
 	// Ctx, when non-nil, cooperatively cancels the exploration: the BFS
 	// checks the context before every state expansion, so a cancelled
@@ -101,7 +109,7 @@ type Options struct {
 	// the cost of a nil check; measurements never influence the
 	// exploration itself.
 	Obs *obs.Observer
-	// Store, when non-nil, backs the visited-state index — e.g. a
+	// Store, when non-nil, backs the term-interning index — e.g. a
 	// statestore.SpillStore that migrates to disk past a soft memory
 	// watermark. nil means a plain in-memory map (the historical
 	// behaviour, byte-identical). The store never influences state
@@ -109,10 +117,10 @@ type Options struct {
 	// caller owns the store's lifetime (Close).
 	Store statestore.Store
 	// MaxMemBytes is a hard watermark on the estimated resident size of
-	// the exploration (visited index + LTS under construction), checked
-	// once per BFS level. Exceeding it returns a *MemoryError — a
-	// structured budget verdict instead of an OOM kill. 0 means
-	// unbounded.
+	// the exploration (interned-term index + LTS under construction,
+	// including the event-intern table), checked once per BFS level.
+	// Exceeding it returns a *MemoryError — a structured budget verdict
+	// instead of an OOM kill. 0 means unbounded.
 	MaxMemBytes int64
 	// Checkpoint, when non-nil with a Dir, enables level-granular
 	// crash-safe checkpointing: snapshots are written atomically every
@@ -192,34 +200,149 @@ func (e *CanceledError) Error() string {
 // Unwrap exposes the context error to errors.Is.
 func (e *CanceledError) Unwrap() error { return e.Cause }
 
-// deadlineCheckInterval is how many states are expanded between
+// deadlineCheckInterval is how many states are merged between
 // wall-clock checks in the merge loop; a power of two keeps the
-// hot-loop test cheap. Inside expandLevel the stop conditions are
-// probed per state instead: transition evaluation dominates the probe
-// by orders of magnitude, and per-state probing is what bounds deadline
-// overshoot and cancellation latency to a single slow state rather than
-// a whole level.
+// hot-loop test cheap. Workers probe the stop conditions per state
+// instead: transition evaluation dominates the probe by orders of
+// magnitude, and per-state probing is what bounds deadline overshoot
+// and cancellation latency to a single slow state rather than a whole
+// level.
 const deadlineCheckInterval = 256
 
 // DefaultMaxStates is the exploration bound used when Options.MaxStates
 // is zero.
 const DefaultMaxStates = 1 << 20
 
-// parallelLevelThreshold is the smallest BFS level worth fanning out to
-// a worker pool; below it the goroutine hand-off costs more than the
-// transition evaluations it saves.
+// parallelLevelThreshold is the smallest evaluation backlog worth
+// fanning out to a worker pool; below it the goroutine hand-off costs
+// more than the transition evaluations it saves. Workers start lazily
+// the first time the backlog reaches the threshold and then stay on for
+// the rest of the exploration.
 const parallelLevelThreshold = 16
+
+// ltsStateOverhead approximates the per-state resident cost of the LTS
+// under construction: the Procs/Edges slice slots, the term pointer and
+// the interner's state-ID slot.
+const ltsStateOverhead = 64
+
+// ltsEdgeBytes is the resident cost of one Edge.
+const ltsEdgeBytes = 16
+
+// eventEntryOverhead approximates the per-entry resident cost of the
+// event-intern table beyond the rendered key bytes: the Events slice
+// slot, the eventIDs map entry and the term-ID index entry.
+const eventEntryOverhead = 104
+
+// transitionSource is the evaluation seam of the exploration: anything
+// that can produce the outgoing transitions of a process term.
+// *csp.Semantics is the production implementation; tests substitute
+// failing or panicking fakes to pin worker error handling.
+type transitionSource interface {
+	Transitions(p csp.Process) ([]csp.Transition, error)
+}
 
 // Explore builds the LTS reachable from root under the given semantics.
 //
-// Exploration is a level-synchronized BFS: the transition lists of a
-// whole frontier level are evaluated concurrently by Options.Workers
-// goroutines (the operational semantics is pure, so concurrent
-// evaluation is safe), then merged sequentially in level order. The
-// merge performs all state interning and event-ID assignment, so the
-// resulting LTS is byte-identical to a sequential exploration at any
-// worker count — deterministic reports stay deterministic.
-func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err error) {
+// Exploration is a pipelined BFS: discovered states are published to a
+// pool of workers that claim contiguous chunks of the frontier with an
+// atomic cursor (work-stealing — no level barrier, so stragglers never
+// idle the pool), evaluate their transition lists (the operational
+// semantics is pure, so concurrent evaluation is safe) and post them
+// into per-state result slots. A single sequential merge consumes the
+// slots in state order and performs all term interning and event-ID
+// assignment, so the resulting LTS is byte-identical to a sequential
+// exploration at any worker count — deterministic reports stay
+// deterministic.
+func Explore(sem *csp.Semantics, root csp.Process, opts Options) (*LTS, error) {
+	return explore(sem, root, opts)
+}
+
+// chunk geometry of the shared state tables. Terms and result slots
+// live in fixed-size chunks so workers can index them without ever
+// racing a slice reallocation in the merge goroutine: a chunk, once its
+// pointer is published, never moves. Chunks are small enough that a
+// tiny exploration pays for one chunk, not a bound's worth — the chunk
+// tables themselves grow dynamically until the first worker launches
+// (see fixTables).
+const (
+	stateChunkShift = 7
+	stateChunkSize  = 1 << stateChunkShift
+	stateChunkMask  = stateChunkSize - 1
+)
+
+type procChunk [stateChunkSize]csp.Process
+
+// resSlot receives one state's evaluated transitions. ready is the
+// publication flag: the producer fills trs/err first and then sets
+// ready (release); the merger reads them only after observing ready
+// (acquire).
+type resSlot struct {
+	trs   []csp.Transition
+	err   error
+	ready atomic.Bool
+}
+
+type slotChunk [stateChunkSize]resSlot
+
+// errStopped marks a result slot that was skipped because a stop
+// condition (deadline or cancellation) had fired. It is written only
+// when stopper.fired() returned true; stop conditions are sticky, so
+// the merger re-derives the concrete typed error — with an accurate
+// explored count — from stop.check when it consumes the slot.
+var errStopped = errors.New("lts: stop condition fired before evaluation")
+
+// exploration is the in-flight state of one Explore call: the interner
+// and LTS under construction (touched only by the merge goroutine), the
+// chunked publish tables shared with workers, and the coordination
+// state for work-stealing claiming.
+type exploration struct {
+	src       transitionSource
+	in        *csp.Interner
+	visited   statestore.Store
+	l         *LTS
+	stateOf   []int32 // term ID -> state ID, -1 if the node is not a state
+	eventOf   map[csp.TermID]int
+	nStates   int
+	maxStates int
+	ltsBytes  int64
+	stop      *stopper
+
+	// Shared chunk tables: written by the merger before publishing,
+	// indexed lock-free by workers.
+	procTab []*procChunk
+	slotTab []*slotChunk
+	// seqSlot is the reusable result slot of the sequential fast path,
+	// so a worker-free exploration allocates no slot chunks at all.
+	seqSlot resSlot
+
+	// published is the number of states whose term and result slot are
+	// visible to workers; next is the claim cursor (states [0,next) are
+	// claimed). aborted makes idle workers exit and is set on any error
+	// path; done is set when the merge completes.
+	published atomic.Int64
+	next      atomic.Int64
+	aborted   atomic.Bool
+	done      atomic.Bool
+
+	// Parking: waiters (workers out of work, or the merger awaiting a
+	// claimed slot) sleep on cond; producers broadcast only when the
+	// waiter counter is nonzero.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters atomic.Int32
+
+	// engineErr records a worker-goroutine failure outside transition
+	// evaluation (an engine bug surfacing as a panic); guarded by mu. The
+	// merger checks it while parked so a crashed worker can never strand
+	// the merge on a slot that will not be filled.
+	engineErr error
+
+	workers        int
+	workersStarted bool
+	wg             sync.WaitGroup
+}
+
+func explore(src transitionSource, root csp.Process, opts Options) (lts *LTS, err error) {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
@@ -263,133 +386,460 @@ func Explore(sem *csp.Semantics, root csp.Process, opts Options) (lts *LTS, err 
 	if visited == nil {
 		visited = statestore.NewMem()
 	}
-	// ltsBytes is a running estimate of the resident size of the LTS
-	// under construction (keys, term pointers, edge slices), combined
-	// with visited.Bytes() for the hard-watermark check.
-	var ltsBytes int64
-	l := &LTS{
-		Events:   []csp.Event{csp.Tau(), csp.Tick()},
-		eventIDs: map[string]int{},
+	e := &exploration{
+		src:       src,
+		in:        csp.NewInterner(visited),
+		visited:   visited,
+		l:         &LTS{Events: []csp.Event{csp.Tau(), csp.Tick()}, eventIDs: map[string]int{}},
+		eventOf:   map[csp.TermID]int{},
+		maxStates: maxStates,
+		stop:      &stopper{ctx: opts.Ctx, maxDur: opts.MaxDuration, start: time.Now()},
+		workers:   workers,
 	}
-	// add interns a state, enforcing the exact bound: a state beyond
-	// MaxStates is never materialised, so LimitError.Explored <= Limit.
-	add := func(p csp.Process) (int, bool, error) {
-		k := p.Key()
-		if id, ok := visited.Lookup(k); ok {
-			return id, false, nil
-		}
-		if len(l.Keys) >= maxStates {
-			return 0, false, &LimitError{Explored: len(l.Keys), Limit: maxStates}
-		}
-		id := len(l.Keys)
-		visited.Insert(k, id)
-		l.Keys = append(l.Keys, k)
-		l.Procs = append(l.Procs, p)
-		l.Edges = append(l.Edges, nil)
-		ltsBytes += int64(len(k)) + ltsStateOverhead
-		return id, true, nil
-	}
-	stop := &stopper{ctx: opts.Ctx, maxDur: opts.MaxDuration, start: time.Now()}
+	e.cond = sync.NewCond(&e.mu)
+	// Whatever path we leave by, no worker may outlive the call.
+	defer e.shutdown()
+
 	var ck *checkpointer
-	var level []int
+	merged := 0
 	levels := 0
 	resumed := false
+	rootKey := root.Key()
 	if opts.Checkpoint != nil && opts.Checkpoint.Dir != "" {
 		ck = newCheckpointer(opts.Checkpoint, opts.Obs)
-		if rl, frontier, lv, elapsed, ok := ck.load(root.Key(), maxStates, visited); ok {
-			l, level, levels = rl, frontier, lv
-			for _, k := range l.Keys {
-				ltsBytes += int64(len(k)) + ltsStateOverhead
+		if rs, ok := ck.load(rootKey, maxStates); ok {
+			// Register every snapshot state into the live interner in state
+			// order — the snapshot was validated (including duplicate-term
+			// detection) against a throwaway interner, so these adds cannot
+			// fail or collide.
+			for _, p := range rs.procs {
+				if _, _, err := e.add(p); err != nil {
+					return nil, err
+				}
 			}
-			ltsBytes += int64(l.NumTransitions()) * ltsEdgeBytes
+			e.l.Init = rs.init
+			for i, edges := range rs.edges[:rs.merged] {
+				e.l.Edges[i] = edges
+				e.ltsBytes += int64(len(edges)) * ltsEdgeBytes
+			}
+			for _, ev := range rs.events {
+				e.eventID(ev)
+			}
+			merged = rs.merged
+			levels = rs.levels
+			// States below the merge position already have final edges;
+			// they are never awaited, so the claim cursor must start past
+			// them or the claim invariant (all slots below the merge
+			// position are claimed) breaks and the merge parks forever.
+			e.next.Store(int64(merged))
 			// Wall clock spent before the crash counts against the
 			// deadline budget: a crash must never extend a deadline.
-			stop.start = stop.start.Add(-elapsed)
-			statesC.Add(int64(len(l.Keys)))
+			e.stop.start = e.stop.start.Add(-rs.elapsed)
+			statesC.Add(int64(e.nStates))
 			resumed = true
 		}
 	}
 	if !resumed {
-		rootID, _, err := add(root)
+		rootID, _, err := e.add(root)
 		if err != nil {
 			return nil, err
 		}
-		l.Init = rootID
-		level = []int{rootID}
+		e.l.Init = rootID
 		statesC.Inc() // the root
 	}
+	e.publish()
+
+	// The sequential merge: consume result slots in state order. Level
+	// boundaries fall exactly where the old level-synchronized BFS had
+	// them (merged == levelEnd means every state of the current level has
+	// been merged), so per-level metrics, the memory watermark and
+	// checkpoint cadence are unchanged.
+	levelEnd := merged
+	levelStartStates := e.nStates
+	levelEdges := 0
+	first := true
 	expanded := 0
-	for len(level) > 0 {
-		levelsC.Inc()
-		frontierG.Max(int64(len(level)))
-		if opts.MaxMemBytes > 0 {
-			if est := visited.Bytes() + ltsBytes; est > opts.MaxMemBytes {
-				return nil, &MemoryError{Explored: len(l.Keys), EstimatedBytes: est, Limit: opts.MaxMemBytes}
+	for merged < e.nStates {
+		if merged == levelEnd {
+			if !first {
+				statesC.Add(int64(e.nStates - levelStartStates))
+				transC.Add(int64(levelEdges))
+				prog.Tick(int64(e.nStates), obs.Int("frontier", int64(e.nStates-merged)))
+				levels++
+				if ck != nil && levels%ck.every == 0 {
+					ck.write(e.l, merged, levels, time.Since(e.stop.start), rootKey, maxStates)
+				}
 			}
+			first = false
+			levelsC.Inc()
+			frontierG.Max(int64(e.nStates - merged))
+			if opts.MaxMemBytes > 0 {
+				if est := visited.Bytes() + e.ltsBytes; est > opts.MaxMemBytes {
+					return nil, &MemoryError{Explored: e.nStates, EstimatedBytes: est, Limit: opts.MaxMemBytes}
+				}
+			}
+			if workers > 1 && e.nStates-merged >= parallelLevelThreshold {
+				parLevelsC.Inc()
+			}
+			levelEnd = e.nStates
+			levelStartStates = e.nStates
+			levelEdges = 0
 		}
-		if workers > 1 && len(level) >= parallelLevelThreshold {
-			parLevelsC.Inc()
-		}
-		trs, err := expandLevel(sem, l, level, workers, stop)
+		slot, err := e.awaitSlot(merged)
 		if err != nil {
 			return nil, err
 		}
-		var next []int
-		levelEdges := 0
-		for i, id := range level {
-			expanded++
-			if expanded%deadlineCheckInterval == 0 {
-				if err := stop.check(len(l.Keys)); err != nil {
-					return nil, err
-				}
+		if slot.err != nil {
+			if slot.err == errStopped {
+				// The worker skipped evaluation because a stop condition had
+				// fired; conditions are sticky, so check reproduces the typed
+				// error with the accurate explored count.
+				return nil, e.stop.check(e.nStates)
 			}
-			edges := make([]Edge, 0, len(trs[i]))
-			for _, tr := range trs[i] {
-				to, fresh, err := add(tr.To)
-				if err != nil {
-					return nil, err
-				}
-				if fresh {
-					next = append(next, to)
-				}
-				edges = append(edges, Edge{Ev: l.eventID(tr.Ev), To: to})
-			}
-			l.Edges[id] = edges
-			levelEdges += len(edges)
+			return nil, slot.err
 		}
-		statesC.Add(int64(len(next)))
+		trs := slot.trs
+		slot.trs = nil
+		edges := make([]Edge, 0, len(trs))
+		for _, tr := range trs {
+			to, _, err := e.add(tr.To)
+			if err != nil {
+				return nil, err
+			}
+			edges = append(edges, Edge{Ev: e.eventID(tr.Ev), To: to})
+		}
+		e.l.Edges[merged] = edges
+		e.ltsBytes += int64(len(edges)) * ltsEdgeBytes
+		levelEdges += len(edges)
+		merged++
+		expanded++
+		if expanded%deadlineCheckInterval == 0 {
+			if err := e.stop.check(e.nStates); err != nil {
+				return nil, err
+			}
+		}
+		e.publish()
+	}
+	// Close out the final level's metrics.
+	if !first {
+		statesC.Add(int64(e.nStates - levelStartStates))
 		transC.Add(int64(levelEdges))
-		ltsBytes += int64(levelEdges) * ltsEdgeBytes
-		prog.Tick(int64(len(l.Keys)), obs.Int("frontier", int64(len(next))))
-		level = next
 		levels++
-		if ck != nil && len(level) > 0 && levels%ck.every == 0 {
-			ck.write(l, level, levels, time.Since(stop.start), root.Key(), maxStates)
+		if ck != nil && levels%ck.every == 0 {
+			ck.write(e.l, merged, levels, time.Since(e.stop.start), rootKey, maxStates)
 		}
 	}
 	if ck != nil {
-		// Final snapshot with an empty frontier: a crash after the
+		// Final snapshot with a fully-merged frontier: a crash after the
 		// exploration finished resumes instantly instead of re-exploring.
-		ck.write(l, nil, levels, time.Since(stop.start), root.Key(), maxStates)
+		ck.write(e.l, merged, levels, time.Since(e.stop.start), rootKey, maxStates)
 	}
-	prog.Flush(int64(len(l.Keys)))
-	return l, nil
+	prog.Flush(int64(e.nStates))
+	return e.l, nil
 }
 
-// ltsStateOverhead approximates the per-state resident cost of the LTS
-// under construction beyond the key bytes: the Keys/Procs/Edges slice
-// slots plus the term pointer.
-const ltsStateOverhead = 64
+// add interns a state term, enforcing the exact bound: a state beyond
+// MaxStates is never materialised, so LimitError.Explored <= Limit.
+// Called only from the merge goroutine (the single interning
+// authority).
+func (e *exploration) add(p csp.Process) (int, bool, error) {
+	tid := e.in.Process(p)
+	if int(tid) < len(e.stateOf) {
+		if s := e.stateOf[tid]; s >= 0 {
+			return int(s), false, nil
+		}
+	}
+	for len(e.stateOf) < e.in.Len() {
+		e.stateOf = append(e.stateOf, -1)
+	}
+	if e.nStates >= e.maxStates {
+		return 0, false, &LimitError{Explored: e.nStates, Limit: e.maxStates}
+	}
+	id := e.nStates
+	e.nStates++
+	e.stateOf[tid] = int32(id)
+	ci, cj := id>>stateChunkShift, id&stateChunkMask
+	// Pre-worker the tables grow on demand; once workers run they are
+	// frozen at full-bound size (fixTables), so this loop is a no-op and
+	// the slice headers never change under a concurrent reader.
+	for len(e.procTab) <= ci {
+		e.procTab = append(e.procTab, nil)
+		e.slotTab = append(e.slotTab, nil)
+	}
+	if e.procTab[ci] == nil {
+		e.procTab[ci] = new(procChunk)
+		if e.workersStarted {
+			e.slotTab[ci] = new(slotChunk)
+		}
+	}
+	e.procTab[ci][cj] = p
+	e.l.Procs = append(e.l.Procs, p)
+	e.l.Edges = append(e.l.Edges, nil)
+	e.ltsBytes += ltsStateOverhead
+	return id, true, nil
+}
 
-// ltsEdgeBytes is the resident cost of one Edge.
-const ltsEdgeBytes = 16
+// eventID interns an event label: one integer map hit on the hot path,
+// with the canonical string rendered only at first sight (for the
+// public EventID lookup API). The rendered table is part of the
+// resident-size estimate.
+func (e *exploration) eventID(ev csp.Event) int {
+	switch {
+	case ev.IsTau():
+		return TauID
+	case ev.IsTick():
+		return TickID
+	}
+	tid := e.in.Event(ev)
+	if id, ok := e.eventOf[tid]; ok {
+		return id
+	}
+	id := len(e.l.Events)
+	e.l.Events = append(e.l.Events, ev)
+	k := ev.String()
+	e.l.eventIDs[k] = id
+	e.eventOf[tid] = id
+	e.ltsBytes += int64(len(k)) + eventEntryOverhead
+	return id
+}
+
+// proc reads a published state's term (worker-safe: the chunk pointer
+// was written before the state was published).
+func (e *exploration) proc(id int) csp.Process {
+	return e.procTab[id>>stateChunkShift][id&stateChunkMask]
+}
+
+func (e *exploration) slot(id int) *resSlot {
+	return &e.slotTab[id>>stateChunkShift][id&stateChunkMask]
+}
+
+// publish makes every state added so far claimable by workers, starting
+// the pool lazily once the backlog is worth it.
+func (e *exploration) publish() {
+	n := int64(e.nStates)
+	if n == e.published.Load() {
+		return
+	}
+	e.published.Store(n)
+	if !e.workersStarted && e.workers > 1 && n-e.next.Load() >= parallelLevelThreshold {
+		e.workersStarted = true
+		e.fixTables()
+		for w := 0; w < e.workers-1; w++ {
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						// A panic here is an engine bug, not a semantics
+						// failure (those are recovered per evaluation);
+						// surface it instead of deadlocking the merge.
+						e.mu.Lock()
+						if e.engineErr == nil {
+							e.engineErr = fmt.Errorf("lts: internal: worker panic: %v", r)
+						}
+						e.mu.Unlock()
+						e.aborted.Store(true)
+						e.wake()
+					}
+				}()
+				e.runWorker()
+			}()
+		}
+	}
+	e.wake()
+}
+
+// fixTables freezes the chunk tables at their full-bound size before
+// the first worker launches: workers index them concurrently with the
+// merger adding states, so from here on the slice headers must never
+// change — only nil chunk-pointer cells get filled in, and each chunk
+// pointer is written before the states it holds are published. Result
+// slots are materialised for the existing chunks here too; the
+// sequential path never allocates any.
+func (e *exploration) fixTables() {
+	maxChunks := (e.maxStates + stateChunkSize - 1) / stateChunkSize
+	pt := make([]*procChunk, maxChunks)
+	copy(pt, e.procTab)
+	st := make([]*slotChunk, maxChunks)
+	for i, pc := range pt {
+		if pc != nil {
+			st[i] = new(slotChunk)
+		}
+	}
+	e.procTab, e.slotTab = pt, st
+}
+
+// wake wakes parked goroutines, but only pays for the lock when someone
+// is actually parked. The waiter increments waiters before re-checking
+// its predicate, so a state change made before this load can never be
+// missed.
+func (e *exploration) wake() {
+	if e.waiters.Load() > 0 {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// runWorker claims contiguous chunks of unevaluated states and fills
+// their result slots until the exploration completes or aborts.
+func (e *exploration) runWorker() {
+	for {
+		lo, hi := e.claim()
+		if lo < 0 {
+			return
+		}
+		e.evalRange(lo, hi)
+		e.wake()
+	}
+}
+
+// claim grabs the next chunk of published, unclaimed states. The chunk
+// size adapts to the backlog (1/(4·workers) of it, at most 16) so a
+// deep frontier amortises cursor contention while a shallow one still
+// spreads across the pool. Returns lo=-1 when the exploration is over.
+func (e *exploration) claim() (int, int) {
+	for {
+		n := e.next.Load()
+		p := e.published.Load()
+		if n < p {
+			c := (p - n + int64(4*e.workers) - 1) / int64(4*e.workers)
+			if c < 1 {
+				c = 1
+			} else if c > 16 {
+				c = 16
+			}
+			hi := n + c
+			if hi > p {
+				hi = p
+			}
+			if e.next.CompareAndSwap(n, hi) {
+				return int(n), int(hi)
+			}
+			continue
+		}
+		if e.done.Load() || e.aborted.Load() {
+			return -1, -1
+		}
+		e.mu.Lock()
+		e.waiters.Add(1)
+		for e.next.Load() >= e.published.Load() && !e.done.Load() && !e.aborted.Load() {
+			e.cond.Wait()
+		}
+		e.waiters.Add(-1)
+		e.mu.Unlock()
+	}
+}
+
+// evalRange fills the result slots of a claimed range. A claimed slot
+// is always filled — with evaluated transitions, an evaluation error,
+// or errStopped when a stop condition has fired — never abandoned, so
+// the merge can rely on every claimed slot becoming ready and the
+// lowest-index failure stays the deterministic one a sequential run
+// would report. The range never exceeds the claim chunk cap, which
+// bounds post-abort work.
+func (e *exploration) evalRange(lo, hi int) {
+	stopEnabled := e.stop.enabled()
+	for i := lo; i < hi; i++ {
+		s := e.slot(i)
+		if stopEnabled && e.stop.fired() {
+			s.err = errStopped
+			s.ready.Store(true)
+			e.aborted.Store(true)
+			continue
+		}
+		trs, err := safeTransitions(e.src, e.proc(i))
+		if err != nil {
+			s.err = err
+			e.aborted.Store(true)
+		} else {
+			s.trs = trs
+		}
+		s.ready.Store(true)
+	}
+}
+
+// safeTransitions evaluates one state's transitions, converting a panic
+// in the operational semantics into an ordinary error — a long-lived
+// server must survive a malformed term that a batch CLI would crash on.
+// The key render on the error path is the only place exploration still
+// builds a canonical string.
+func safeTransitions(src transitionSource, p csp.Process) (trs []csp.Transition, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			trs = nil
+			err = fmt.Errorf("state %q: panic during transition evaluation: %v", p.Key(), r)
+		}
+	}()
+	trs, err = src.Transitions(p)
+	if err != nil {
+		return nil, fmt.Errorf("state %q: %w", p.Key(), err)
+	}
+	return trs, nil
+}
+
+// awaitSlot returns state id's result slot once it is ready, evaluating
+// the state itself when no worker has claimed it (the merger steals
+// work rather than idling — this is also the entire evaluation path of
+// a sequential exploration). All slots below id are merged and
+// therefore claimed, so the claim cursor is exactly at id when the slot
+// is unclaimed.
+func (e *exploration) awaitSlot(id int) (*resSlot, error) {
+	if !e.workersStarted {
+		// Sequential fast path: no worker exists, so no slot was or will
+		// be filled for id — evaluate in place into the reusable slot,
+		// keeping the claim cursor in step so a worker pool launched
+		// later starts claiming right after id. The stop probe and the
+		// evaluation are exactly the worker path's, so the result — and
+		// any error — is byte-identical to a parallel run's.
+		e.next.Store(int64(id + 1))
+		s := &e.seqSlot
+		s.trs, s.err = nil, nil
+		if e.stop.enabled() && e.stop.fired() {
+			s.err = errStopped
+		} else {
+			s.trs, s.err = safeTransitions(e.src, e.proc(id))
+		}
+		return s, nil
+	}
+	s := e.slot(id)
+	for !s.ready.Load() {
+		if e.next.CompareAndSwap(int64(id), int64(id+1)) {
+			e.evalRange(id, id+1)
+			break
+		}
+		e.mu.Lock()
+		e.waiters.Add(1)
+		for !s.ready.Load() && e.engineErr == nil {
+			e.cond.Wait()
+		}
+		e.waiters.Add(-1)
+		err := e.engineErr
+		e.mu.Unlock()
+		if err != nil && !s.ready.Load() {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// shutdown terminates the worker pool and waits it out, so no goroutine
+// outlives the Explore call that spawned it.
+func (e *exploration) shutdown() {
+	e.done.Store(true)
+	e.aborted.Store(true)
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
 
 // stopper bundles the two cooperative stop conditions of an exploration
 // — the wall-clock budget and the cancellation context — so every loop
 // probes them identically. check is cheap relative to a transition
-// evaluation (one time.Since plus one atomic context poll), so the
-// exploration loops probe it per expanded state: a deadline or cancel
-// can overshoot by at most one slow state, never a whole BFS level.
+// evaluation (one time.Since plus one atomic context poll), so workers
+// probe it per evaluated state: a deadline or cancel can overshoot by
+// at most one slow state, never a whole BFS level.
 type stopper struct {
 	ctx    context.Context
 	maxDur time.Duration
@@ -398,6 +848,15 @@ type stopper struct {
 
 // enabled reports whether any stop condition is configured.
 func (s *stopper) enabled() bool { return s.maxDur > 0 || s.ctx != nil }
+
+// fired reports whether a stop condition has fired. Both conditions are
+// sticky: once fired, every later probe (and check) observes them too.
+func (s *stopper) fired() bool {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		return true
+	}
+	return s.maxDur > 0 && time.Since(s.start) > s.maxDur
+}
 
 // check returns the typed stop error if a condition has fired, with
 // explored recorded as the partial exploration size.
@@ -411,97 +870,6 @@ func (s *stopper) check(explored int) error {
 		return &DeadlineError{Explored: explored, Limit: s.maxDur}
 	}
 	return nil
-}
-
-// expandLevel evaluates the transition lists of one BFS level,
-// concurrently when the level and worker count warrant it. Results are
-// slotted by level index, and on error the lowest-index failure is
-// returned — exactly the state a sequential exploration would have
-// failed on — so parallel runs report identical errors. Stop conditions
-// (deadline, cancellation) are probed before every evaluation on both
-// the sequential and the parallel path, and a panicking transition
-// evaluation in a worker goroutine is recovered into an ordinary error
-// instead of killing the process — a long-lived server must survive a
-// malformed term that a batch CLI would crash on.
-func expandLevel(sem *csp.Semantics, l *LTS, level []int, workers int, stop *stopper) ([][]csp.Transition, error) {
-	out := make([][]csp.Transition, len(level))
-	if workers > len(level) {
-		workers = len(level)
-	}
-	if workers <= 1 || len(level) < parallelLevelThreshold {
-		checked := stop.enabled()
-		for i, id := range level {
-			if checked {
-				if err := stop.check(len(l.Keys)); err != nil {
-					return nil, err
-				}
-			}
-			trs, err := sem.Transitions(l.Procs[id])
-			if err != nil {
-				return nil, fmt.Errorf("state %q: %w", l.Keys[id], err)
-			}
-			out[i] = trs
-		}
-		return out, nil
-	}
-	errs := make([]error, len(level))
-	var next atomic.Int64
-	var abort atomic.Bool
-	var wg sync.WaitGroup
-	checked := stop.enabled()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			claimed := -1
-			defer func() {
-				if r := recover(); r != nil {
-					if claimed >= 0 {
-						errs[claimed] = fmt.Errorf("state %q: panic during transition evaluation: %v",
-							l.Keys[level[claimed]], r)
-					}
-					abort.Store(true)
-				}
-			}()
-			for {
-				if abort.Load() {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= len(level) {
-					return
-				}
-				claimed = i
-				if checked {
-					if err := stop.check(len(l.Keys)); err != nil {
-						abort.Store(true)
-						return
-					}
-				}
-				id := level[i]
-				trs, err := sem.Transitions(l.Procs[id])
-				if err != nil {
-					errs[i] = fmt.Errorf("state %q: %w", l.Keys[id], err)
-					abort.Store(true)
-					return
-				}
-				out[i] = trs
-			}
-		}()
-	}
-	wg.Wait()
-	// Indices are claimed monotonically, so any slot skipped after an
-	// abort lies beyond every evaluated one: the first recorded error is
-	// the error of the lowest failing state.
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	if err := stop.check(len(l.Keys)); err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
 func (l *LTS) eventID(e csp.Event) int {
@@ -538,7 +906,7 @@ func (l *LTS) EventID(e csp.Event) (int, bool) {
 }
 
 // NumStates returns the number of explored states.
-func (l *LTS) NumStates() int { return len(l.Keys) }
+func (l *LTS) NumStates() int { return len(l.Procs) }
 
 // NumTransitions returns the total number of edges.
 func (l *LTS) NumTransitions() int {
@@ -610,12 +978,12 @@ func (l *LTS) HasTauCycle() (bool, int) {
 		grey  = 1
 		black = 2
 	)
-	colour := make([]byte, len(l.Keys))
+	colour := make([]byte, len(l.Procs))
 	type frame struct {
 		state int
 		next  int
 	}
-	for start := range l.Keys {
+	for start := range l.Procs {
 		if colour[start] != white {
 			continue
 		}

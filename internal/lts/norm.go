@@ -2,8 +2,6 @@ package lts
 
 import (
 	"sort"
-	"strconv"
-	"strings"
 )
 
 // NormNode is one state of a normalised (deterministic) LTS: a
@@ -29,20 +27,52 @@ type Normalized struct {
 	Nodes []NormNode
 }
 
+// subsetDigest hashes a sorted state subset with FNV-64a over the raw
+// int values (little-endian, 8 bytes each). The subset interner buckets
+// by this digest and verifies membership by comparing the actual
+// slices, so a 64-bit collision costs one extra comparison, never a
+// wrong node identity. This replaces the old comma-joined decimal
+// string keys, which allocated and re-rendered every subset probe.
+func subsetDigest(states []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range states {
+		v := uint64(x)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= 1099511628211
+			v >>= 8
+		}
+	}
+	return h
+}
+
+func sameSubset(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Normalize performs tau-closure plus subset construction on the LTS,
 // producing the deterministic structure refinement checking runs
 // against.
 func Normalize(l *LTS) *Normalized {
 	n := &Normalized{L: l}
-	index := map[string]int{}
-	var intern func(states []int) int
-	intern = func(states []int) int {
-		key := subsetKey(states)
-		if id, ok := index[key]; ok {
-			return id
+	index := map[uint64][]int{} // digest -> candidate node IDs
+	intern := func(states []int) int {
+		d := subsetDigest(states)
+		for _, id := range index[d] {
+			if sameSubset(n.Nodes[id].States, states) {
+				return id
+			}
 		}
 		id := len(n.Nodes)
-		index[key] = id
+		index[d] = append(index[d], id)
 		n.Nodes = append(n.Nodes, NormNode{States: states, Succ: map[int]int{}})
 		return id
 	}
@@ -118,12 +148,18 @@ func minAcceptances(l *LTS, states []int) [][]int {
 		accs = append(accs, l.Initials(s))
 	}
 	// Minimise: drop any acceptance that is a strict superset of another,
-	// and deduplicate.
+	// and deduplicate. Sorted shortest-first (ties broken by element
+	// order) so subsets are kept before their supersets arrive.
 	sort.Slice(accs, func(i, j int) bool {
 		if len(accs[i]) != len(accs[j]) {
 			return len(accs[i]) < len(accs[j])
 		}
-		return intsKey(accs[i]) < intsKey(accs[j])
+		for k := range accs[i] {
+			if accs[i][k] != accs[j][k] {
+				return accs[i][k] < accs[j][k]
+			}
+		}
+		return false
 	})
 	var out [][]int
 	for _, a := range accs {
@@ -152,17 +188,4 @@ func isSubset(a, b []int) bool {
 		}
 	}
 	return true
-}
-
-func subsetKey(states []int) string { return intsKey(states) }
-
-func intsKey(xs []int) string {
-	var sb strings.Builder
-	for i, x := range xs {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(strconv.Itoa(x))
-	}
-	return sb.String()
 }

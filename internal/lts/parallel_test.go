@@ -10,11 +10,13 @@ package lts_test
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/csp"
 	"repro/internal/lts"
 	"repro/internal/ota"
+	"repro/internal/refine"
 )
 
 // corpusSystem names one built System of the OTA corpus.
@@ -51,12 +53,12 @@ func requireSameLTS(t *testing.T, label string, a, b *lts.LTS) {
 	if a.Init != b.Init {
 		t.Fatalf("%s: init %d vs %d", label, a.Init, b.Init)
 	}
-	if len(a.Keys) != len(b.Keys) {
-		t.Fatalf("%s: %d states vs %d", label, len(a.Keys), len(b.Keys))
+	if a.NumStates() != b.NumStates() {
+		t.Fatalf("%s: %d states vs %d", label, a.NumStates(), b.NumStates())
 	}
-	for i := range a.Keys {
-		if a.Keys[i] != b.Keys[i] {
-			t.Fatalf("%s: state %d key %q vs %q", label, i, a.Keys[i], b.Keys[i])
+	for i := 0; i < a.NumStates(); i++ {
+		if a.Key(i) != b.Key(i) {
+			t.Fatalf("%s: state %d key %q vs %q", label, i, a.Key(i), b.Key(i))
 		}
 	}
 	if len(a.Events) != len(b.Events) {
@@ -97,12 +99,74 @@ func TestParallelExploreMatchesSequentialOTACorpus(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: sequential explore %s: %v", cs.name, key, err)
 			}
-			for _, workers := range []int{2, 4, 8} {
+			for _, workers := range []int{0, 2, 4, 8} {
 				par, err := lts.Explore(sem, p, lts.Options{Workers: workers})
 				if err != nil {
 					t.Fatalf("%s: %d-worker explore %s: %v", cs.name, workers, key, err)
 				}
 				requireSameLTS(t, fmt.Sprintf("%s/%s workers=%d", cs.name, key, workers), seq, par)
+			}
+		}
+	}
+}
+
+// TestInternedEngineMatchesStringKeyedReference is the representation
+// safety net of the interned-term engine: across the whole OTA corpus,
+// the production engine (at several worker counts) must produce exactly
+// the LTS the frozen string-keyed reference engine produces — same
+// state numbering, same keys, same event table, same edges. Any
+// divergence means interned structural identity no longer coincides
+// with canonical-key identity.
+func TestInternedEngineMatchesStringKeyedReference(t *testing.T) {
+	for _, cs := range otaCorpus(t) {
+		m := cs.sys.Model
+		sem := csp.NewSemantics(m.Env, m.Ctx)
+		terms := map[string]csp.Process{}
+		for _, a := range m.Asserts {
+			if a.Spec != nil {
+				terms[a.Spec.Key()] = a.Spec
+			}
+			terms[a.Impl.Key()] = a.Impl
+		}
+		for key, p := range terms {
+			ref, err := lts.ExploreReference(sem, p, 0)
+			if err != nil {
+				t.Fatalf("%s: reference explore %s: %v", cs.name, key, err)
+			}
+			for _, workers := range []int{0, 1, 2, 4} {
+				got, err := lts.Explore(sem, p, lts.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s: interned explore %s (workers=%d): %v", cs.name, key, workers, err)
+				}
+				requireSameLTS(t, fmt.Sprintf("%s/%s ref-vs-workers=%d", cs.name, key, workers), ref, got)
+			}
+		}
+	}
+}
+
+// TestRefineVerdictsIdenticalAcrossWorkers pins that full refinement
+// verdicts — outcome, counterexample traces, reasons — are identical at
+// any worker count under the interned engine.
+func TestRefineVerdictsIdenticalAcrossWorkers(t *testing.T) {
+	for _, cs := range otaCorpus(t) {
+		m := cs.sys.Model
+		for ai, a := range m.Asserts {
+			if a.Spec == nil {
+				continue
+			}
+			base := refine.NewChecker(m.Env, m.Ctx)
+			base.Workers = 1
+			want, wantErr := base.RefinesTraces(a.Spec, a.Impl)
+			for _, workers := range []int{0, 2, 4} {
+				c := refine.NewChecker(m.Env, m.Ctx)
+				c.Workers = workers
+				got, gotErr := c.RefinesTraces(a.Spec, a.Impl)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s assert %d workers=%d: err %v vs %v", cs.name, ai, workers, gotErr, wantErr)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s assert %d workers=%d: verdict %+v vs %+v", cs.name, ai, workers, got, want)
+				}
 			}
 		}
 	}

@@ -296,7 +296,7 @@ func (c *Checker) Refines(spec, impl csp.Process, model Model) (res Result, err 
 			return Result{
 				Holds:          false,
 				Counterexample: shortestTraceTo(implLTS, witness),
-				Reason:         "implementation diverges: tau cycle at " + implLTS.Keys[witness],
+				Reason:         "implementation diverges: tau cycle at " + implLTS.Key(witness),
 				ImplStates:     implLTS.NumStates(),
 			}, nil
 		}
@@ -309,7 +309,7 @@ func (c *Checker) Refines(spec, impl csp.Process, model Model) (res Result, err 
 		if diverges, witness := specLTS.HasTauCycle(); diverges {
 			return Result{}, fmt.Errorf(
 				"specification diverges (tau cycle at %s); stable-failures refinement requires a divergence-free specification",
-				specLTS.Keys[witness])
+				specLTS.Key(witness))
 		}
 	}
 	phase = span.Child("refine.normalize")
@@ -542,11 +542,11 @@ func (c *Checker) DeadlockFree(p csp.Process) (res Result, err error) {
 	for len(queue) > 0 {
 		s := queue[0]
 		queue = queue[1:]
-		if len(l.Edges[s]) == 0 && l.Keys[s] != "Ω" {
+		if _, omega := l.Procs[s].(csp.OmegaProc); len(l.Edges[s]) == 0 && !omega {
 			return Result{
 				Holds:          false,
 				Counterexample: rebuildLinear(l, parents, s),
-				Reason:         "deadlocked state reached: " + l.Keys[s],
+				Reason:         "deadlocked state reached: " + l.Key(s),
 				ImplStates:     l.NumStates(),
 			}, nil
 		}
@@ -581,7 +581,7 @@ func (c *Checker) DivergenceFree(p csp.Process) (res Result, err error) {
 		return Result{
 			Holds:          false,
 			Counterexample: shortestTraceTo(l, witness),
-			Reason:         "divergent state (tau cycle) reachable: " + l.Keys[witness],
+			Reason:         "divergent state (tau cycle) reachable: " + l.Key(witness),
 			ImplStates:     l.NumStates(),
 		}, nil
 	}

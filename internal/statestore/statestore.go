@@ -5,32 +5,40 @@
 // activates past a configurable soft memory watermark, letting a single
 // check's visited set exceed RAM instead of dying to the OOM killer.
 //
+// Keys are opaque byte strings — the interned-term node encodings
+// csp.Interner produces — paired with their precomputed FNV-64a hash so
+// the store never rehashes. A Store satisfies csp.InternTable, which is
+// how exploration's visited set and the term interner share one
+// spillable table.
+//
 // The store is deliberately not thread-safe: lts.Explore interns states
-// in its sequential level-merge loop (that sequencing is what makes the
+// in its sequential merge loop (that sequencing is what makes the
 // LTS byte-identical at any worker count), so the store sees exactly one
 // goroutine and synchronisation would be pure overhead.
 package statestore
 
 import (
+	"bytes"
 	"fmt"
-	"hash/fnv"
 	"os"
 	"path/filepath"
 
 	"repro/internal/obs"
 )
 
-// Store is a visited-state index: a map from canonical state key to the
-// dense state ID the caller assigned at first sight. Implementations
-// trade memory for disk; none of them influence ID assignment, so
-// exploration results are identical whichever store backs them.
+// Store is an interning index: a map from a key's bytes to the dense ID
+// the caller assigned at first sight. The hash argument is always the
+// FNV-64a of key, computed once by the caller. Implementations trade
+// memory for disk; none of them influence ID assignment, so exploration
+// results are identical whichever store backs them.
 type Store interface {
 	// Lookup returns the ID recorded for key, or ok=false if the key has
 	// never been inserted.
-	Lookup(key string) (id int, ok bool)
+	Lookup(hash uint64, key []byte) (id int, ok bool)
 	// Insert records key with the given ID. The caller guarantees the key
-	// is not already present (it looked it up first).
-	Insert(key string, id int)
+	// is not already present (it looked it up first). The store copies
+	// key; the caller may reuse the slice.
+	Insert(hash uint64, key []byte, id int)
 	// Len returns the number of entries.
 	Len() int
 	// Bytes estimates the resident (in-memory) size of the store,
@@ -59,15 +67,16 @@ func NewMem() *MemStore {
 // and amortised bucket overhead.
 const memEntryOverhead = 48
 
-// Lookup implements Store.
-func (s *MemStore) Lookup(key string) (int, bool) {
-	id, ok := s.m[key]
+// Lookup implements Store. The map hash is Go's own; the FNV hash is
+// unused here.
+func (s *MemStore) Lookup(_ uint64, key []byte) (int, bool) {
+	id, ok := s.m[string(key)] // no allocation: the compiler optimises this lookup
 	return id, ok
 }
 
 // Insert implements Store.
-func (s *MemStore) Insert(key string, id int) {
-	s.m[key] = id
+func (s *MemStore) Insert(_ uint64, key []byte, id int) {
+	s.m[string(key)] = id
 	s.bytes += int64(len(key)) + memEntryOverhead
 }
 
@@ -106,10 +115,23 @@ const DefaultShards = 16
 // flush; the buffer bounds resident overhead at Shards*shardBufSize.
 const shardBufSize = 64 << 10
 
+// fnv64a matches the hash csp.Interner precomputes; the spill store
+// only needs it when migrating pre-spill map entries whose hashes were
+// not retained.
+func fnv64a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
 // loc records where a spilled key lives: shard file, byte offset, key
 // length, and the state ID it maps to. ~32 bytes per visited state
-// versus the full key string (state keys of ParProc-heavy compositions
-// run to hundreds of bytes), which is the whole point of spilling.
+// versus the full key bytes (term-node keys of ParProc-heavy
+// compositions run to dozens of bytes, legacy string keys to hundreds),
+// which is the whole point of spilling.
 type loc struct {
 	off   int64
 	id    int64
@@ -117,11 +139,11 @@ type loc struct {
 	shard int32
 }
 
-// SpillStore is a visited-state index that starts as an in-memory map
-// and, past the soft watermark, migrates keys to hash-sharded
-// append-only files, keeping only an FNV-64 → location index in memory.
-// Lookups verify candidate entries by reading the key bytes back, so a
-// 64-bit hash collision can never alias two distinct states — the
+// SpillStore is an interning index that starts as an in-memory map and,
+// past the soft watermark, migrates keys to hash-sharded append-only
+// files, keeping only an FNV-64 → location index in memory. Lookups
+// verify candidate entries by reading the key bytes back, so a 64-bit
+// hash collision can never alias two distinct states — the
 // byte-identical exploration guarantee survives spilling.
 type SpillStore struct {
 	cfg SpillConfig
@@ -166,19 +188,12 @@ func NewSpill(cfg SpillConfig) *SpillStore {
 	}
 }
 
-func hashKey(key string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return h.Sum64()
-}
-
 // Lookup implements Store.
-func (s *SpillStore) Lookup(key string) (int, bool) {
+func (s *SpillStore) Lookup(hash uint64, key []byte) (int, bool) {
 	if !s.spilled {
-		return s.mem.Lookup(key)
+		return s.mem.Lookup(hash, key)
 	}
-	h := hashKey(key)
-	for _, l := range s.index[h] {
+	for _, l := range s.index[hash] {
 		if int(l.klen) != len(key) {
 			continue
 		}
@@ -189,7 +204,7 @@ func (s *SpillStore) Lookup(key string) (int, bool) {
 			// (duplicate states, wrong verdicts), so fail loudly instead.
 			panic(fmt.Sprintf("statestore: spill read failed: %v", err))
 		}
-		if got == key {
+		if bytes.Equal(got, key) {
 			return int(l.id), true
 		}
 	}
@@ -197,9 +212,9 @@ func (s *SpillStore) Lookup(key string) (int, bool) {
 }
 
 // Insert implements Store.
-func (s *SpillStore) Insert(key string, id int) {
+func (s *SpillStore) Insert(hash uint64, key []byte, id int) {
 	if !s.spilled {
-		s.mem.Insert(key, id)
+		s.mem.Insert(hash, key, id)
 		if s.cfg.SoftMemBytes >= 0 && s.mem.Bytes() > s.cfg.SoftMemBytes {
 			if err := s.activate(); err != nil {
 				// Spilling is a capacity upgrade; if the disk is unusable the
@@ -210,7 +225,7 @@ func (s *SpillStore) Insert(key string, id int) {
 		}
 		return
 	}
-	s.put(key, id)
+	s.put(hash, key, id)
 }
 
 // activate migrates every in-memory entry to shard files and switches
@@ -244,22 +259,22 @@ func (s *SpillStore) activate() error {
 	s.spilled = true
 	s.activC.Inc()
 	for k, id := range s.mem.m {
-		s.put(k, id)
+		kb := []byte(k)
+		s.put(fnv64a(kb), kb, id)
 	}
 	s.mem = nil
 	return nil
 }
 
 // put appends the key to its shard and records its location.
-func (s *SpillStore) put(key string, id int) {
-	h := hashKey(key)
-	shard := int32(h % uint64(s.cfg.Shards))
+func (s *SpillStore) put(hash uint64, key []byte, id int) {
+	shard := int32(hash % uint64(s.cfg.Shards))
 	off := s.flushed[shard] + int64(len(s.bufs[shard]))
 	s.bufs[shard] = append(s.bufs[shard], key...)
 	if len(s.bufs[shard]) >= shardBufSize {
 		s.flush(shard)
 	}
-	s.index[h] = append(s.index[h], loc{off: off, id: int64(id), klen: int32(len(key)), shard: shard})
+	s.index[hash] = append(s.index[hash], loc{off: off, id: int64(id), klen: int32(len(key)), shard: shard})
 	s.count++
 	s.idxBytes += spillEntryOverhead
 	s.keysC.Inc()
@@ -281,17 +296,17 @@ func (s *SpillStore) flush(shard int32) {
 
 // readKey reads a spilled key back, serving not-yet-flushed bytes from
 // the shard's write buffer so lookups don't force flushes.
-func (s *SpillStore) readKey(l loc) (string, error) {
+func (s *SpillStore) readKey(l loc) ([]byte, error) {
 	if l.off >= s.flushed[l.shard] {
 		start := l.off - s.flushed[l.shard]
-		return string(s.bufs[l.shard][start : start+int64(l.klen)]), nil
+		return s.bufs[l.shard][start : start+int64(l.klen)], nil
 	}
 	s.readsC.Inc()
 	buf := make([]byte, l.klen)
 	if _, err := s.files[l.shard].ReadAt(buf, l.off); err != nil {
-		return "", err
+		return nil, err
 	}
-	return string(buf), nil
+	return buf, nil
 }
 
 // Len implements Store.
