@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quick keeps test campaigns fast: fewer random walks per round.
+var quick = []string{"-walks", "16", "-depth", "4"}
+
+func TestByteIdenticalReports(t *testing.T) {
+	args := append([]string{"-seed", "7"}, quick...)
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string{}, args...), "-workers", "3"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("worker count changed the text report")
+	}
+
+	jsonArgs := append(args, "-format", "json")
+	a.Reset()
+	b.Reset()
+	if err := run(jsonArgs, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(jsonArgs, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different JSON reports")
+	}
+	var decoded struct {
+		Seed     float64 `json:"seed"`
+		Variants []struct {
+			Variant               string          `json:"variant"`
+			EquivalentToExtracted bool            `json:"equivalentToExtracted"`
+			Witness               json.RawMessage `json:"witness"`
+			Error                 string          `json:"error"`
+		} `json:"variants"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON report does not parse: %v", err)
+	}
+	if decoded.Seed != 7 {
+		t.Errorf("seed = %v, want 7", decoded.Seed)
+	}
+	for _, v := range decoded.Variants {
+		if v.Error != "" {
+			t.Fatalf("%s: %s", v.Variant, v.Error)
+		}
+		wantEq := v.Variant != "flawed"
+		if v.EquivalentToExtracted != wantEq {
+			t.Errorf("%s: equivalentToExtracted = %v, want %v", v.Variant, v.EquivalentToExtracted, wantEq)
+		}
+		if (v.Witness != nil) != (v.Variant == "flawed") {
+			t.Errorf("%s: witness presence wrong", v.Variant)
+		}
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append([]string{"-seed", "3", "-variants", "flawed", "-format", "json"}, quick...), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Variants []struct {
+			Witness json.RawMessage `json:"witness"`
+		} `json:"variants"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Variants) != 1 || rep.Variants[0].Witness == nil {
+		t.Fatalf("no witness in report: %s", out.String())
+	}
+	path := filepath.Join(t.TempDir(), "witness.json")
+	if err := os.WriteFile(path, rep.Variants[0].Witness, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var text bytes.Buffer
+	if err := run([]string{"-replay", path}, &text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "witness reproduced") {
+		t.Fatalf("witness did not reproduce:\n%s", text.String())
+	}
+
+	var js bytes.Buffer
+	if err := run([]string{"-replay", path, "-format", "json"}, &js); err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Reproduced bool `json:"reproduced"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reproduced {
+		t.Fatalf("JSON replay not reproduced:\n%s", js.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "xml"},
+		{"-profile", "chaos"},
+		{"-variants", "naive,bogus"},
+		{"-depth", "0"},
+		{"-walks", "0"},
+		{"-workers", "-1"},
+		{"-deadline-ms", "0"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+func TestProfileFlagRuns(t *testing.T) {
+	var out bytes.Buffer
+	args := append([]string{"-seed", "5", "-variants", "naive", "-profile", "drop", "-max-rounds", "4", "-format", "json"}, quick...)
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Profile  string `json:"profile"`
+		Variants []struct {
+			Variant string `json:"variant"`
+		} `json:"variants"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Profile != "drop" {
+		t.Fatalf("profile = %q, want drop", rep.Profile)
+	}
+	if len(rep.Variants) != 1 || rep.Variants[0].Variant != "naive" {
+		t.Fatalf("variant filter not honoured: %s", out.String())
+	}
+}

@@ -294,8 +294,14 @@ func (n *Node) PressKey(key string) error {
 }
 
 // StopMeasurement runs the node's `on stopMeasurement` procedures, as
-// CANoe does when a measurement ends.
+// CANoe does when a measurement ends. A node that already latched a
+// runtime error is dead — its handlers do not run (they would execute
+// on a faulted interpreter state and could mask the original fault) and
+// the latched error is returned unchanged.
 func (n *Node) StopMeasurement() error {
+	if n.firstErr != nil {
+		return n.firstErr
+	}
 	for _, h := range n.prog.HandlersOf(capl.OnStopMeasurement) {
 		if err := n.runHandler(h, nil); err != nil {
 			n.setErr(err)

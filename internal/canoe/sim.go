@@ -19,7 +19,9 @@ type Simulation struct {
 	Bus   *canbus.Bus
 	Nodes []*Node
 
-	trace []TimedFrame
+	trace   []TimedFrame
+	stopped bool
+	stopErr error
 }
 
 // NewSimulation creates a simulation over a fresh bus.
@@ -112,11 +114,25 @@ func (s *Simulation) Node(name string) (*Node, error) {
 
 // Stop ends the measurement: every node's `on stopMeasurement`
 // procedures run, then the first node error (if any) is reported.
+//
+// Stop is idempotent — the first call latches its result and later
+// calls return it without re-running any handler, so a measurement
+// cannot double-emit frames or double-fault when stopped twice. A node
+// that already latched a runtime error keeps it: its stop handlers are
+// skipped (CANoe kills a node on a runtime error) rather than run on a
+// faulted interpreter state, and every healthy node's handlers still
+// run even when an earlier node's stop handler fails — learner-style
+// batches of thousands of short measurements rely on both edges.
 func (s *Simulation) Stop() error {
-	for _, n := range s.Nodes {
-		if err := n.StopMeasurement(); err != nil {
-			return err
-		}
+	if s.stopped {
+		return s.stopErr
 	}
-	return s.Err()
+	s.stopped = true
+	for _, n := range s.Nodes {
+		// StopMeasurement skips handlers on a faulted node; keep going
+		// so one bad node cannot leak another node's cleanup.
+		_ = n.StopMeasurement()
+	}
+	s.stopErr = s.Err()
+	return s.stopErr
 }

@@ -1,0 +1,131 @@
+package learn
+
+import (
+	"bytes"
+	"testing"
+)
+
+func campaignConfig(seed int64, workers int) CampaignConfig {
+	// Reduced walk count keeps the corpus campaign fast in tests; the
+	// committed learncheck baseline runs the full defaults.
+	return CampaignConfig{Seed: seed, Workers: workers, Walks: 16, Depth: 4}
+}
+
+// TestCampaignOTACorpus is the PR's acceptance scenario: the naive and
+// hardened gateways learn automata trace-equivalent to their extracted
+// models, while the flawed gateway diverges from the correct reference
+// with a shrunk, replayable witness.
+func TestCampaignOTACorpus(t *testing.T) {
+	rep, err := Run(campaignConfig(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Variants) != 3 {
+		t.Fatalf("got %d variant reports, want 3", len(rep.Variants))
+	}
+	byName := map[Variant]VariantReport{}
+	for _, vr := range rep.Variants {
+		if vr.Error != "" {
+			t.Fatalf("%s: %s", vr.Variant, vr.Error)
+		}
+		byName[vr.Variant] = vr
+	}
+
+	for _, v := range []Variant{VariantNaive, VariantHardened} {
+		vr := byName[v]
+		if !vr.EquivalentToExtracted {
+			t.Errorf("%s: learned automaton should be trace-equivalent to the extracted model\n%+v", v, vr.Checks)
+		}
+		if vr.Witness != nil {
+			t.Errorf("%s: unexpected witness %+v", v, vr.Witness)
+		}
+		if !vr.Checks.SpecDiag.Holds || !vr.Checks.SpecUpdate.Holds {
+			t.Errorf("%s: per-protocol specs should hold on the learned automaton: %+v", v, vr.Checks)
+		}
+	}
+
+	fl := byName[VariantFlawed]
+	if fl.EquivalentToExtracted {
+		t.Fatal("flawed: learned automaton should diverge from the correct reference model")
+	}
+	if fl.Witness == nil {
+		t.Fatal("flawed: divergence must carry a witness")
+	}
+	w := fl.Witness
+	if w.ExtractedAccepts == w.LearnedAccepts {
+		t.Fatalf("witness does not witness a disagreement: %+v", w)
+	}
+	// The simulator is ground truth: the learned automaton models the
+	// simulated (flawed) node, so on the witness the simulator must side
+	// with the learner against the reference extraction.
+	if w.SimAccepts != w.LearnedAccepts {
+		t.Fatalf("simulator contradicts the learned automaton on its own behaviour: %+v", w)
+	}
+	if len(w.Trace) == 0 || len(w.Trace) > 2 {
+		// The defect is a one-exchange confusion (reqSw answered by
+		// rptUpd); the shrunk witness must be at most one exchange long.
+		t.Fatalf("witness not shrunk: %v", w.Trace)
+	}
+	// The flawed node violates the diagnosis spec (it never reports
+	// rptSw) one way or another; at minimum the refinement triangle
+	// must have flagged the direction named in the witness.
+	if w.Check != "learnedRefinesExtracted" && w.Check != "extractedRefinesLearned" {
+		t.Fatalf("witness names unknown check %q", w.Check)
+	}
+}
+
+// TestCampaignByteIdenticalAcrossWorkerCounts locks the scenario-pool
+// determinism contract end to end: the rendered campaign report is
+// byte-identical at every worker count.
+func TestCampaignByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{0, 2, 4} {
+		rep, err := Run(campaignConfig(2, workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		blob, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = blob
+			continue
+		}
+		if !bytes.Equal(blob, want) {
+			t.Fatalf("workers=%d report diverged:\n%s\nwant:\n%s", workers, blob, want)
+		}
+	}
+}
+
+// TestCampaignFaultProfileStillDeterministic runs a variant under an
+// aggressive fault profile. A fault-injected teacher need not describe
+// any automaton at all, so the learner may legitimately report
+// non-convergence — but whatever the outcome, the rendered report must
+// be byte-identical at every worker count.
+func TestCampaignFaultProfileStillDeterministic(t *testing.T) {
+	cfg := campaignConfig(3, 0)
+	cfg.Profile = ProfileDuplicate
+	cfg.Variants = []Variant{VariantNaive}
+	cfg.MaxRounds = 4
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := first.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := second.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("fault-profile campaign diverged:\n%s\nvs\n%s", b1, b2)
+	}
+}

@@ -1,0 +1,137 @@
+package learn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/csp"
+)
+
+// seedStride decorrelates per-round equivalence seeds from the master
+// seed (same splitmix64 odd constant the conformance scheduler uses).
+const seedStride = -0x61c8864680b583eb
+
+// equivSuite generates the bounded equivalence-query suite for one
+// round: a W-method-style sweep (every hypothesis state's access word ×
+// all middles up to length 2 × the table's distinguishing suffixes and
+// single events) plus seeded random walks. The suite is a deterministic
+// function of (hypothesis, suffixes, seed, round); workers only decide
+// who evaluates which word, never which words exist.
+func equivSuite(hyp *DFA, suffixes []csp.Trace, seed int64, round, depth, walks int) []csp.Trace {
+	var words []csp.Trace
+	seen := map[string]bool{}
+	add := func(w csp.Trace) {
+		k := w.String()
+		if !seen[k] {
+			seen[k] = true
+			words = append(words, w)
+		}
+	}
+
+	middles := []csp.Trace{{}}
+	for _, a := range hyp.Alpha {
+		middles = append(middles, csp.Trace{a})
+	}
+	for _, a := range hyp.Alpha {
+		for _, b := range hyp.Alpha {
+			middles = append(middles, csp.Trace{a, b})
+		}
+	}
+	var suff []csp.Trace
+	suff = append(suff, suffixes...)
+	for _, a := range hyp.Alpha {
+		suff = append(suff, csp.Trace{a})
+	}
+	for st := 0; st < hyp.States; st++ {
+		for _, m := range middles {
+			for _, e := range suff {
+				add(concat(concat(hyp.Access[st], m), e))
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed + int64(round+1)*seedStride))
+	for i := 0; i < walks; i++ {
+		n := 1 + rng.Intn(depth)
+		w := make(csp.Trace, n)
+		for j := range w {
+			w[j] = hyp.Alpha[rng.Intn(len(hyp.Alpha))]
+		}
+		add(w)
+	}
+	return words
+}
+
+// findCounterexample evaluates the whole suite on a worker pool and
+// returns the lowest-indexed word the teacher and the hypothesis
+// disagree on. Every word is always evaluated (no early exit): the
+// per-round query counts and therefore the report are byte-identical at
+// any worker count, and the returned counterexample is the suite-order
+// minimum regardless of which worker found it first.
+func findCounterexample(hyp *DFA, c *queryCache, words []csp.Trace, workers int) (csp.Trace, bool, error) {
+	type outcome struct {
+		disagree bool
+		err      error
+	}
+	results := make([]outcome, len(words))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(words) {
+		workers = len(words)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(words) {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							results[i] = outcome{err: fmt.Errorf("learn: equivalence query %s panicked: %v", words[i], r)}
+						}
+					}()
+					got, err := c.membership(words[i])
+					if err != nil {
+						results[i] = outcome{err: err}
+						return
+					}
+					if got != hyp.Accepts(words[i]) {
+						results[i] = outcome{disagree: true}
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A tripped query budget masks later outcomes nondeterministically
+	// (which in-flight query hit the limit depends on scheduling), so it
+	// wins over everything; otherwise the first disagreement or error in
+	// suite order decides.
+	for _, r := range results {
+		var qe *QueryBudgetError
+		if errors.As(r.err, &qe) {
+			return nil, false, qe
+		}
+	}
+	for i, r := range results {
+		if r.err != nil {
+			return nil, false, r.err
+		}
+		if r.disagree {
+			return words[i], true, nil
+		}
+	}
+	return nil, false, nil
+}

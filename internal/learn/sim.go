@@ -1,0 +1,272 @@
+package learn
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"sort"
+
+	"repro/internal/canbus"
+	"repro/internal/candb"
+	"repro/internal/canoe"
+	"repro/internal/csp"
+)
+
+// FaultProfile selects the injection behaviour a membership run learns
+// under, mirroring the fault kinds of the PR 1 campaign engine. Every
+// profile is seeded per query word, so a teacher stays a deterministic
+// function of the word — required for the learner to converge on
+// anything at all.
+type FaultProfile string
+
+const (
+	// ProfileNone runs an exact bus.
+	ProfileNone FaultProfile = "none"
+	// ProfileDrop loses ~30% of delivered frames.
+	ProfileDrop FaultProfile = "drop"
+	// ProfileCorrupt flips a payload bit in ~30% of frames (a
+	// CRC-detectable wire error under error confinement).
+	ProfileCorrupt FaultProfile = "corrupt"
+	// ProfileTamper spoofs a low identifier bit in ~30% of frames,
+	// evading CRC detection.
+	ProfileTamper FaultProfile = "tamper"
+	// ProfileDuplicate re-delivers ~30% of frames 200us later.
+	ProfileDuplicate FaultProfile = "duplicate"
+	// ProfileDelay holds ~30% of frames back by 2ms.
+	ProfileDelay FaultProfile = "delay"
+)
+
+// Profiles lists the selectable fault profiles.
+func Profiles() []FaultProfile {
+	return []FaultProfile{ProfileNone, ProfileDrop, ProfileCorrupt, ProfileTamper, ProfileDuplicate, ProfileDelay}
+}
+
+// ParseProfile resolves a -profile flag value.
+func ParseProfile(s string) (FaultProfile, error) {
+	for _, p := range Profiles() {
+		if string(p) == s {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("unknown fault profile %q (want none, drop, corrupt, tamper, duplicate or delay)", s)
+}
+
+// SimTeacherConfig configures a canoe-backed teacher.
+type SimTeacherConfig struct {
+	// NodeName and Source are the CAPL node under learning.
+	NodeName string
+	Source   string
+	// DB is the CAN database shared with the extractor; Rename maps
+	// CtorName(message) to the model constructor (ota.MessageRename).
+	DB     *candb.Database
+	Rename map[string]string
+	// InChannel carries stimuli (messages the database attributes to
+	// InSender); OutChannel carries the node's responses. For the raw
+	// extracted ECU these are "send" and "rec".
+	InChannel  string
+	OutChannel string
+	InSender   string
+	// Seed feeds the per-query fault randomness.
+	Seed int64
+	// Profile selects the injection behaviour (default none).
+	Profile FaultProfile
+	// MaxEventsPerQuery bounds one membership run (default 100_000).
+	MaxEventsPerQuery int
+}
+
+// SimTeacher answers membership queries by running the node under
+// learning on a fresh simulated bus: the word's input events become a
+// stimulus schedule delivered one frame per quiescent bus (matching the
+// translator's synchronous abstraction, where each handler's outputs
+// are emitted atomically per stimulus), the monitor trace is projected
+// through the database onto model events, and the word is a trace of
+// the node iff it is a prefix of the canonical observed trace.
+type SimTeacher struct {
+	cfg      SimTeacherConfig
+	alphabet []csp.Event
+	stimulus map[string]canbus.Frame // input event -> frame to transmit
+	byID     map[uint32]csp.Event    // delivered frame -> model event
+}
+
+// NewSimTeacher builds the alphabet and projection tables from the
+// database. Messages sent by InSender become input events on InChannel
+// with a synthesizable stimulus frame; all others become output events
+// on OutChannel. The alphabet is sorted by event rendering, so it is
+// independent of database declaration order.
+func NewSimTeacher(cfg SimTeacherConfig) (*SimTeacher, error) {
+	if cfg.Profile == "" {
+		cfg.Profile = ProfileNone
+	}
+	if cfg.MaxEventsPerQuery <= 0 {
+		cfg.MaxEventsPerQuery = 100_000
+	}
+	t := &SimTeacher{
+		cfg:      cfg,
+		stimulus: map[string]canbus.Frame{},
+		byID:     map[uint32]csp.Event{},
+	}
+	for _, m := range cfg.DB.Messages {
+		ctor := candb.CtorName(m.Name)
+		if renamed, ok := cfg.Rename[ctor]; ok {
+			ctor = renamed
+		}
+		ch := cfg.OutChannel
+		if m.Sender == cfg.InSender {
+			ch = cfg.InChannel
+		}
+		ev := csp.Event{Chan: ch, Args: []csp.Value{csp.Sym(ctor)}}
+		if _, dup := t.byID[m.ID]; dup {
+			return nil, fmt.Errorf("learn: duplicate identifier 0x%03X in database", m.ID)
+		}
+		t.byID[m.ID] = ev
+		t.alphabet = append(t.alphabet, ev)
+		if m.Sender == cfg.InSender {
+			dlc := m.DLC
+			if dlc < 0 || dlc > canbus.MaxDataLen {
+				dlc = canbus.MaxDataLen
+			}
+			t.stimulus[ev.String()] = canbus.Frame{ID: m.ID, Data: make([]byte, dlc)}
+		}
+	}
+	sort.Slice(t.alphabet, func(i, j int) bool {
+		return t.alphabet[i].String() < t.alphabet[j].String()
+	})
+	return t, nil
+}
+
+// Alphabet returns the model-event vocabulary.
+func (t *SimTeacher) Alphabet() []csp.Event {
+	return append([]csp.Event(nil), t.alphabet...)
+}
+
+// rng derives the per-query fault randomness: a pure function of
+// (seed, profile, word), so the teacher answers every word the same way
+// no matter when, or on which worker, it is asked.
+func (t *SimTeacher) rng(w csp.Trace) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, string(t.cfg.Profile))
+	_, _ = io.WriteString(h, "\x00")
+	_, _ = io.WriteString(h, w.String())
+	return rand.New(rand.NewSource(int64(h.Sum64()) ^ t.cfg.Seed))
+}
+
+// installProfile arms the seeded fault hooks on the run's injector,
+// mirroring the PR 1 campaign faults. Duplicate and delay replay frames
+// through a gremlin tap with a bounded injection budget, so a faulty
+// run still terminates.
+func (t *SimTeacher) installProfile(bus *canbus.Bus, inj *canbus.Injector, rng *rand.Rand) {
+	const prob = 0.3
+	switch t.cfg.Profile {
+	case ProfileDrop:
+		inj.Drop = func(canbus.Time, canbus.Frame) bool { return rng.Float64() < prob }
+	case ProfileCorrupt:
+		inj.Corrupt = func(_ canbus.Time, f canbus.Frame) canbus.Frame {
+			if rng.Float64() < prob && len(f.Data) > 0 {
+				f.Data[rng.Intn(len(f.Data))] ^= 1 << uint(rng.Intn(8))
+			}
+			return f
+		}
+	case ProfileTamper:
+		inj.Tamper = func(_ canbus.Time, f canbus.Frame) canbus.Frame {
+			if rng.Float64() < prob {
+				f.ID ^= 1 << uint(rng.Intn(3))
+			}
+			return f
+		}
+	case ProfileDuplicate, ProfileDelay:
+		gremlin := bus.Attach("__gremlin__", canbus.ReceiverFunc(func(canbus.Time, canbus.Frame) {}))
+		budget := 64
+		replay := func(at canbus.Time, f canbus.Frame) {
+			if budget <= 0 {
+				return
+			}
+			budget--
+			clone := f.Clone()
+			_ = bus.Schedule(at, func() { _ = bus.Transmit(gremlin, clone) })
+		}
+		if t.cfg.Profile == ProfileDuplicate {
+			inj.Observe = func(at canbus.Time, f canbus.Frame) {
+				if rng.Float64() < prob {
+					replay(at+200*canbus.Microsecond, f)
+				}
+			}
+		} else {
+			inj.Drop = func(at canbus.Time, f canbus.Frame) bool {
+				if rng.Float64() < prob {
+					replay(at+2*canbus.Millisecond, f)
+					return true
+				}
+				return false
+			}
+		}
+	}
+}
+
+// Membership runs one seeded deterministic simulation of the node
+// against the stimulus subsequence of w and answers whether w is a
+// prefix of the observed projected trace.
+func (t *SimTeacher) Membership(w csp.Trace) (bool, error) {
+	var inj *canbus.Injector
+	if t.cfg.Profile != ProfileNone {
+		inj = &canbus.Injector{}
+	}
+	sim := canoe.NewSimulation(canbus.Config{Injector: inj})
+	if inj != nil {
+		t.installProfile(sim.Bus, inj, t.rng(w))
+	}
+	if _, err := sim.AddNode(t.cfg.NodeName, t.cfg.Source); err != nil {
+		return false, err
+	}
+	driver := sim.Bus.Attach("__learner__", canbus.ReceiverFunc(func(canbus.Time, canbus.Frame) {}))
+	if err := sim.Start(); err != nil {
+		return false, err
+	}
+
+	remaining := t.cfg.MaxEventsPerQuery
+	quiesce := func() error {
+		n := sim.Bus.RunAll(remaining)
+		remaining -= n
+		if remaining <= 0 {
+			return fmt.Errorf("learn: membership run exceeded %d bus events", t.cfg.MaxEventsPerQuery)
+		}
+		return nil
+	}
+	if err := quiesce(); err != nil {
+		return false, err
+	}
+	for _, ev := range w {
+		f, ok := t.stimulus[ev.String()]
+		if !ok {
+			continue // response event: nothing to inject
+		}
+		if err := sim.Bus.Transmit(driver, f.Clone()); err != nil {
+			return false, err
+		}
+		if err := quiesce(); err != nil {
+			return false, err
+		}
+	}
+	if err := sim.Err(); err != nil {
+		return false, fmt.Errorf("learn: node fault during membership run: %w", err)
+	}
+	observed := t.project(sim.Trace())
+	if err := sim.Stop(); err != nil {
+		return false, fmt.Errorf("learn: measurement stop: %w", err)
+	}
+	return observed.HasPrefix(w), nil
+}
+
+// project maps the monitor trace onto model events through the
+// database dictionary. Frames whose identifier the database cannot
+// decode — e.g. tamper-spoofed ones — carry no model event and are
+// dropped, exactly as a bus monitor would fail to classify them.
+func (t *SimTeacher) project(tfs []canoe.TimedFrame) csp.Trace {
+	out := make(csp.Trace, 0, len(tfs))
+	for _, tf := range tfs {
+		if ev, ok := t.byID[tf.Frame.ID]; ok {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package learn
+
+import (
+	"testing"
+
+	"repro/internal/csp"
+)
+
+func variantTeacher(t *testing.T, v Variant, cfg CampaignConfig) *SimTeacher {
+	t.Helper()
+	teacher, err := NewVariantTeacher(cfg, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return teacher
+}
+
+func TestSimTeacherAlphabet(t *testing.T) {
+	teacher := variantTeacher(t, VariantNaive, CampaignConfig{})
+	got := teacher.Alphabet()
+	want := otaAlphabet() // sorted by rendering
+	if len(got) != len(want) {
+		t.Fatalf("alphabet %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i].String() != want[i].String() {
+			t.Fatalf("alphabet[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSimTeacherMembershipNaive(t *testing.T) {
+	teacher := variantTeacher(t, VariantNaive, CampaignConfig{Seed: 1})
+	for _, tc := range []struct {
+		w    csp.Trace
+		want bool
+	}{
+		{csp.Trace{}, true},
+		{csp.Trace{ev("send", "reqSw")}, true},
+		{csp.Trace{ev("send", "reqSw"), ev("rec", "rptSw")}, true},
+		// The naive ECU answers an inventory request with rptSw, never
+		// rptUpd.
+		{csp.Trace{ev("send", "reqSw"), ev("rec", "rptUpd")}, false},
+		// A report with no preceding request is not a node trace.
+		{csp.Trace{ev("rec", "rptSw")}, false},
+		{csp.Trace{ev("send", "reqApp"), ev("rec", "rptUpd"), ev("send", "reqSw"), ev("rec", "rptSw")}, true},
+	} {
+		got, err := teacher.Membership(tc.w)
+		if err != nil {
+			t.Fatalf("Membership(%s): %v", tc.w, err)
+		}
+		if got != tc.want {
+			t.Errorf("Membership(%s) = %v, want %v", tc.w, got, tc.want)
+		}
+	}
+}
+
+// TestSimTeacherMembershipFlawed pins the injected defect at the
+// simulator level: the flawed gateway's ECU answers a software
+// inventory request with an update result report.
+func TestSimTeacherMembershipFlawed(t *testing.T) {
+	teacher := variantTeacher(t, VariantFlawed, CampaignConfig{Seed: 1})
+	got, err := teacher.Membership(csp.Trace{ev("send", "reqSw"), ev("rec", "rptUpd")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("flawed ECU should answer reqSw with rptUpd")
+	}
+	got, err = teacher.Membership(csp.Trace{ev("send", "reqSw"), ev("rec", "rptSw")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("flawed ECU should not answer reqSw with rptSw")
+	}
+}
+
+// TestSimTeacherDeterministicUnderFaults pins the teacher contract the
+// learner depends on: under every fault profile, the same word gets the
+// same answer on every ask.
+func TestSimTeacherDeterministicUnderFaults(t *testing.T) {
+	words := []csp.Trace{
+		{},
+		{ev("send", "reqSw")},
+		{ev("send", "reqSw"), ev("rec", "rptSw")},
+		{ev("send", "reqApp"), ev("rec", "rptUpd")},
+		{ev("send", "reqSw"), ev("rec", "rptSw"), ev("send", "reqApp"), ev("rec", "rptUpd")},
+	}
+	for _, p := range Profiles() {
+		teacher := variantTeacher(t, VariantNaive, CampaignConfig{Seed: 99, Profile: p})
+		for _, w := range words {
+			first, err := teacher.Membership(w)
+			if err != nil {
+				t.Fatalf("profile %s, word %s: %v", p, w, err)
+			}
+			for i := 0; i < 3; i++ {
+				again, err := teacher.Membership(w)
+				if err != nil {
+					t.Fatalf("profile %s, word %s: %v", p, w, err)
+				}
+				if again != first {
+					t.Fatalf("profile %s, word %s: answer flipped %v -> %v", p, w, first, again)
+				}
+			}
+		}
+	}
+}
+
+// TestSimTeacherDropLosesTraffic sanity-checks that fault profiles
+// actually change behaviour: under a dropping bus, some request/report
+// word the exact bus accepts must be rejected.
+func TestSimTeacherDropLosesTraffic(t *testing.T) {
+	exact := variantTeacher(t, VariantNaive, CampaignConfig{Seed: 5})
+	lossy := variantTeacher(t, VariantNaive, CampaignConfig{Seed: 5, Profile: ProfileDrop})
+	w := csp.Trace{ev("send", "reqSw"), ev("rec", "rptSw")}
+	diverged := false
+	for i := 0; i < 32 && !diverged; i++ {
+		// Vary the word by prefixing completed exchanges so the per-word
+		// fault seed changes.
+		got1, err := exact.Membership(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := lossy.Membership(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got1 != got2 {
+			diverged = true
+		}
+		w = append(csp.Trace{ev("send", "reqApp"), ev("rec", "rptUpd")}, w...)
+	}
+	if !diverged {
+		t.Fatal("drop profile never changed any answer over 32 words")
+	}
+}

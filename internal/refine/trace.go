@@ -129,6 +129,15 @@ func (c *Checker) AcceptsTrace(p csp.Process, t csp.Trace) (TraceCheck, error) {
 		nextSeen := map[string]bool{}
 		allowed := map[string]csp.Event{}
 		for _, fe := range frontier {
+			// Probe the wall clock here too: a wide tau-free model does
+			// all of its work in this loop, and without a probe it would
+			// ignore MaxDuration entirely (the closure probe only fires
+			// once per frontier entry it pops).
+			probes++
+			if !deadline.IsZero() && probes%deadlineCheckInterval == 0 &&
+				time.Now().After(deadline) {
+				return TraceCheck{}, budgetErr("trace-deadline", int(c.MaxDuration/time.Millisecond))
+			}
 			trs, err := transitions(fe.key, fe.proc)
 			if err != nil {
 				return TraceCheck{}, err
@@ -144,6 +153,17 @@ func (c *Checker) AcceptsTrace(p csp.Process, t csp.Trace) (TraceCheck, error) {
 				k := tr.To.Key()
 				if !nextSeen[k] {
 					nextSeen[k] = true
+					// Charge the state budget at first intern, not at the
+					// next closure call: MaxStates then bounds the next
+					// frontier as it is built (a huge branching step can
+					// no longer materialize unbounded terms before the
+					// closure charges them) and Explored stays exact.
+					if !visited[k] {
+						visited[k] = true
+						if len(visited) > maxStates {
+							return TraceCheck{}, budgetErr("trace", maxStates)
+						}
+					}
 					next = append(next, frontierEntry{key: k, proc: tr.To})
 				}
 			}

@@ -29,6 +29,12 @@ if go run ./cmd/caplcheck -dbc testdata/ota.dbc examples/caplcheck/ill_typed.can
     exit 1
 fi
 
+echo "==> learncheck (fixed seed, byte-identical vs committed baseline)"
+LEARNCHECK_OUT=$(mktemp)
+go run ./cmd/learncheck -seed 1 -format json > "$LEARNCHECK_OUT"
+cmp "$LEARNCHECK_OUT" testdata/learncheck_baseline.json
+rm -f "$LEARNCHECK_OUT"
+
 echo "==> go test -race ./..."
 go test -race ./...
 
